@@ -1,0 +1,64 @@
+//! Ablation D: cache replacement policy inside the hybrid system.
+//!
+//! The paper uses plain LRU and cites Karlsson & Mahalingam's delayed-LRU
+//! as the strongest pure-caching contender. This ablation keeps the hybrid
+//! replica placement fixed and swaps the replacement policy of the leftover
+//! cache space: LRU, delayed-LRU, LFU, FIFO, CLOCK.
+//!
+//! ```text
+//! cargo run -p cdn-bench --release --bin ablation_policy [--quick]
+//! ```
+
+use cdn_bench::harness::{banner, write_csv, Scale};
+use cdn_core::cache;
+use cdn_core::{Scenario, Strategy};
+use cdn_workload::LambdaMode;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Ablation D: replacement policy inside the hybrid scheme", scale);
+    let config = scale.config(0.05, 0.0, LambdaMode::Uncacheable);
+    let scenario = Scenario::generate(&config);
+    let plan = scenario.plan(Strategy::Hybrid);
+    println!(
+        "  hybrid placement fixed: {} replicas\n",
+        plan.placement.replica_count()
+    );
+
+    println!(
+        "  {:<12} {:>9} {:>9} {:>8} {:>11}",
+        "policy", "mean_ms", "p95_ms", "local%", "cache-hit%"
+    );
+    let mut rows = Vec::new();
+    for policy in ["lru", "delayed-lru", "lfu", "gdsf", "fifo", "clock"] {
+        let factory = move |bytes: u64| cache::by_name(policy, bytes).expect("known policy");
+        let report = scenario.simulate_with_cache(&plan.placement, &factory);
+        println!(
+            "  {:<12} {:>9.2} {:>9.1} {:>8.1} {:>11.1}",
+            policy,
+            report.mean_latency_ms,
+            report.histogram.percentile(0.95),
+            100.0 * report.local_ratio(),
+            100.0 * report.cache_hit_ratio(),
+        );
+        rows.push(format!(
+            "{policy},{:.3},{:.1},{:.4},{:.4}",
+            report.mean_latency_ms,
+            report.histogram.percentile(0.95),
+            report.local_ratio(),
+            report.cache_hit_ratio()
+        ));
+    }
+    println!(
+        "\n  LRU and CLOCK should sit within noise of each other; FIFO gives up\n\
+         \x20 a little; delayed-LRU trades first-touch misses for admission\n\
+         \x20 filtering (it shines when one-hit wonders dominate); LFU can win\n\
+         \x20 on static popularity but adapts worst to drift; GDSF exploits the\n\
+         \x20 heavy-tailed size distribution that LRU ignores."
+    );
+    write_csv(
+        "ablation_policy.csv",
+        "policy,mean_latency_ms,p95_ms,local_ratio,cache_hit_ratio",
+        &rows,
+    );
+}

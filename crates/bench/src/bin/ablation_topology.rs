@@ -1,0 +1,128 @@
+//! Ablation F: topology sensitivity.
+//!
+//! The paper evaluates on a GT-ITM transit-stub graph only. Here we re-run
+//! the headline replication/caching/hybrid comparison on two additional
+//! graph families — Barabási–Albert preferential attachment (hub-dominated,
+//! short paths) and a flat random tree-plus-extras (no hierarchy, long
+//! paths) — to check which conclusions survive the topology choice.
+//!
+//! ```text
+//! cargo run -p cdn-bench --release --bin ablation_topology [--quick]
+//! ```
+
+use cdn_bench::harness::{banner, scenario_on_graph, write_csv, Scale};
+use cdn_placement::{greedy_global, hybrid::hybrid_greedy_paper, HybridConfig, Placement};
+use cdn_sim::simulate_system;
+use cdn_topology::gen::flat;
+use cdn_topology::{barabasi_albert, BarabasiAlbertConfig, Graph, GraphBuilder, NodeId};
+use cdn_topology::{TransitStubConfig, TransitStubTopology};
+use cdn_workload::LambdaMode;
+
+fn flat_random(n: usize, extra_prob: f64, seed: u64) -> Graph {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let nodes: Vec<NodeId> = (0..n as NodeId).collect();
+    flat::connected_random_domain(&mut b, &nodes, extra_prob, &mut rng);
+    b.build()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Ablation F: topology families", scale);
+    let cfg = scale.config(0.05, 0.0, LambdaMode::Uncacheable);
+    let n_nodes = match scale {
+        Scale::Paper => 1560,
+        Scale::Quick => 120,
+    };
+
+    let transit_stub = {
+        let topo_cfg = match scale {
+            Scale::Paper => TransitStubConfig::paper_default(),
+            Scale::Quick => TransitStubConfig::small(),
+        };
+        TransitStubTopology::generate(&topo_cfg, cfg.seed).graph
+    };
+    let ba = barabasi_albert(
+        &BarabasiAlbertConfig {
+            n_nodes,
+            edges_per_node: 2,
+        },
+        cfg.seed,
+    );
+    let flat_g = flat_random(n_nodes, 2.0 / n_nodes as f64, cfg.seed);
+
+    println!(
+        "\n  {:<14} {:>8} {:>14} {:>11} {:>11} {:>12}",
+        "topology", "diam", "replication_ms", "caching_ms", "hybrid_ms", "hybrid_gain%"
+    );
+    let mut rows = Vec::new();
+    for (label, graph) in [
+        ("transit-stub", &transit_stub),
+        ("barabasi", &ba),
+        ("flat-random", &flat_g),
+    ] {
+        let metrics = cdn_topology::metrics::compute_metrics(graph, 16);
+        let (problem, catalog, trace) = scenario_on_graph(graph, &cfg);
+
+        // Replication (cache-less), caching, hybrid — same machinery as the
+        // figure binaries but against the custom problem.
+        let zero_cache: &(dyn Fn(u64) -> Box<dyn cdn_core::cache::Cache> + Sync) =
+            &|_| Box::new(cdn_core::cache::LruCache::new(0));
+        let repl = simulate_system(
+            &problem,
+            &greedy_global(&problem).placement,
+            &catalog,
+            &trace,
+            &cfg.sim,
+            Some(zero_cache),
+        );
+        let caching = simulate_system(
+            &problem,
+            &Placement::primaries_only(&problem),
+            &catalog,
+            &trace,
+            &cfg.sim,
+            None,
+        );
+        let hybrid = simulate_system(
+            &problem,
+            &hybrid_greedy_paper(&problem, &HybridConfig::default()).placement,
+            &catalog,
+            &trace,
+            &cfg.sim,
+            None,
+        );
+        let gain = 100.0 * (repl.mean_latency_ms - hybrid.mean_latency_ms)
+            / repl.mean_latency_ms.max(1e-9);
+        println!(
+            "  {:<14} {:>8} {:>14.2} {:>11.2} {:>11.2} {:>12.1}",
+            label,
+            metrics.diameter,
+            repl.mean_latency_ms,
+            caching.mean_latency_ms,
+            hybrid.mean_latency_ms,
+            gain
+        );
+        rows.push(format!(
+            "{label},{},{:.3},{:.3},{:.3},{gain:.2}",
+            metrics.diameter,
+            repl.mean_latency_ms,
+            caching.mean_latency_ms,
+            hybrid.mean_latency_ms
+        ));
+        // The hybrid must win (or tie) everywhere — the paper's conclusion
+        // should not be an artefact of the transit-stub hierarchy.
+        assert!(hybrid.mean_latency_ms <= repl.mean_latency_ms * 1.02, "{label}");
+        assert!(hybrid.mean_latency_ms <= caching.mean_latency_ms * 1.02, "{label}");
+    }
+    println!(
+        "\n  shorter-diameter graphs (hubs) shrink everyone's redirect cost and\n\
+         \x20 therefore the absolute gains; the ranking itself is topology-stable."
+    );
+    write_csv(
+        "ablation_topology.csv",
+        "topology,diameter,replication_ms,caching_ms,hybrid_ms,hybrid_gain_pc",
+        &rows,
+    );
+}

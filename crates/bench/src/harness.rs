@@ -1,0 +1,311 @@
+//! Shared experiment plumbing: scale selection, CSV output, timing, and the
+//! standard per-figure runner.
+
+use cdn_core::{Scenario, ScenarioConfig, Strategy};
+use cdn_sim::SimReport;
+use cdn_workload::LambdaMode;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Experiment scale. `Paper` is the reconstructed evaluation setup
+/// (N = 50, M = 200, 1560-node topology, ~12.5M requests); `Quick` is a
+/// reduced instance for smoke-testing the harness (pass `--quick`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Paper,
+    Quick,
+}
+
+impl Scale {
+    /// Parse from process args: `--quick` selects the reduced scale.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Paper
+        }
+    }
+
+    /// The scenario configuration for this scale at the given capacity/λ.
+    pub fn config(self, capacity: f64, lambda: f64, mode: LambdaMode) -> ScenarioConfig {
+        match self {
+            Scale::Paper => ScenarioConfig::paper(capacity, lambda, mode),
+            Scale::Quick => {
+                let mut cfg = ScenarioConfig::small();
+                cfg.capacity_fraction = capacity.max(0.10);
+                cfg.lambda = lambda;
+                cfg.lambda_mode = mode;
+                cfg
+            }
+        }
+    }
+}
+
+/// Where result CSVs land.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("CDN_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    let path = PathBuf::from(dir);
+    std::fs::create_dir_all(&path).expect("create results dir");
+    path
+}
+
+/// Write a CSV file of `(header, rows)` under the results directory and
+/// report the path on stdout.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut body = String::with_capacity(rows.len() * 32 + header.len() + 1);
+    body.push_str(header);
+    body.push('\n');
+    for r in rows {
+        body.push_str(r);
+        body.push('\n');
+    }
+    std::fs::write(&path, body).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("  wrote {}", path.display());
+    path
+}
+
+/// Format a CDF as CSV rows (`latency_ms,fraction`), downsampled to at most
+/// `max_points` points to keep files plottable.
+pub fn cdf_rows(report: &SimReport, max_points: usize) -> Vec<String> {
+    let cdf = report.histogram.cdf();
+    let stride = (cdf.len() / max_points.max(1)).max(1);
+    let mut rows: Vec<String> = cdf
+        .iter()
+        .step_by(stride)
+        .map(|(ms, frac)| format!("{ms:.1},{frac:.6}"))
+        .collect();
+    if let Some(last) = cdf.last() {
+        let formatted = format!("{:.1},{:.6}", last.0, last.1);
+        if rows.last() != Some(&formatted) {
+            rows.push(formatted);
+        }
+    }
+    rows
+}
+
+/// One strategy's results within a figure.
+pub struct StrategyResult {
+    pub strategy: Strategy,
+    pub report: SimReport,
+    pub predicted_mean_hops: f64,
+    pub replicas: usize,
+    pub plan_seconds: f64,
+    pub sim_seconds: f64,
+}
+
+/// Plan + simulate each strategy against a scenario, logging progress.
+pub fn run_strategies(scenario: &Scenario, strategies: &[Strategy]) -> Vec<StrategyResult> {
+    strategies
+        .iter()
+        .map(|&strategy| {
+            let t0 = Instant::now();
+            let plan = scenario.plan(strategy);
+            let plan_seconds = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let report = scenario.simulate(&plan);
+            let sim_seconds = t1.elapsed().as_secs_f64();
+            println!(
+                "  {:<16} plan {:>6.1}s  sim {:>6.1}s  mean {:>8.2} ms  local {:>5.1}%  replicas {}",
+                strategy.name(),
+                plan_seconds,
+                sim_seconds,
+                report.mean_latency_ms,
+                100.0 * report.local_ratio(),
+                plan.placement.replica_count(),
+            );
+            StrategyResult {
+                strategy,
+                predicted_mean_hops: plan.predicted_mean_hops(&scenario.problem),
+                replicas: plan.placement.replica_count(),
+                report,
+                plan_seconds,
+                sim_seconds,
+            }
+        })
+        .collect()
+}
+
+/// Render the standard per-figure summary block.
+pub fn summary_block(results: &[StrategyResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  {:<16} {:>9} {:>9} {:>9} {:>8} {:>9} {:>9}",
+        "strategy", "mean_ms", "p50_ms", "p95_ms", "local%", "hops/req", "replicas"
+    );
+    for r in results {
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>9.2} {:>9.1} {:>9.1} {:>8.1} {:>9.3} {:>9}",
+            r.strategy.name(),
+            r.report.mean_latency_ms,
+            r.report.histogram.percentile(0.5),
+            r.report.histogram.percentile(0.95),
+            100.0 * r.report.local_ratio(),
+            r.report.mean_cost_hops,
+            r.replicas,
+        );
+    }
+    out
+}
+
+/// Mean-latency improvement of `a` over `b`, in percent.
+pub fn improvement_pct(results: &[StrategyResult], a: Strategy, b: Strategy) -> Option<f64> {
+    let la = results.iter().find(|r| r.strategy == a)?.report.mean_latency_ms;
+    let lb = results.iter().find(|r| r.strategy == b)?.report.mean_latency_ms;
+    (lb > 0.0).then(|| 100.0 * (lb - la) / lb)
+}
+
+/// Stamp a figure banner.
+pub fn banner(title: &str, scale: Scale) {
+    println!("==== {title} [{:?} scale] ====", scale);
+}
+
+/// Helper to append a labelled CSV for every strategy's CDF.
+pub fn write_cdf_csvs(prefix: &str, results: &[StrategyResult]) {
+    for r in results {
+        let name = format!("{prefix}_{}.csv", r.strategy.name().replace('%', "pc"));
+        write_csv(&name, "latency_ms,cdf", &cdf_rows(&r.report, 400));
+    }
+}
+
+/// Sanity guard used by every figure binary: results must be non-trivial.
+pub fn assert_sane(results: &[StrategyResult]) {
+    for r in results {
+        assert!(r.report.measured_requests > 0, "{}", r.strategy.name());
+        assert!(r.report.mean_latency_ms > 0.0, "{}", r.strategy.name());
+    }
+}
+
+/// Check whether `path`'s parent exists (used in tests).
+pub fn parent_exists(path: &Path) -> bool {
+    path.parent().map(|p| p.exists()).unwrap_or(false)
+}
+
+/// Build a placement problem + catalog + trace on an **arbitrary graph**
+/// (rather than the transit-stub scenario pipeline): servers and primaries
+/// are placed on randomly chosen distinct nodes. Used by the topology
+/// ablation to re-run the headline comparison on non-hierarchical graphs.
+pub fn scenario_on_graph(
+    graph: &cdn_topology::Graph,
+    cfg: &ScenarioConfig,
+) -> (
+    cdn_placement::PlacementProblem,
+    cdn_workload::SiteCatalog,
+    cdn_workload::TraceSpec,
+) {
+    use cdn_topology::DistanceMatrix;
+    use cdn_workload::{DemandMatrix, SiteCatalog, TraceSpec};
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    let n = cfg.hosts.n_servers;
+    let m = cfg.workload.m_sites;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0xABCD_EF01);
+    let mut nodes: Vec<u32> = (0..graph.n_nodes() as u32).collect();
+    nodes.shuffle(&mut rng);
+    assert!(nodes.len() >= n + m, "graph too small for hosts");
+    let hosts: Vec<u32> = nodes[..n + m].to_vec();
+    let distances = DistanceMatrix::compute(graph, &hosts);
+
+    let catalog = SiteCatalog::generate(&cfg.workload, cfg.seed ^ 0x2545_F491);
+    let demand = DemandMatrix::generate(&catalog, n, cfg.seed ^ 0x9E37_79B9);
+
+    let mut dist_ss = vec![0u32; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            dist_ss[i * n + k] = distances.host_dist(i, k);
+        }
+    }
+    let mut dist_sp = vec![0u32; n * m];
+    for i in 0..n {
+        for j in 0..m {
+            dist_sp[i * m + j] = distances.host_dist(i, n + j);
+        }
+    }
+    let site_bytes: Vec<u64> = catalog.sites.iter().map(|s| s.total_bytes).collect();
+    let capacity = (catalog.total_bytes() as f64 * cfg.capacity_fraction) as u64;
+    let raw: Vec<u64> = (0..n)
+        .flat_map(|i| (0..m).map(move |j| (i, j)))
+        .map(|(i, j)| demand.requests(i, j))
+        .collect();
+    let problem = cdn_placement::PlacementProblem::new(
+        n,
+        m,
+        dist_ss,
+        dist_sp,
+        site_bytes,
+        vec![capacity; n],
+        raw,
+        vec![cfg.lambda; m],
+        catalog.mean_request_bytes(),
+        cfg.workload.objects_per_site,
+        cfg.workload.theta,
+    );
+    let trace = TraceSpec::new(
+        &demand,
+        catalog.object_zipf.clone(),
+        cfg.lambda,
+        cfg.lambda_mode,
+        cfg.seed ^ 0xBF58_476D,
+    );
+    (problem, catalog, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_config_is_small() {
+        let cfg = Scale::Quick.config(0.05, 0.1, LambdaMode::Expired);
+        assert!(cfg.hosts.n_servers < 10);
+        assert!((cfg.lambda - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_scale_config_matches_paper() {
+        let cfg = Scale::Paper.config(0.05, 0.0, LambdaMode::Uncacheable);
+        assert_eq!(cfg.hosts.n_servers, 50);
+        assert_eq!(cfg.workload.m_sites, 200);
+        assert!((cfg.capacity_fraction - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scenario_on_graph_builds_consistent_problem() {
+        use cdn_topology::{barabasi_albert, BarabasiAlbertConfig};
+        let g = barabasi_albert(
+            &BarabasiAlbertConfig {
+                n_nodes: 120,
+                edges_per_node: 2,
+            },
+            3,
+        );
+        let cfg = Scale::Quick.config(0.15, 0.0, LambdaMode::Uncacheable);
+        let (problem, catalog, trace) = scenario_on_graph(&g, &cfg);
+        assert_eq!(problem.n_servers(), cfg.hosts.n_servers);
+        assert_eq!(problem.m_sites(), cfg.workload.m_sites);
+        assert_eq!(catalog.m(), problem.m_sites());
+        assert_eq!(trace.n_servers(), problem.n_servers());
+        // Distances embedded symmetrically with zero self-distance.
+        for i in 0..problem.n_servers() {
+            assert_eq!(problem.dist_servers(i, i), 0);
+            for k in 0..problem.n_servers() {
+                assert_eq!(problem.dist_servers(i, k), problem.dist_servers(k, i));
+            }
+        }
+        assert_eq!(problem.grand_total(), catalog.total_requests());
+    }
+
+    #[test]
+    fn csv_written_and_readable() {
+        std::env::set_var("CDN_RESULTS_DIR", std::env::temp_dir().join("cdn-test-results"));
+        let path = write_csv("unit_test.csv", "a,b", &["1,2".into(), "3,4".into()]);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "a,b\n1,2\n3,4\n");
+        assert!(parent_exists(&path));
+        std::env::remove_var("CDN_RESULTS_DIR");
+    }
+}

@@ -1,0 +1,239 @@
+//! CLOCK (second-chance) replacement: a one-bit approximation of LRU that
+//! avoids list maintenance on hits — a hit only sets a reference bit.
+
+use crate::stats::CacheStats;
+use crate::traits::{Cache, ObjectKey};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: ObjectKey,
+    bytes: u64,
+    referenced: bool,
+    occupied: bool,
+}
+
+/// Byte-capacity CLOCK cache. The ring grows on demand and holes left by
+/// explicit removal are reused by the sweeping hand.
+#[derive(Debug)]
+pub struct ClockCache {
+    map: HashMap<ObjectKey, usize>,
+    ring: Vec<Slot>,
+    hand: usize,
+    used: u64,
+    capacity: u64,
+    stats: CacheStats,
+}
+
+impl ClockCache {
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self {
+            map: HashMap::new(),
+            ring: Vec::new(),
+            hand: 0,
+            used: 0,
+            capacity: capacity_bytes,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Sweep until one occupied, unreferenced slot is evicted. Clears
+    /// reference bits as it passes (the defining CLOCK behaviour).
+    fn evict_one(&mut self) -> bool {
+        if self.map.is_empty() {
+            return false;
+        }
+        loop {
+            let n = self.ring.len();
+            debug_assert!(n > 0);
+            let idx = self.hand % n;
+            self.hand = (self.hand + 1) % n;
+            let slot = &mut self.ring[idx];
+            if !slot.occupied {
+                continue;
+            }
+            if slot.referenced {
+                slot.referenced = false;
+                continue;
+            }
+            slot.occupied = false;
+            self.used -= slot.bytes;
+            self.map.remove(&slot.key);
+            self.stats.evictions += 1;
+            return true;
+        }
+    }
+
+    fn evict_until_fits(&mut self, incoming: u64) {
+        while self.used + incoming > self.capacity {
+            if !self.evict_one() {
+                break;
+            }
+        }
+    }
+
+    fn find_free_slot(&mut self) -> usize {
+        // Reuse a hole if one exists, otherwise grow the ring.
+        if let Some(idx) = self.ring.iter().position(|s| !s.occupied) {
+            idx
+        } else {
+            self.ring.push(Slot {
+                key: ObjectKey::new(0, 0),
+                bytes: 0,
+                referenced: false,
+                occupied: false,
+            });
+            self.ring.len() - 1
+        }
+    }
+}
+
+impl Cache for ClockCache {
+    fn lookup(&mut self, key: ObjectKey) -> bool {
+        if let Some(&idx) = self.map.get(&key) {
+            self.stats.hits += 1;
+            self.ring[idx].referenced = true;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    fn insert(&mut self, key: ObjectKey, bytes: u64) {
+        if self.map.contains_key(&key) {
+            return;
+        }
+        if bytes > self.capacity {
+            self.stats.rejections += 1;
+            return;
+        }
+        self.evict_until_fits(bytes);
+        let idx = self.find_free_slot();
+        self.ring[idx] = Slot {
+            key,
+            bytes,
+            referenced: false,
+            occupied: true,
+        };
+        self.map.insert(key, idx);
+        self.used += bytes;
+        self.stats.insertions += 1;
+    }
+
+    fn contains(&self, key: ObjectKey) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    fn remove(&mut self, key: ObjectKey) -> bool {
+        if let Some(idx) = self.map.remove(&key) {
+            self.ring[idx].occupied = false;
+            self.used -= self.ring[idx].bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.ring.clear();
+        self.hand = 0;
+        self.used = 0;
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn set_capacity(&mut self, bytes: u64) {
+        self.capacity = bytes;
+        self.evict_until_fits(0);
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u32) -> ObjectKey {
+        ObjectKey::new(0, i)
+    }
+
+    #[test]
+    fn referenced_objects_get_second_chance() {
+        let mut c = ClockCache::new(30);
+        c.insert(k(1), 10);
+        c.insert(k(2), 10);
+        c.insert(k(3), 10);
+        c.lookup(k(1)); // set ref bit on 1
+        c.insert(k(4), 10);
+        // The hand passes 1 (clears its bit), evicts 2.
+        assert!(c.contains(k(1)));
+        assert!(!c.contains(k(2)));
+    }
+
+    #[test]
+    fn unreferenced_evicted_in_ring_order() {
+        let mut c = ClockCache::new(20);
+        c.insert(k(1), 10);
+        c.insert(k(2), 10);
+        c.insert(k(3), 10);
+        assert!(!c.contains(k(1)));
+    }
+
+    #[test]
+    fn holes_reused() {
+        let mut c = ClockCache::new(100);
+        c.insert(k(1), 10);
+        c.insert(k(2), 10);
+        c.remove(k(1));
+        c.insert(k(3), 10);
+        assert_eq!(c.ring.len(), 2, "hole not reused");
+    }
+
+    #[test]
+    fn capacity_invariant_under_churn() {
+        let mut c = ClockCache::new(55);
+        for i in 0..500u32 {
+            c.access(k(i % 17), 10);
+            assert!(c.used_bytes() <= c.capacity_bytes());
+        }
+        assert_eq!(
+            c.used_bytes(),
+            c.ring
+                .iter()
+                .filter(|s| s.occupied)
+                .map(|s| s.bytes)
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn all_referenced_still_evicts() {
+        let mut c = ClockCache::new(20);
+        c.insert(k(1), 10);
+        c.insert(k(2), 10);
+        c.lookup(k(1));
+        c.lookup(k(2));
+        c.insert(k(3), 10); // sweep clears both bits, then evicts
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(k(3)));
+    }
+}

@@ -1,0 +1,191 @@
+//! Delayed LRU: admit an object only on its *second* request within a
+//! sliding history window.
+//!
+//! Karlsson & Mahalingam ("Do we need replica placement algorithms in
+//! content delivery networks?", WCW 2002 — reference [15] of the paper)
+//! found this simple admission filter makes plain caching competitive with
+//! replica placement; the paper cites that result as motivation, so the
+//! policy is included for the ablation benchmarks.
+
+use crate::lru::LruCache;
+use crate::stats::CacheStats;
+use crate::traits::{Cache, ObjectKey};
+use std::collections::{HashMap, VecDeque};
+
+/// LRU cache with a second-touch admission filter. The history of
+/// recently-seen-but-not-admitted keys is itself bounded (FIFO) so the
+/// filter cannot grow without limit.
+#[derive(Debug)]
+pub struct DelayedLruCache {
+    inner: LruCache,
+    history: HashMap<ObjectKey, ()>,
+    history_order: VecDeque<ObjectKey>,
+    history_cap: usize,
+}
+
+impl DelayedLruCache {
+    /// Default history size: plenty for the reproduction's working sets.
+    const DEFAULT_HISTORY: usize = 1 << 16;
+
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self::with_history(capacity_bytes, Self::DEFAULT_HISTORY)
+    }
+
+    /// `history_entries` bounds how many distinct once-seen keys the
+    /// admission filter remembers.
+    pub fn with_history(capacity_bytes: u64, history_entries: usize) -> Self {
+        Self {
+            inner: LruCache::new(capacity_bytes),
+            history: HashMap::new(),
+            history_order: VecDeque::new(),
+            history_cap: history_entries.max(1),
+        }
+    }
+
+    /// Number of keys currently in the admission history.
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    fn note_seen(&mut self, key: ObjectKey) -> bool {
+        if self.history.remove(&key).is_some() {
+            // Second touch: admit. (Stale queue entry removed lazily.)
+            return true;
+        }
+        self.history.insert(key, ());
+        self.history_order.push_back(key);
+        while self.history.len() > self.history_cap {
+            if let Some(old) = self.history_order.pop_front() {
+                self.history.remove(&old);
+            } else {
+                break;
+            }
+        }
+        false
+    }
+}
+
+impl Cache for DelayedLruCache {
+    fn lookup(&mut self, key: ObjectKey) -> bool {
+        self.inner.lookup(key)
+    }
+
+    fn insert(&mut self, key: ObjectKey, bytes: u64) {
+        if self.inner.contains(key) {
+            return;
+        }
+        if self.note_seen(key) {
+            self.inner.insert(key, bytes);
+        }
+        // First touch: filtered, intentionally not counted as a rejection
+        // (the object was declined by policy, not by capacity).
+    }
+
+    fn contains(&self, key: ObjectKey) -> bool {
+        self.inner.contains(key)
+    }
+
+    fn remove(&mut self, key: ObjectKey) -> bool {
+        self.inner.remove(key)
+    }
+
+    fn clear(&mut self) {
+        self.inner.clear();
+        self.history.clear();
+        self.history_order.clear();
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.inner.used_bytes()
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.inner.capacity_bytes()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn set_capacity(&mut self, bytes: u64) {
+        self.inner.set_capacity(bytes);
+    }
+
+    fn stats(&self) -> &CacheStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u32) -> ObjectKey {
+        ObjectKey::new(0, i)
+    }
+
+    #[test]
+    fn first_touch_not_admitted() {
+        let mut c = DelayedLruCache::new(100);
+        c.insert(k(1), 10);
+        assert!(!c.contains(k(1)));
+        assert_eq!(c.history_len(), 1);
+    }
+
+    #[test]
+    fn second_touch_admitted() {
+        let mut c = DelayedLruCache::new(100);
+        c.insert(k(1), 10);
+        c.insert(k(1), 10);
+        assert!(c.contains(k(1)));
+        assert_eq!(c.history_len(), 0);
+    }
+
+    #[test]
+    fn access_pattern_needs_two_misses() {
+        let mut c = DelayedLruCache::new(100);
+        assert!(!c.access(k(1), 10)); // miss, noted
+        assert!(!c.access(k(1), 10)); // miss, admitted
+        assert!(c.access(k(1), 10)); // hit
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn one_hit_wonders_never_pollute() {
+        let mut c = DelayedLruCache::new(30);
+        c.insert(k(1), 10);
+        c.insert(k(1), 10); // admitted, resident
+        for i in 100..200 {
+            c.insert(k(i), 10); // one-hit wonders, all filtered
+        }
+        assert!(c.contains(k(1)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut c = DelayedLruCache::with_history(100, 4);
+        for i in 0..10 {
+            c.insert(k(i), 1);
+        }
+        assert!(c.history_len() <= 4);
+        // k(0) aged out of history: a second touch is treated as first.
+        c.insert(k(0), 1);
+        assert!(!c.contains(k(0)));
+    }
+
+    #[test]
+    fn clear_resets_history() {
+        let mut c = DelayedLruCache::new(100);
+        c.insert(k(1), 1);
+        c.clear();
+        assert_eq!(c.history_len(), 0);
+        c.insert(k(1), 1);
+        assert!(!c.contains(k(1)), "history survived clear");
+    }
+}

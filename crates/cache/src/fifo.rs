@@ -1,0 +1,188 @@
+//! FIFO replacement: evict in insertion order, no promotion on hit.
+//!
+//! A deliberately recency-blind baseline for the policy ablation.
+
+use crate::stats::CacheStats;
+use crate::traits::{Cache, ObjectKey};
+use std::collections::{HashMap, VecDeque};
+
+/// Byte-capacity FIFO cache.
+#[derive(Debug)]
+pub struct FifoCache {
+    map: HashMap<ObjectKey, u64>,
+    /// Insertion order. Entries whose key is no longer in `map` (removed
+    /// explicitly) are skipped lazily at eviction time.
+    queue: VecDeque<ObjectKey>,
+    used: u64,
+    capacity: u64,
+    stats: CacheStats,
+}
+
+impl FifoCache {
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self {
+            map: HashMap::new(),
+            queue: VecDeque::new(),
+            used: 0,
+            capacity: capacity_bytes,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn evict_one(&mut self) -> bool {
+        while let Some(key) = self.queue.pop_front() {
+            if let Some(bytes) = self.map.remove(&key) {
+                self.used -= bytes;
+                self.stats.evictions += 1;
+                return true;
+            }
+            // Stale queue entry for an explicitly removed key; skip.
+        }
+        false
+    }
+
+    fn evict_until_fits(&mut self, incoming: u64) {
+        while self.used + incoming > self.capacity {
+            if !self.evict_one() {
+                break;
+            }
+        }
+    }
+}
+
+impl Cache for FifoCache {
+    fn lookup(&mut self, key: ObjectKey) -> bool {
+        if self.map.contains_key(&key) {
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    fn insert(&mut self, key: ObjectKey, bytes: u64) {
+        if self.map.contains_key(&key) {
+            return;
+        }
+        if bytes > self.capacity {
+            self.stats.rejections += 1;
+            return;
+        }
+        self.evict_until_fits(bytes);
+        self.map.insert(key, bytes);
+        self.queue.push_back(key);
+        self.used += bytes;
+        self.stats.insertions += 1;
+    }
+
+    fn contains(&self, key: ObjectKey) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    fn remove(&mut self, key: ObjectKey) -> bool {
+        if let Some(bytes) = self.map.remove(&key) {
+            self.used -= bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.queue.clear();
+        self.used = 0;
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn set_capacity(&mut self, bytes: u64) {
+        self.capacity = bytes;
+        self.evict_until_fits(0);
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u32) -> ObjectKey {
+        ObjectKey::new(0, i)
+    }
+
+    #[test]
+    fn evicts_in_insertion_order_despite_hits() {
+        let mut c = FifoCache::new(30);
+        c.insert(k(1), 10);
+        c.insert(k(2), 10);
+        c.insert(k(3), 10);
+        c.lookup(k(1)); // FIFO must NOT promote
+        c.insert(k(4), 10);
+        assert!(!c.contains(k(1)));
+        assert!(c.contains(k(2)));
+    }
+
+    #[test]
+    fn stale_queue_entries_skipped() {
+        let mut c = FifoCache::new(20);
+        c.insert(k(1), 10);
+        c.insert(k(2), 10);
+        assert!(c.remove(k(1)));
+        c.insert(k(3), 10); // fits in freed space; queue front is stale
+        assert_eq!(c.len(), 2);
+        c.insert(k(4), 10); // must evict k(2), skipping stale k(1)
+        assert!(!c.contains(k(2)));
+        assert!(c.contains(k(3)));
+        assert!(c.contains(k(4)));
+    }
+
+    #[test]
+    fn oversized_rejected() {
+        let mut c = FifoCache::new(5);
+        c.insert(k(1), 6);
+        assert_eq!(c.stats().rejections, 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn capacity_shrink() {
+        let mut c = FifoCache::new(30);
+        for i in 0..3 {
+            c.insert(k(i), 10);
+        }
+        c.set_capacity(10);
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(k(2)));
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut c = FifoCache::new(100);
+        c.insert(k(1), 30);
+        c.insert(k(2), 50);
+        assert_eq!(c.used_bytes(), 80);
+        c.remove(k(1));
+        assert_eq!(c.used_bytes(), 50);
+        c.clear();
+        assert_eq!(c.used_bytes(), 0);
+    }
+}

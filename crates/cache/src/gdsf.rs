@@ -1,0 +1,282 @@
+//! GreedyDual-Size-Frequency (GDSF) — the classic *size-aware* web cache
+//! replacement policy (Cherkasova, 1998).
+//!
+//! Web objects vary in size by orders of magnitude, and evicting one huge
+//! cold object can retain hundreds of small hot ones. GDSF scores each
+//! object `H = L + frequency / size` where `L` is an inflating "clock"
+//! equal to the score of the last eviction, and evicts the lowest score.
+//! The `L` term ages frequencies without bookkeeping: objects must keep
+//! earning their place as the clock rises past them.
+//!
+//! Included because the paper's plain-LRU choice deliberately ignores
+//! sizes; `ablation_policy` quantifies what that leaves on the table for
+//! SURGE's heavy-tailed size distribution.
+
+use crate::stats::CacheStats;
+use crate::traits::{Cache, ObjectKey};
+use std::collections::{BTreeSet, HashMap};
+
+/// Orderable f64 wrapper (scores are finite and non-negative by
+/// construction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Score(f64);
+
+impl Eq for Score {}
+
+impl PartialOrd for Score {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Score {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("scores are finite")
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Meta {
+    bytes: u64,
+    frequency: u64,
+    score: Score,
+    /// Insertion stamp for deterministic tie-breaks.
+    stamp: u64,
+}
+
+/// Byte-capacity GDSF cache. All operations are O(log n).
+#[derive(Debug)]
+pub struct GdsfCache {
+    map: HashMap<ObjectKey, Meta>,
+    /// Ordered by (score, stamp, key); the first element is evicted next.
+    order: BTreeSet<(Score, u64, ObjectKey)>,
+    /// The inflating clock: score of the most recent eviction.
+    clock: f64,
+    next_stamp: u64,
+    used: u64,
+    capacity: u64,
+    stats: CacheStats,
+}
+
+impl GdsfCache {
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self {
+            map: HashMap::new(),
+            order: BTreeSet::new(),
+            clock: 0.0,
+            next_stamp: 0,
+            used: 0,
+            capacity: capacity_bytes,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The current clock value (exposed for tests).
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    fn score(&self, frequency: u64, bytes: u64) -> Score {
+        Score(self.clock + frequency as f64 / bytes.max(1) as f64)
+    }
+
+    fn evict_until_fits(&mut self, incoming: u64) {
+        while self.used + incoming > self.capacity {
+            let Some(&(score, stamp, key)) = self.order.iter().next() else {
+                break;
+            };
+            self.order.remove(&(score, stamp, key));
+            let meta = self.map.remove(&key).expect("order/map consistent");
+            self.used -= meta.bytes;
+            // The defining GDSF step: the clock rises to the evicted score,
+            // so long-resident objects age relative to new arrivals.
+            self.clock = score.0;
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+impl Cache for GdsfCache {
+    fn lookup(&mut self, key: ObjectKey) -> bool {
+        // Compute the refreshed score before borrowing the entry mutably.
+        let refreshed = self
+            .map
+            .get(&key)
+            .map(|m| (m.score, m.stamp, self.score(m.frequency + 1, m.bytes)));
+        if let Some((old_score, stamp, new_score)) = refreshed {
+            self.stats.hits += 1;
+            let meta = self.map.get_mut(&key).expect("just found");
+            meta.frequency += 1;
+            meta.score = new_score;
+            self.order.remove(&(old_score, stamp, key));
+            self.order.insert((new_score, stamp, key));
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    fn insert(&mut self, key: ObjectKey, bytes: u64) {
+        if self.map.contains_key(&key) {
+            return;
+        }
+        if bytes > self.capacity {
+            self.stats.rejections += 1;
+            return;
+        }
+        self.evict_until_fits(bytes);
+        let meta = Meta {
+            bytes,
+            frequency: 1,
+            score: self.score(1, bytes),
+            stamp: self.next_stamp,
+        };
+        self.next_stamp += 1;
+        self.order.insert((meta.score, meta.stamp, key));
+        self.map.insert(key, meta);
+        self.used += bytes;
+        self.stats.insertions += 1;
+    }
+
+    fn contains(&self, key: ObjectKey) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    fn remove(&mut self, key: ObjectKey) -> bool {
+        if let Some(meta) = self.map.remove(&key) {
+            self.order.remove(&(meta.score, meta.stamp, key));
+            self.used -= meta.bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+        self.used = 0;
+        self.clock = 0.0;
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn set_capacity(&mut self, bytes: u64) {
+        self.capacity = bytes;
+        self.evict_until_fits(0);
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u32) -> ObjectKey {
+        ObjectKey::new(0, i)
+    }
+
+    #[test]
+    fn small_objects_preferred_over_large_cold_ones() {
+        let mut c = GdsfCache::new(100);
+        c.insert(k(1), 80); // big
+        c.insert(k(2), 10); // small
+        c.insert(k(3), 10); // small
+        // All frequency 1: scores 1/80 < 1/10, so the big one is evicted.
+        c.insert(k(4), 80);
+        assert!(!c.contains(k(1)));
+        assert!(c.contains(k(2)));
+        assert!(c.contains(k(3)));
+        assert!(c.contains(k(4)));
+    }
+
+    #[test]
+    fn frequency_rescues_large_objects() {
+        let mut c = GdsfCache::new(100);
+        c.insert(k(1), 80);
+        for _ in 0..100 {
+            c.lookup(k(1)); // frequency 101: score 101/80 = 1.26
+        }
+        c.insert(k(2), 10); // score 0.1
+        c.insert(k(3), 20); // needs 10 more bytes: k(2) has the lowest score
+        assert!(c.contains(k(1)), "hot large object evicted");
+        assert!(!c.contains(k(2)));
+        assert!(c.contains(k(3)));
+    }
+
+    #[test]
+    fn clock_inflates_on_eviction() {
+        let mut c = GdsfCache::new(20);
+        c.insert(k(1), 10);
+        c.insert(k(2), 10);
+        assert_eq!(c.clock(), 0.0);
+        c.insert(k(3), 10); // evicts score 0.1
+        assert!((c.clock() - 0.1).abs() < 1e-12);
+        // New insertions now score clock + 1/size: newcomers are not
+        // trivially below long-resident hot objects.
+        c.insert(k(4), 10);
+        let meta = c.map.get(&k(4)).unwrap();
+        assert!((meta.score.0 - (0.1 + 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_and_accounting_invariants() {
+        let mut c = GdsfCache::new(57);
+        for i in 0..300u32 {
+            c.access(k(i % 23), 3 + (i % 7) as u64);
+            assert!(c.used_bytes() <= c.capacity_bytes());
+            assert_eq!(c.order.len(), c.map.len());
+        }
+        let sum: u64 = c.map.values().map(|m| m.bytes).sum();
+        assert_eq!(sum, c.used_bytes());
+    }
+
+    #[test]
+    fn oversized_rejected() {
+        let mut c = GdsfCache::new(10);
+        c.insert(k(1), 11);
+        assert!(c.is_empty());
+        assert_eq!(c.stats().rejections, 1);
+    }
+
+    #[test]
+    fn clear_resets_clock() {
+        let mut c = GdsfCache::new(20);
+        c.insert(k(1), 10);
+        c.insert(k(2), 10);
+        c.insert(k(3), 10);
+        assert!(c.clock() > 0.0);
+        c.clear();
+        assert_eq!(c.clock(), 0.0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn deterministic_tie_breaks() {
+        // Equal size, equal frequency: older entry evicted first.
+        let mut c = GdsfCache::new(20);
+        c.insert(k(1), 10);
+        c.insert(k(2), 10);
+        c.insert(k(3), 10);
+        assert!(!c.contains(k(1)));
+        assert!(c.contains(k(2)));
+    }
+}

@@ -1,0 +1,60 @@
+//! Cache replacement policies for the hybrid CDN reproduction.
+//!
+//! The paper's CDN servers run a plain byte-capacity LRU cache; the
+//! evaluation of [Karlsson & Mahalingam] it cites also uses a *delayed* LRU
+//! (admit on second touch). This crate provides those two plus FIFO, LFU and
+//! CLOCK baselines behind one [`Cache`] trait so the ablation benchmarks can
+//! swap policies inside the hybrid scheme.
+//!
+//! All policies:
+//! * are byte-capacity bounded (web objects have heterogeneous sizes);
+//! * refuse objects larger than their capacity instead of thrashing;
+//! * keep their own [`CacheStats`] counters;
+//! * are deterministic.
+
+pub mod clock;
+pub mod delayed_lru;
+pub mod fifo;
+pub mod gdsf;
+pub mod lfu;
+pub mod lru;
+pub mod stats;
+pub mod traits;
+
+pub use clock::ClockCache;
+pub use delayed_lru::DelayedLruCache;
+pub use fifo::FifoCache;
+pub use gdsf::GdsfCache;
+pub use lfu::LfuCache;
+pub use lru::LruCache;
+pub use stats::CacheStats;
+pub use traits::{Cache, ObjectKey};
+
+/// Construct a boxed cache by policy name — the ablation harness's entry
+/// point. Recognised names: `lru`, `delayed-lru`, `fifo`, `lfu`, `clock`,
+/// `gdsf`.
+pub fn by_name(name: &str, capacity_bytes: u64) -> Option<Box<dyn Cache>> {
+    Some(match name {
+        "lru" => Box::new(LruCache::new(capacity_bytes)),
+        "delayed-lru" => Box::new(DelayedLruCache::new(capacity_bytes)),
+        "fifo" => Box::new(FifoCache::new(capacity_bytes)),
+        "lfu" => Box::new(LfuCache::new(capacity_bytes)),
+        "clock" => Box::new(ClockCache::new(capacity_bytes)),
+        "gdsf" => Box::new(GdsfCache::new(capacity_bytes)),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_name_constructs_all_policies() {
+        for name in ["lru", "delayed-lru", "fifo", "lfu", "clock", "gdsf"] {
+            let c = by_name(name, 100).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(c.capacity_bytes(), 100);
+        }
+        assert!(by_name("arc", 100).is_none());
+    }
+}

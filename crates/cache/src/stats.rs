@@ -1,0 +1,72 @@
+//! Hit/miss accounting shared by all policies.
+
+/// Counters a cache accumulates over its lifetime (or since the last
+/// [`reset`](CacheStats::reset)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    /// Objects admitted.
+    pub insertions: u64,
+    /// Objects pushed out to make room.
+    pub evictions: u64,
+    /// Insertions refused (object larger than the cache, or the admission
+    /// policy declined it).
+    pub rejections: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in `[0, 1]`; 0 when no lookups have happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Zero every counter.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_hit_ratio_is_zero() {
+        assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn hit_ratio_computation() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.lookups(), 4);
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut s = CacheStats {
+            hits: 1,
+            misses: 2,
+            insertions: 3,
+            evictions: 4,
+            rejections: 5,
+        };
+        s.reset();
+        assert_eq!(s, CacheStats::default());
+    }
+}

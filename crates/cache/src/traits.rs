@@ -1,0 +1,92 @@
+//! The common cache interface.
+
+use crate::stats::CacheStats;
+
+/// Identity of a cacheable object: a (site, object-rank) pair. Matches the
+//  request representation of `cdn-workload`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectKey {
+    pub site: u32,
+    pub object: u32,
+}
+
+impl ObjectKey {
+    pub fn new(site: u32, object: u32) -> Self {
+        Self { site, object }
+    }
+}
+
+/// A byte-capacity cache. Implementations must uphold:
+///
+/// * `used_bytes() <= capacity_bytes()` at all times;
+/// * an object with `bytes > capacity_bytes()` is never admitted;
+/// * `lookup` counts a hit/miss and (policy permitting) promotes the entry;
+/// * `contains` never mutates policy state or statistics.
+pub trait Cache: Send {
+    /// Look `key` up, updating recency/frequency state and statistics.
+    /// Returns true on hit.
+    fn lookup(&mut self, key: ObjectKey) -> bool;
+
+    /// Admit `key` with the given size, evicting as needed. No-op if the
+    /// object is already resident (sizes are immutable per key) or larger
+    /// than the whole cache. Not counted as a hit or miss.
+    fn insert(&mut self, key: ObjectKey, bytes: u64);
+
+    /// Pure membership test: no statistics, no promotion.
+    fn contains(&self, key: ObjectKey) -> bool;
+
+    /// Remove one object; returns true if it was resident.
+    fn remove(&mut self, key: ObjectKey) -> bool;
+
+    /// Drop everything (statistics retained).
+    fn clear(&mut self);
+
+    /// Bytes currently stored.
+    fn used_bytes(&self) -> u64;
+
+    /// Capacity in bytes.
+    fn capacity_bytes(&self) -> u64;
+
+    /// Number of resident objects.
+    fn len(&self) -> usize;
+
+    /// True when nothing is resident.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Shrink or grow the capacity, evicting per policy until the contents
+    /// fit again.
+    fn set_capacity(&mut self, bytes: u64);
+
+    /// Statistics accumulated so far.
+    fn stats(&self) -> &CacheStats;
+
+    /// Reset statistics (e.g. at the end of a warm-up phase) without
+    /// touching the cached contents.
+    fn reset_stats(&mut self);
+
+    /// The standard access pattern of the simulator: `lookup`, and on miss
+    /// `insert`. Returns true on hit.
+    fn access(&mut self, key: ObjectKey, bytes: u64) -> bool {
+        if self.lookup(key) {
+            true
+        } else {
+            self.insert(key, bytes);
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_key_ordering_and_equality() {
+        let a = ObjectKey::new(1, 2);
+        let b = ObjectKey::new(1, 3);
+        assert!(a < b);
+        assert_eq!(a, ObjectKey { site: 1, object: 2 });
+    }
+}

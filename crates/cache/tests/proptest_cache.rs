@@ -1,0 +1,147 @@
+//! Property tests: every policy upholds the capacity and accounting
+//! invariants under arbitrary access sequences, and the LRU implementation
+//! agrees with a naive reference model.
+
+use cdn_cache::{by_name, Cache, LruCache, ObjectKey};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Access(u32, u64),
+    Remove(u32),
+    SetCapacity(u64),
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (0u32..40, 1u64..30).prop_map(|(k, b)| Op::Access(k, b)),
+        1 => (0u32..40).prop_map(Op::Remove),
+        1 => (10u64..200).prop_map(Op::SetCapacity),
+        1 => Just(Op::Clear),
+    ]
+}
+
+/// Naive LRU over (key, bytes) pairs: Vec ordered MRU-first.
+#[derive(Default)]
+struct RefLru {
+    items: Vec<(u32, u64)>,
+    capacity: u64,
+}
+
+impl RefLru {
+    fn used(&self) -> u64 {
+        self.items.iter().map(|&(_, b)| b).sum()
+    }
+
+    fn access(&mut self, key: u32, bytes: u64) -> bool {
+        if let Some(pos) = self.items.iter().position(|&(k, _)| k == key) {
+            let item = self.items.remove(pos);
+            self.items.insert(0, item);
+            true
+        } else {
+            if bytes <= self.capacity {
+                while self.used() + bytes > self.capacity {
+                    self.items.pop();
+                }
+                self.items.insert(0, (key, bytes));
+            }
+            false
+        }
+    }
+
+    fn remove(&mut self, key: u32) {
+        self.items.retain(|&(k, _)| k != key);
+    }
+
+    fn set_capacity(&mut self, cap: u64) {
+        self.capacity = cap;
+        while self.used() > self.capacity {
+            self.items.pop();
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn lru_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut real = LruCache::new(100);
+        let mut reference = RefLru { items: vec![], capacity: 100 };
+        for op in ops {
+            match op {
+                Op::Access(k, b) => {
+                    let hit_real = real.access(ObjectKey::new(0, k), b);
+                    let hit_ref = reference.access(k, b);
+                    prop_assert_eq!(hit_real, hit_ref, "hit divergence on key {}", k);
+                }
+                Op::Remove(k) => {
+                    real.remove(ObjectKey::new(0, k));
+                    reference.remove(k);
+                }
+                Op::SetCapacity(c) => {
+                    real.set_capacity(c);
+                    reference.set_capacity(c);
+                }
+                Op::Clear => {
+                    real.clear();
+                    reference.items.clear();
+                }
+            }
+            prop_assert_eq!(real.used_bytes(), reference.used());
+            prop_assert_eq!(real.len(), reference.items.len());
+            let expected: Vec<ObjectKey> =
+                reference.items.iter().map(|&(k, _)| ObjectKey::new(0, k)).collect();
+            prop_assert_eq!(real.keys_mru_to_lru(), expected);
+        }
+    }
+
+    #[test]
+    fn all_policies_respect_capacity(
+        name in prop_oneof![
+            Just("lru"), Just("delayed-lru"), Just("fifo"), Just("lfu"),
+            Just("clock"), Just("gdsf")
+        ],
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+    ) {
+        let mut cache = by_name(name, 100).unwrap();
+        for op in ops {
+            match op {
+                Op::Access(k, b) => {
+                    cache.access(ObjectKey::new(0, k), b);
+                }
+                Op::Remove(k) => {
+                    cache.remove(ObjectKey::new(0, k));
+                }
+                Op::SetCapacity(c) => cache.set_capacity(c),
+                Op::Clear => cache.clear(),
+            }
+            prop_assert!(cache.used_bytes() <= cache.capacity_bytes(),
+                "{}: used {} > cap {}", name, cache.used_bytes(), cache.capacity_bytes());
+            if cache.is_empty() {
+                prop_assert_eq!(cache.used_bytes(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_identities_hold(
+        name in prop_oneof![
+            Just("lru"), Just("fifo"), Just("lfu"), Just("clock"), Just("gdsf")
+        ],
+        keys in proptest::collection::vec((0u32..20, 1u64..20), 1..200),
+    ) {
+        let mut cache = by_name(name, 80).unwrap();
+        for (k, b) in &keys {
+            cache.access(ObjectKey::new(0, *k), *b);
+        }
+        let s = *cache.stats();
+        prop_assert_eq!(s.lookups(), keys.len() as u64);
+        // Every resident object was inserted; insertions = evictions + resident
+        // (no removals happened, and non-delayed policies only reject oversize,
+        // which cannot happen here since max object 19 < 80).
+        prop_assert_eq!(s.rejections, 0);
+        prop_assert_eq!(s.insertions, s.evictions + cache.len() as u64);
+        // Misses produce insertions under these policies.
+        prop_assert_eq!(s.insertions, s.misses);
+    }
+}

@@ -1,0 +1,140 @@
+//! Minimal flag parser — `--key value` and `--flag` pairs, no external
+//! dependency. Unknown keys are an error so typos fail loudly.
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` options plus positional arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    options: HashMap<String, String>,
+    #[allow(dead_code)] // kept for parser completeness; read via positional()
+    positional: Vec<String>,
+}
+
+impl Args {
+    /// Parse raw arguments. `allowed` lists the recognised `--keys` (without
+    /// dashes); anything else is rejected. A key appearing last wins.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        raw: I,
+        allowed: &[&str],
+    ) -> Result<Self, String> {
+        let mut options = HashMap::new();
+        let mut positional = Vec::new();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                if !allowed.contains(&key) {
+                    return Err(format!(
+                        "unknown option --{key}; expected one of: {}",
+                        allowed
+                            .iter()
+                            .map(|k| format!("--{k}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ));
+                }
+                // Value is the next token unless it is another option or
+                // missing (bare flags get "true").
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().expect("peeked"),
+                    _ => "true".to_string(),
+                };
+                options.insert(key.to_string(), value);
+            } else {
+                positional.push(arg);
+            }
+        }
+        Ok(Self {
+            options,
+            positional,
+        })
+    }
+
+    #[allow(dead_code)] // public surface of the tiny parser; exercised in tests
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got '{v}'")),
+        }
+    }
+
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got '{v}'")),
+        }
+    }
+
+    pub fn has(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str], allowed: &[&str]) -> Result<Args, String> {
+        Args::parse(args.iter().map(|s| s.to_string()), allowed)
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let a = parse(&["--capacity", "0.1", "--seed", "42"], &["capacity", "seed"]).unwrap();
+        assert_eq!(a.get("capacity"), Some("0.1"));
+        assert_eq!(a.get_f64("capacity", 0.0).unwrap(), 0.1);
+        assert_eq!(a.get_u64("seed", 0).unwrap(), 42);
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = parse(&[], &["capacity"]).unwrap();
+        assert_eq!(a.get_f64("capacity", 0.05).unwrap(), 0.05);
+        assert!(!a.has("capacity"));
+    }
+
+    #[test]
+    fn bare_flags_are_true() {
+        let a = parse(&["--quick", "--dot", "out.dot"], &["quick", "dot"]).unwrap();
+        assert_eq!(a.get("quick"), Some("true"));
+        assert!(a.has("quick"));
+        assert_eq!(a.get("dot"), Some("out.dot"));
+    }
+
+    #[test]
+    fn unknown_option_rejected() {
+        let err = parse(&["--bogus", "1"], &["capacity"]).unwrap_err();
+        assert!(err.contains("--bogus"));
+        assert!(err.contains("--capacity"));
+    }
+
+    #[test]
+    fn positional_arguments_collected() {
+        let a = parse(&["compare", "--seed", "1"], &["seed"]).unwrap();
+        assert_eq!(a.positional(), &["compare".to_string()]);
+    }
+
+    #[test]
+    fn bad_number_reported() {
+        let a = parse(&["--capacity", "lots"], &["capacity"]).unwrap();
+        assert!(a.get_f64("capacity", 0.0).is_err());
+    }
+
+    #[test]
+    fn last_value_wins() {
+        let a = parse(&["--seed", "1", "--seed", "2"], &["seed"]).unwrap();
+        assert_eq!(a.get_u64("seed", 0).unwrap(), 2);
+    }
+}

@@ -1,0 +1,291 @@
+//! The CLI subcommands.
+
+use crate::args::Args;
+use cdn_core::{compare_strategies, Scenario, ScenarioConfig, Strategy};
+use cdn_topology::metrics::compute_metrics;
+use cdn_topology::{export, TransitStubConfig, TransitStubTopology};
+use cdn_workload::{
+    analysis::TraceStats, DemandMatrix, LambdaMode, SiteCatalog, TraceSpec, WorkloadConfig,
+};
+
+pub const USAGE: &str = "hybrid-cdn — replication + caching for CDNs (IPDPS 2005 reproduction)
+
+USAGE:
+  hybrid-cdn compare  [--capacity 0.05] [--lambda 0] [--mode uncacheable|expired]
+                      [--scale small|paper] [--seed N]
+  hybrid-cdn plan     [--strategy hybrid] [--capacity 0.05] [--lambda 0]
+                      [--mode uncacheable|expired] [--scale small|paper] [--seed N]
+  hybrid-cdn topology [--scale small|paper] [--seed N] [--dot FILE] [--csv FILE]
+  hybrid-cdn workload [--theta 1.0] [--sites 15] [--objects 200] [--seed N]
+  hybrid-cdn help
+
+STRATEGIES (for --strategy):
+  hybrid | replication | caching | popularity | greedy-local | backtrack
+  | hybrid-che | random:<seed> | adhoc:<cache-fraction>";
+
+fn scenario_config(a: &Args) -> Result<ScenarioConfig, String> {
+    let mode = match a.get("mode").unwrap_or("uncacheable") {
+        "uncacheable" => LambdaMode::Uncacheable,
+        "expired" => LambdaMode::Expired,
+        other => return Err(format!("unknown --mode '{other}'")),
+    };
+    let capacity = a.get_f64("capacity", 0.05)?;
+    if !(0.0..=1.0).contains(&capacity) || capacity == 0.0 {
+        return Err(format!("--capacity must be in (0, 1], got {capacity}"));
+    }
+    let lambda = a.get_f64("lambda", 0.0)?;
+    if !(0.0..=1.0).contains(&lambda) {
+        return Err(format!("--lambda must be in [0, 1], got {lambda}"));
+    }
+    let mut cfg = match a.get("scale").unwrap_or("small") {
+        "paper" => ScenarioConfig::paper(capacity, lambda, mode),
+        "small" => {
+            let mut c = ScenarioConfig::small();
+            // Below 5% of the small corpus no site fits anywhere and every
+            // strategy degenerates to pure caching; clamp, but say so.
+            if capacity < 0.05 {
+                eprintln!(
+                    "note: --capacity {capacity} raised to 0.05 at small scale (sites are ~7% of the corpus each)"
+                );
+            }
+            c.capacity_fraction = capacity.max(0.05);
+            c.lambda = lambda;
+            c.lambda_mode = mode;
+            c
+        }
+        other => return Err(format!("unknown --scale '{other}'")),
+    };
+    if a.has("seed") {
+        cfg.seed = a.get_u64("seed", cfg.seed)?;
+    }
+    Ok(cfg)
+}
+
+fn parse_strategy(spec: &str) -> Result<Strategy, String> {
+    if let Some(frac) = spec.strip_prefix("adhoc:") {
+        let f: f64 = frac
+            .parse()
+            .map_err(|_| format!("bad ad-hoc fraction '{frac}'"))?;
+        if !(0.0..=1.0).contains(&f) {
+            return Err(format!("ad-hoc cache fraction must be in [0, 1], got {f}"));
+        }
+        return Ok(Strategy::AdHoc { cache_fraction: f });
+    }
+    if let Some(seed) = spec.strip_prefix("random:") {
+        let s: u64 = seed.parse().map_err(|_| format!("bad seed '{seed}'"))?;
+        return Ok(Strategy::Random { seed: s });
+    }
+    Ok(match spec {
+        "hybrid" => Strategy::Hybrid,
+        "replication" => Strategy::Replication,
+        "caching" => Strategy::Caching,
+        "popularity" => Strategy::Popularity,
+        "greedy-local" => Strategy::GreedyLocal,
+        "backtrack" => Strategy::Backtrack,
+        "hybrid-che" => Strategy::HybridChe,
+        other => return Err(format!("unknown strategy '{other}'")),
+    })
+}
+
+pub fn compare(a: &Args) -> Result<(), String> {
+    let cfg = scenario_config(a)?;
+    println!(
+        "scenario: {} servers, {} sites, capacity {:.1}%, lambda {:.0}%, seed {}",
+        cfg.hosts.n_servers,
+        cfg.workload.m_sites,
+        cfg.capacity_fraction * 100.0,
+        cfg.lambda * 100.0,
+        cfg.seed
+    );
+    let scenario = Scenario::generate(&cfg);
+    let cmp = compare_strategies(
+        &scenario,
+        &[Strategy::Replication, Strategy::Caching, Strategy::Hybrid],
+    );
+    println!("\n{}", cmp.summary_table());
+    if let Some(gain) = cmp.improvement(Strategy::Hybrid, Strategy::Replication) {
+        println!("hybrid vs replication: {:+.1}%", gain * 100.0);
+    }
+    if let Some(gain) = cmp.improvement(Strategy::Hybrid, Strategy::Caching) {
+        println!("hybrid vs caching:     {:+.1}%", gain * 100.0);
+    }
+    Ok(())
+}
+
+pub fn plan(a: &Args) -> Result<(), String> {
+    let cfg = scenario_config(a)?;
+    let strategy = parse_strategy(a.get("strategy").unwrap_or("hybrid"))?;
+    let scenario = Scenario::generate(&cfg);
+    let plan = scenario.plan(strategy);
+    println!(
+        "strategy {}: {} replicas, predicted {:.3} hops/request",
+        strategy.name(),
+        plan.placement.replica_count(),
+        plan.predicted_mean_hops(&scenario.problem)
+    );
+    println!("\nserver  replicas  cache_MB  sites");
+    for i in 0..scenario.problem.n_servers() {
+        let sites = plan.placement.sites_at(i);
+        let listed = if sites.len() > 12 {
+            format!("{:?} …", &sites[..12])
+        } else {
+            format!("{sites:?}")
+        };
+        println!(
+            "{i:>6} {:>9} {:>9.1}  {listed}",
+            sites.len(),
+            plan.placement.free_bytes(i) as f64 / 1e6,
+        );
+    }
+    Ok(())
+}
+
+pub fn topology(a: &Args) -> Result<(), String> {
+    let topo_cfg = match a.get("scale").unwrap_or("small") {
+        "paper" => TransitStubConfig::paper_default(),
+        "small" => TransitStubConfig::small(),
+        other => return Err(format!("unknown --scale '{other}'")),
+    };
+    let seed = a.get_u64("seed", 1)?;
+    let topo = TransitStubTopology::generate(&topo_cfg, seed);
+    let metrics = compute_metrics(&topo.graph, 4);
+    println!(
+        "transit-stub topology: {} nodes, {} edges, diameter {}, mean path {:.2} hops, \
+         mean degree {:.2}",
+        metrics.n_nodes, metrics.n_edges, metrics.diameter, metrics.mean_path_hops,
+        metrics.mean_degree
+    );
+    if let Some(path) = a.get("dot") {
+        std::fs::write(path, export::transit_stub_to_dot(&topo, "cdn"))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote DOT to {path}");
+    }
+    if let Some(path) = a.get("csv") {
+        std::fs::write(path, export::to_edge_csv(&topo.graph))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote edge CSV to {path}");
+    }
+    Ok(())
+}
+
+pub fn workload(a: &Args) -> Result<(), String> {
+    let mut cfg = WorkloadConfig::small();
+    cfg.theta = a.get_f64("theta", 1.0)?;
+    cfg.m_sites = a.get_u64("sites", 15)? as usize;
+    cfg.objects_per_site = a.get_u64("objects", 200)? as usize;
+    let seed = a.get_u64("seed", 1)?;
+    let catalog = SiteCatalog::generate(&cfg, seed);
+    let demand = DemandMatrix::generate(&catalog, 4, seed ^ 1);
+    let spec = TraceSpec::new(
+        &demand,
+        catalog.object_zipf.clone(),
+        0.0,
+        LambdaMode::Uncacheable,
+        seed ^ 2,
+    );
+    let stats = TraceStats::from_requests(spec.stream_for_server(0));
+    let busiest = *stats
+        .site_counts
+        .iter()
+        .max_by_key(|(_, &c)| c)
+        .map(|(site, _)| site)
+        .expect("non-empty trace");
+    println!(
+        "workload: {} sites x {} objects, theta {:.2}, corpus {:.1} MB",
+        cfg.m_sites,
+        cfg.objects_per_site,
+        cfg.theta,
+        catalog.total_bytes() as f64 / 1e6
+    );
+    println!(
+        "trace (server 0): {} requests, {} distinct objects, entropy {:.2} bits",
+        stats.total,
+        stats.distinct_objects(),
+        stats.entropy_bits()
+    );
+    println!(
+        "top-1% objects carry {:.1}% of requests; top-10% carry {:.1}%",
+        100.0 * stats.concentration(0.01),
+        100.0 * stats.concentration(0.10)
+    );
+    if let Some(est) = stats.zipf_exponent_estimate_for_site(busiest, 30) {
+        println!("estimated site-internal Zipf exponent: {est:.2} (configured {:.2})", cfg.theta);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_parsing_round_trip() {
+        assert_eq!(parse_strategy("hybrid").unwrap(), Strategy::Hybrid);
+        assert_eq!(
+            parse_strategy("adhoc:0.4").unwrap(),
+            Strategy::AdHoc {
+                cache_fraction: 0.4
+            }
+        );
+        assert_eq!(
+            parse_strategy("random:9").unwrap(),
+            Strategy::Random { seed: 9 }
+        );
+        assert!(parse_strategy("bogus").is_err());
+        assert!(parse_strategy("adhoc:x").is_err());
+    }
+
+    #[test]
+    fn scenario_config_defaults_and_overrides() {
+        let a = Args::parse(
+            ["--capacity", "0.2", "--lambda", "0.1", "--mode", "expired", "--seed", "5"]
+                .iter()
+                .map(|s| s.to_string()),
+            &["capacity", "lambda", "mode", "scale", "seed"],
+        )
+        .unwrap();
+        let cfg = scenario_config(&a).unwrap();
+        assert!((cfg.capacity_fraction - 0.2).abs() < 1e-12);
+        assert!((cfg.lambda - 0.1).abs() < 1e-12);
+        assert_eq!(cfg.lambda_mode, LambdaMode::Expired);
+        assert_eq!(cfg.seed, 5);
+    }
+
+    #[test]
+    fn out_of_range_numbers_rejected_cleanly() {
+        let a = Args::parse(
+            ["--capacity", "2.0"].iter().map(|s| s.to_string()),
+            &["capacity"],
+        )
+        .unwrap();
+        assert!(scenario_config(&a).unwrap_err().contains("--capacity"));
+        let a = Args::parse(
+            ["--lambda", "-0.2"].iter().map(|s| s.to_string()),
+            &["lambda"],
+        )
+        .unwrap();
+        assert!(scenario_config(&a).unwrap_err().contains("--lambda"));
+        assert!(parse_strategy("adhoc:1.5").unwrap_err().contains("fraction"));
+    }
+
+    #[test]
+    fn bad_mode_rejected() {
+        let a = Args::parse(
+            ["--mode", "sideways"].iter().map(|s| s.to_string()),
+            &["mode"],
+        )
+        .unwrap();
+        assert!(scenario_config(&a).is_err());
+    }
+
+    #[test]
+    fn paper_scale_selected() {
+        let a = Args::parse(
+            ["--scale", "paper"].iter().map(|s| s.to_string()),
+            &["scale"],
+        )
+        .unwrap();
+        let cfg = scenario_config(&a).unwrap();
+        assert_eq!(cfg.hosts.n_servers, 50);
+    }
+}

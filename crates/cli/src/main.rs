@@ -1,0 +1,58 @@
+//! `hybrid-cdn` — command-line front end for the reproduction.
+//!
+//! ```text
+//! hybrid-cdn compare  [--capacity 0.05] [--lambda 0] [--mode uncacheable|expired]
+//!                     [--scale small|paper] [--seed N]
+//! hybrid-cdn plan     [--strategy hybrid|replication|caching|adhoc:<frac>|...]
+//!                     [--capacity ...] [--scale ...] [--seed N]
+//! hybrid-cdn topology [--scale small|paper] [--seed N] [--dot FILE] [--csv FILE]
+//! hybrid-cdn workload [--theta 1.0] [--sites N] [--objects L] [--seed N]
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        eprintln!("{}", commands::USAGE);
+        std::process::exit(2);
+    }
+    let command = raw.remove(0);
+    let result = match command.as_str() {
+        "compare" => Args::parse(raw, &["capacity", "lambda", "mode", "scale", "seed"])
+            .and_then(|a| commands::compare(&a)),
+        "plan" => Args::parse(
+            raw,
+            &["strategy", "capacity", "lambda", "mode", "scale", "seed"],
+        )
+        .and_then(|a| commands::plan(&a)),
+        "topology" => Args::parse(raw, &["scale", "seed", "dot", "csv"])
+            .and_then(|a| commands::topology(&a)),
+        "workload" => Args::parse(raw, &["theta", "sites", "objects", "seed"])
+            .and_then(|a| commands::workload(&a)),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", commands::USAGE)),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The binary's logic lives in `args` and `commands`, both tested there;
+    // this smoke test just keeps `main`'s dispatch table in sync with USAGE.
+    #[test]
+    fn usage_mentions_every_command() {
+        for cmd in ["compare", "plan", "topology", "workload"] {
+            assert!(crate::commands::USAGE.contains(cmd), "{cmd} missing from USAGE");
+        }
+    }
+}

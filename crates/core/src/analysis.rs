@@ -1,0 +1,106 @@
+//! Side-by-side strategy comparison and result formatting.
+
+use crate::scenario::Scenario;
+use crate::strategy::{PlanResult, Strategy};
+use cdn_sim::SimReport;
+
+/// One strategy's planned and simulated outcome.
+pub struct ComparisonRow {
+    pub strategy: Strategy,
+    pub plan: PlanResult,
+    pub report: SimReport,
+}
+
+impl ComparisonRow {
+    /// Predicted mean hops per request (planner's view).
+    pub fn predicted_hops(&self, scenario: &Scenario) -> f64 {
+        self.plan.predicted_mean_hops(&scenario.problem)
+    }
+}
+
+/// The full comparison for one scenario.
+pub struct StrategyComparison {
+    pub rows: Vec<ComparisonRow>,
+}
+
+impl StrategyComparison {
+    /// Find a strategy's row.
+    pub fn row(&self, strategy: Strategy) -> Option<&ComparisonRow> {
+        self.rows.iter().find(|r| r.strategy == strategy)
+    }
+
+    /// Mean-latency improvement of `a` over `b` as a fraction
+    /// (0.4 = "a is 40% faster than b").
+    pub fn improvement(&self, a: Strategy, b: Strategy) -> Option<f64> {
+        let la = self.row(a)?.report.mean_latency_ms;
+        let lb = self.row(b)?.report.mean_latency_ms;
+        if lb == 0.0 {
+            return None;
+        }
+        Some((lb - la) / lb)
+    }
+
+    /// Render a compact summary table.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::from(
+            "strategy            mean_ms   p95_ms  local%   cache-hit%  replicas\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<18} {:>8.2} {:>8.1} {:>7.1} {:>11.1} {:>9}\n",
+                r.strategy.name(),
+                r.report.mean_latency_ms,
+                r.report.histogram.percentile(0.95),
+                100.0 * r.report.local_ratio(),
+                100.0 * r.report.cache_hit_ratio(),
+                r.plan.placement.replica_count(),
+            ));
+        }
+        out
+    }
+}
+
+/// Plan and simulate each strategy against `scenario`.
+pub fn compare_strategies(scenario: &Scenario, strategies: &[Strategy]) -> StrategyComparison {
+    let rows = strategies
+        .iter()
+        .map(|&s| {
+            let plan = scenario.plan(s);
+            let report = scenario.simulate(&plan);
+            ComparisonRow {
+                strategy: s,
+                plan,
+                report,
+            }
+        })
+        .collect();
+    StrategyComparison { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+
+    #[test]
+    fn comparison_covers_requested_strategies() {
+        let scenario = Scenario::generate(&ScenarioConfig::small());
+        let cmp = compare_strategies(&scenario, &[Strategy::Caching, Strategy::Hybrid]);
+        assert_eq!(cmp.rows.len(), 2);
+        assert!(cmp.row(Strategy::Hybrid).is_some());
+        assert!(cmp.row(Strategy::Replication).is_none());
+        let table = cmp.summary_table();
+        assert!(table.contains("hybrid"));
+        assert!(table.contains("caching"));
+    }
+
+    #[test]
+    fn improvement_is_antisymmetric_in_sign() {
+        let scenario = Scenario::generate(&ScenarioConfig::small());
+        let cmp = compare_strategies(&scenario, &[Strategy::Caching, Strategy::Hybrid]);
+        let ab = cmp.improvement(Strategy::Hybrid, Strategy::Caching).unwrap();
+        let ba = cmp.improvement(Strategy::Caching, Strategy::Hybrid).unwrap();
+        assert!(ab * ba <= 0.0 || (ab == 0.0 && ba == 0.0));
+        assert!(cmp.improvement(Strategy::Replication, Strategy::Hybrid).is_none());
+    }
+}

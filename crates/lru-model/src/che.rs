@@ -1,0 +1,194 @@
+//! Che's approximation — an independent LRU hit-ratio oracle.
+//!
+//! Che, Tung & Wang (2002) approximate LRU by a *characteristic time* `t_C`:
+//! an object with request rate `λ_k` is resident with probability
+//! `1 − e^{−λ_k t_C}`, where `t_C` solves `Σ_k (1 − e^{−λ_k t_C}) = B`.
+//! It post-dates the same era as the paper and is the standard tool today,
+//! so we ship it as the alternative predictor for the model ablation
+//! (`ablation_model` in `cdn-bench`).
+
+use cdn_workload::ZipfLike;
+
+/// Che's approximation over a population of sites sharing one internal
+/// Zipf(θ, L) law — mirroring [`crate::LruModel`]'s interface.
+#[derive(Debug, Clone)]
+pub struct CheModel {
+    zipf: ZipfLike,
+}
+
+impl CheModel {
+    pub fn new(l: usize, theta: f64) -> Self {
+        Self {
+            zipf: ZipfLike::new(l, theta),
+        }
+    }
+
+    pub fn from_zipf(zipf: ZipfLike) -> Self {
+        Self { zipf }
+    }
+
+    /// Expected number of resident objects at characteristic time `t`,
+    /// for the given site popularities (per-request probabilities).
+    fn expected_residents(&self, site_pops: &[f64], t: f64) -> f64 {
+        let mut sum = 0.0;
+        for &p in site_pops {
+            if p <= 0.0 {
+                continue;
+            }
+            for &pmf in self.zipf.pmf_slice() {
+                sum += 1.0 - (-p * pmf * t).exp();
+            }
+        }
+        sum
+    }
+
+    /// Solve for the characteristic time of a buffer of `b` objects by
+    /// bisection on the monotone residency count. Returns 0 for `b == 0`
+    /// and `f64::INFINITY` when the buffer holds the entire population.
+    pub fn characteristic_time(&self, site_pops: &[f64], b: usize) -> f64 {
+        if b == 0 {
+            return 0.0;
+        }
+        let total_objects = site_pops.iter().filter(|&&p| p > 0.0).count() * self.zipf.n();
+        if b >= total_objects {
+            return f64::INFINITY;
+        }
+        // Bracket: residents(t) is increasing in t.
+        let mut lo = 0.0f64;
+        let mut hi = 1.0f64;
+        while self.expected_residents(site_pops, hi) < b as f64 {
+            hi *= 2.0;
+            if hi > 1e18 {
+                return f64::INFINITY;
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.expected_residents(site_pops, mid) < b as f64 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if (hi - lo) / hi.max(1.0) < 1e-12 {
+                break;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Hit ratio of a site with popularity `p_site` given characteristic
+    /// time `t_c`: `Σ_k pmf(k)·(1 − e^{−p·pmf(k)·t_C})`.
+    pub fn site_hit_ratio(&self, p_site: f64, t_c: f64) -> f64 {
+        if p_site <= 0.0 || t_c <= 0.0 {
+            return 0.0;
+        }
+        if t_c.is_infinite() {
+            return 1.0;
+        }
+        let mut h = 0.0;
+        for &pmf in self.zipf.pmf_slice() {
+            h += pmf * (1.0 - (-p_site * pmf * t_c).exp());
+        }
+        h.min(1.0)
+    }
+
+    /// Aggregate hit ratio over all sites: `Σ_j p_j · h_j`.
+    pub fn aggregate_hit_ratio(&self, site_pops: &[f64], b: usize) -> f64 {
+        let t_c = self.characteristic_time(site_pops, b);
+        site_pops
+            .iter()
+            .map(|&p| p * self.site_hit_ratio(p, t_c))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CheModel {
+        CheModel::new(100, 1.0)
+    }
+
+    #[test]
+    fn zero_buffer_zero_time() {
+        let m = model();
+        assert_eq!(m.characteristic_time(&[0.5, 0.5], 0), 0.0);
+        assert_eq!(m.site_hit_ratio(0.5, 0.0), 0.0);
+    }
+
+    #[test]
+    fn full_buffer_hits_everything() {
+        let m = model();
+        let t = m.characteristic_time(&[1.0], 100);
+        assert!(t.is_infinite());
+        assert_eq!(m.site_hit_ratio(1.0, t), 1.0);
+    }
+
+    #[test]
+    fn characteristic_time_solves_constraint() {
+        let m = model();
+        let pops = [0.6, 0.4];
+        let b = 50;
+        let t = m.characteristic_time(&pops, b);
+        let residents = m.expected_residents(&pops, t);
+        assert!(
+            (residents - b as f64).abs() < 1e-6,
+            "residents {residents} vs B {b}"
+        );
+    }
+
+    #[test]
+    fn characteristic_time_monotone_in_buffer() {
+        let m = model();
+        let pops = [0.5, 0.3, 0.2];
+        let mut prev = 0.0;
+        for b in [10, 50, 100, 200] {
+            let t = m.characteristic_time(&pops, b);
+            assert!(t > prev, "b={b}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn hit_ratio_monotone_in_popularity_and_time() {
+        let m = model();
+        assert!(m.site_hit_ratio(0.2, 100.0) > m.site_hit_ratio(0.1, 100.0));
+        assert!(m.site_hit_ratio(0.1, 200.0) > m.site_hit_ratio(0.1, 100.0));
+    }
+
+    #[test]
+    fn aggregate_hit_ratio_in_unit_interval_and_monotone() {
+        let m = model();
+        let pops = [0.25; 4];
+        let mut prev = 0.0;
+        for b in [0usize, 20, 80, 200, 400] {
+            let h = m.aggregate_hit_ratio(&pops, b);
+            assert!((0.0..=1.0).contains(&h));
+            assert!(h >= prev - 1e-12, "b={b}");
+            prev = h;
+        }
+        assert!((m.aggregate_hit_ratio(&pops, 400) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn che_and_paper_model_roughly_agree() {
+        // Both approximate the same quantity; they should land within a few
+        // points of each other in the regime the paper operates in.
+        let che = CheModel::new(500, 1.0);
+        let paper = crate::LruModel::new(500, 1.0);
+        let pops = [0.1f64; 10];
+        let b = 800;
+        let t_c = che.characteristic_time(&pops, b);
+        let p_b = paper.top_b_mass(&pops, b);
+        let k = paper.eviction_horizon(b, p_b);
+        for &p in &pops[..1] {
+            let h_che = che.site_hit_ratio(p, t_c);
+            let h_paper = paper.site_hit_ratio(p, k);
+            assert!(
+                (h_che - h_paper).abs() < 0.1,
+                "che {h_che} vs paper {h_paper}"
+            );
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Transient (warm-up) analysis of the LRU cache.
+//!
+//! The paper measures only steady state, noting that it "allowed an
+//! appropriate warm-up period" in simulation without quantifying it. This
+//! module fills that gap analytically: starting from a cold cache, after
+//! `T` requests an object with per-request probability `p_k` has been seen
+//! with probability `1 − (1 − p_k)^T`, so the expected occupancy is
+//! `N(T) = Σ_k (1 − (1 − p_k)^T)` (nothing is evicted until the buffer
+//! fills). The *fill time* is the `T` at which `N(T) = B` — a principled
+//! way to size simulation warm-ups, used by our harness tests.
+
+use cdn_workload::ZipfLike;
+
+/// Expected number of distinct objects referenced in `t` requests, for
+/// sites with popularities `site_pops` sharing the object law `zipf`.
+pub fn expected_distinct(site_pops: &[f64], zipf: &ZipfLike, t: f64) -> f64 {
+    if t <= 0.0 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for &p in site_pops {
+        if p <= 0.0 {
+            continue;
+        }
+        for &pmf in zipf.pmf_slice() {
+            let q = (p * pmf).clamp(0.0, 1.0);
+            // 1 − (1−q)^t via ln for numerical stability at tiny q.
+            sum += 1.0 - ((1.0 - q).ln() * t).exp();
+        }
+    }
+    sum
+}
+
+/// Requests needed for a cold LRU of `b` object slots to fill, i.e. the
+/// smallest `T` with `expected_distinct(T) >= b`. Returns `f64::INFINITY`
+/// when the population has fewer than `b` objects (the buffer never fills).
+pub fn fill_time(site_pops: &[f64], zipf: &ZipfLike, b: usize) -> f64 {
+    if b == 0 {
+        return 0.0;
+    }
+    let total_objects = site_pops.iter().filter(|&&p| p > 0.0).count() * zipf.n();
+    if b > total_objects {
+        return f64::INFINITY;
+    }
+    let target = b as f64;
+    let mut lo = 0.0f64;
+    let mut hi = b as f64; // need at least b requests to see b objects
+    while expected_distinct(site_pops, zipf, hi) < target {
+        hi *= 2.0;
+        if hi > 1e18 {
+            return f64::INFINITY;
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if expected_distinct(site_pops, zipf, mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if (hi - lo) / hi.max(1.0) < 1e-9 {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// A warm-up length recommendation: `multiplier` fill times (2–3 is a
+/// sensible default; the hit ratio is within noise of steady state well
+/// before that for Zipf-like traffic).
+pub fn recommended_warmup(site_pops: &[f64], zipf: &ZipfLike, b: usize, multiplier: f64) -> u64 {
+    let t = fill_time(site_pops, zipf, b);
+    if t.is_infinite() {
+        // Buffer exceeds the population: warm up by one full population pass
+        // scaled by the multiplier instead.
+        return ((zipf.n() * site_pops.len()) as f64 * multiplier) as u64;
+    }
+    (t * multiplier).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validation::monte_carlo_hit_ratio;
+
+    fn zipf() -> ZipfLike {
+        ZipfLike::new(200, 1.0)
+    }
+
+    #[test]
+    fn expected_distinct_boundaries() {
+        let z = zipf();
+        assert_eq!(expected_distinct(&[1.0], &z, 0.0), 0.0);
+        // One request references exactly one object.
+        assert!((expected_distinct(&[1.0], &z, 1.0) - 1.0).abs() < 1e-9);
+        // Infinite horizon approaches the population size.
+        let big = expected_distinct(&[1.0], &z, 1e12);
+        assert!((big - 200.0).abs() < 1.0, "big {big}");
+    }
+
+    #[test]
+    fn expected_distinct_monotone_and_concave() {
+        let z = zipf();
+        let pops = [0.6, 0.4];
+        let mut prev = 0.0;
+        let mut prev_gain = f64::INFINITY;
+        // Equal 25-request steps: gains must shrink (diminishing novelty).
+        for step in 1..=8 {
+            let t = 25.0 * step as f64;
+            let d = expected_distinct(&pops, &z, t);
+            assert!(d > prev);
+            let gain = d - prev;
+            assert!(gain <= prev_gain + 1e-9, "not concave at t={t}");
+            prev = d;
+            prev_gain = gain;
+        }
+    }
+
+    #[test]
+    fn fill_time_solves_the_target() {
+        let z = zipf();
+        let pops = [1.0];
+        let b = 80;
+        let t = fill_time(&pops, &z, b);
+        assert!(t.is_finite());
+        let reached = expected_distinct(&pops, &z, t);
+        assert!((reached - b as f64).abs() < 1e-3, "reached {reached}");
+    }
+
+    #[test]
+    fn fill_time_monotone_in_buffer() {
+        let z = zipf();
+        let pops = [0.5, 0.5];
+        let mut prev = 0.0;
+        for b in [10, 40, 100, 300] {
+            let t = fill_time(&pops, &z, b);
+            assert!(t > prev, "b={b}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn oversized_buffer_never_fills() {
+        let z = zipf();
+        assert!(fill_time(&[1.0], &z, 201).is_infinite());
+        assert_eq!(fill_time(&[1.0], &z, 0), 0.0);
+    }
+
+    #[test]
+    fn recommended_warmup_reaches_near_steady_state() {
+        // A Monte-Carlo run measured after the recommended warm-up should be
+        // close to one measured after a much longer warm-up.
+        let z = zipf();
+        let pops = [1.0];
+        let b = 50;
+        let warmup = recommended_warmup(&pops, &z, b, 3.0);
+        let total = warmup + 200_000;
+        let after_recommended =
+            monte_carlo_hit_ratio(&pops, &z, b, total, warmup, 5).aggregate;
+        let after_long =
+            monte_carlo_hit_ratio(&pops, &z, b, 600_000, 400_000, 5).aggregate;
+        assert!(
+            (after_recommended - after_long).abs() < 0.02,
+            "recommended {after_recommended} vs long {after_long}"
+        );
+    }
+
+    #[test]
+    fn recommended_warmup_handles_oversized_buffer() {
+        let z = zipf();
+        let w = recommended_warmup(&[1.0], &z, 10_000, 2.0);
+        assert_eq!(w, 400); // 200 objects × 1 site × 2.0
+    }
+}

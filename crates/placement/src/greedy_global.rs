@@ -1,0 +1,213 @@
+//! The stand-alone greedy-global replica placement heuristic
+//! (Kangasharju/Roberts/Ross; Qiu/Padmanabhan/Voelker) — the paper's pure
+//! replication baseline and the skeleton of its hybrid algorithm.
+//!
+//! Each iteration scores every feasible (server, site) pair by the global
+//! cost reduction its replica would produce and materialises the best one;
+//! it stops when no pair has positive benefit or nothing fits anywhere.
+
+use crate::problem::PlacementProblem;
+use crate::solution::Placement;
+use rayon::prelude::*;
+
+/// Result of the stand-alone greedy: the placement and the trace of
+/// per-iteration benefits (useful for tests and diagnostics).
+#[derive(Debug, Clone)]
+pub struct GreedyOutcome {
+    pub placement: Placement,
+    /// Benefit (cost reduction) of each accepted replica, in order.
+    pub benefits: Vec<f64>,
+}
+
+/// Benefit of creating replica `(i, j)`: every server `k` whose current
+/// nearest copy of `j` is farther than `i` reroutes, saving
+/// `r_j^(k) · (C(k, SN) − C(k, i))`; server `i` itself saves its whole
+/// remote cost.
+fn benefit(problem: &PlacementProblem, placement: &Placement, i: usize, j: usize) -> f64 {
+    // A replica of a mutable site costs its update propagation.
+    let mut b = -problem.replica_update_cost(i, j);
+    for k in 0..problem.n_servers() {
+        if placement.is_replicated(k, j) {
+            continue;
+        }
+        let cur = placement.nearest_dist(problem, k, j) as f64;
+        let via_i = problem.dist_servers(k, i) as f64;
+        if via_i < cur {
+            b += problem.requests(k, j) as f64 * (cur - via_i);
+        }
+    }
+    b
+}
+
+/// Run greedy-global to fixpoint. Deterministic: ties are broken toward the
+/// smallest `(server, site)` pair.
+///
+/// ```
+/// use cdn_placement::{greedy_global, PlacementProblem};
+/// // 2 servers 1 hop apart, 1 site with a distant primary (5 hops).
+/// let problem = PlacementProblem::new(
+///     2, 1,
+///     vec![0, 1, 1, 0], vec![5, 5],
+///     vec![100], vec![100, 0],
+///     vec![10, 10], vec![0.0],
+///     10.0, 10, 1.0,
+/// );
+/// let outcome = greedy_global(&problem);
+/// // The only feasible replica (server 0) serves both servers.
+/// assert!(outcome.placement.is_replicated(0, 0));
+/// ```
+pub fn greedy_global(problem: &PlacementProblem) -> GreedyOutcome {
+    let n = problem.n_servers();
+    let m = problem.m_sites();
+    let mut placement = Placement::primaries_only(problem);
+    let mut benefits = Vec::new();
+
+    loop {
+        // Score all feasible candidates in parallel; reduce to the best,
+        // breaking benefit ties toward the smallest flat index so the
+        // result does not depend on rayon's split points.
+        let best = (0..n * m)
+            .into_par_iter()
+            .filter_map(|flat| {
+                let (i, j) = (flat / m, flat % m);
+                if !placement.fits(problem, i, j) {
+                    return None;
+                }
+                let b = benefit(problem, &placement, i, j);
+                (b > 0.0).then_some((b, flat))
+            })
+            .reduce_with(|a, b| {
+                if (b.0, std::cmp::Reverse(b.1)) > (a.0, std::cmp::Reverse(a.1)) {
+                    b
+                } else {
+                    a
+                }
+            });
+
+        match best {
+            Some((b, flat)) => {
+                placement.add_replica(problem, flat / m, flat % m);
+                benefits.push(b);
+            }
+            None => break,
+        }
+    }
+
+    GreedyOutcome {
+        placement,
+        benefits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cost::replication_only_cost;
+    use crate::problem::testkit::*;
+    use super::*;
+
+    #[test]
+    fn benefits_are_positive_and_cost_drops_accordingly() {
+        let p = line_problem(4, 3, 1000, 2000, uniform_demand(4, 3, 10));
+        let before = replication_only_cost(&p, &Placement::primaries_only(&p));
+        let out = greedy_global(&p);
+        let after = replication_only_cost(&p, &out.placement);
+        assert!(out.benefits.iter().all(|&b| b > 0.0));
+        let claimed: f64 = out.benefits.iter().sum();
+        assert!(
+            (before - after - claimed).abs() < 1e-6,
+            "benefit accounting: before {before}, after {after}, claimed {claimed}"
+        );
+        out.placement.validate(&p);
+    }
+
+    #[test]
+    fn fills_capacity_when_everything_helps() {
+        // Uniform demand, distant primaries: replicas always help until
+        // space runs out. Capacity of 2 sites per server.
+        let p = line_problem(3, 4, 1000, 2000, uniform_demand(3, 4, 10));
+        let out = greedy_global(&p);
+        for i in 0..3 {
+            assert_eq!(out.placement.sites_at(i).len(), 2, "server {i} not full");
+        }
+    }
+
+    #[test]
+    fn zero_demand_site_never_replicated() {
+        let mut demand = uniform_demand(3, 3, 10);
+        for i in 0..3 {
+            demand[i * 3 + 1] = 0; // site 1 unwanted
+        }
+        let p = line_problem(3, 3, 1000, 1000, demand);
+        let out = greedy_global(&p);
+        assert!(out.placement.replicators_of(1).is_empty());
+    }
+
+    #[test]
+    fn first_replica_is_globally_best() {
+        // Server demand for site 0 dwarfs everything; the middle server
+        // serves the whole line best.
+        let mut demand = uniform_demand(3, 2, 1);
+        demand[2] = 100; // (server 1, site 0)
+        demand[4] = 100; // (server 2, site 0)
+        demand[0] = 100; // (server 0, site 0)
+        let p = line_problem(3, 2, 1000, 1000, demand);
+        let out = greedy_global(&p);
+        // First pick must be site 0 (only one site fits per server).
+        assert!(!out.placement.replicators_of(0).is_empty());
+        let first_benefit = out.benefits[0];
+        // Site 0 at server 0: saves 100·(10) + 100·(11−1) + 100·(12−2) = 3000.
+        assert!(first_benefit >= 3000.0);
+    }
+
+    #[test]
+    fn respects_capacity_strictly() {
+        let p = line_problem(2, 3, 1500, 1600, uniform_demand(2, 3, 5));
+        let out = greedy_global(&p);
+        for i in 0..2 {
+            assert!(out.placement.sites_at(i).len() <= 1);
+        }
+        out.placement.validate(&p);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = line_problem(4, 5, 700, 2100, uniform_demand(4, 5, 3));
+        let a = greedy_global(&p);
+        let b = greedy_global(&p);
+        for i in 0..4 {
+            assert_eq!(a.placement.sites_at(i), b.placement.sites_at(i));
+        }
+        assert_eq!(a.benefits, b.benefits);
+    }
+
+    #[test]
+    fn update_rates_discourage_replication() {
+        let p = line_problem(3, 3, 1000, 3000, uniform_demand(3, 3, 10));
+        let baseline = greedy_global(&p).placement.replica_count();
+        let mut hot = p.clone();
+        // Updates so frequent that no replica can pay for itself:
+        // max read saving per replica < u_j * C(SP, i).
+        hot.set_update_rates(vec![1_000_000; 3]);
+        let out = greedy_global(&hot);
+        assert_eq!(out.placement.replica_count(), 0);
+        assert!(baseline > 0);
+    }
+
+    #[test]
+    fn mild_update_rates_thin_out_replicas() {
+        let p = line_problem(4, 6, 1000, 4000, uniform_demand(4, 6, 10));
+        let baseline = greedy_global(&p).placement.replica_count();
+        let mut mild = p.clone();
+        mild.set_update_rates(vec![15; 6]);
+        let thinned = greedy_global(&mild).placement.replica_count();
+        assert!(thinned <= baseline);
+    }
+
+    #[test]
+    fn too_small_capacity_places_nothing() {
+        let p = line_problem(2, 2, 1000, 500, uniform_demand(2, 2, 10));
+        let out = greedy_global(&p);
+        assert_eq!(out.placement.replica_count(), 0);
+        assert!(out.benefits.is_empty());
+    }
+}

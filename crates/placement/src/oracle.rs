@@ -1,0 +1,181 @@
+//! Hit-ratio oracles the hybrid planner consults.
+//!
+//! The planner only ever asks one question: *if server `i`'s cache holds
+//! `b` objects, what hit ratio does a site with popularity `p` achieve
+//! there?* [`PaperOracle`] answers with the paper's analytical model
+//! (Equations 1–2, memoised per the paper's pre-computation scheme);
+//! [`CheOracle`] answers with Che's approximation, for the model ablation.
+
+use cdn_lru_model::{CheModel, HitRatioTable, LruModel};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// A predictor of per-site LRU hit ratios.
+pub trait HitRatioOracle: Sync + Send {
+    /// Hit ratio of a site with popularity `p` (relative to all requests of
+    /// server `server`) when that server's cache holds `b` objects.
+    fn site_hit_ratio(&self, server: usize, p: f64, b: usize) -> f64;
+}
+
+/// The paper's model. Per the paper's implementation notes:
+///
+/// * `p_B` — the cumulative popularity of the top-B objects — is computed
+///   **once per server at initialisation** and treated as constant while
+///   replicas are created ("calculating K during each iteration produced
+///   the same result", §4);
+/// * `h(p, K)` is memoised on the quantised grid of [`HitRatioTable`];
+/// * `K(B, p_B)` uses the closed-form horizon for large buffers.
+#[derive(Debug)]
+pub struct PaperOracle {
+    table: HitRatioTable,
+    /// Fixed-at-init p_B per server.
+    p_b: Vec<f64>,
+}
+
+impl PaperOracle {
+    /// Build from the shared object law and, per server, the site
+    /// popularities and the *initial* buffer size (full capacity devoted to
+    /// caching — the hybrid algorithm's starting state).
+    pub fn new(model: LruModel, per_server_pops: &[Vec<f64>], initial_buffers: &[usize]) -> Self {
+        assert_eq!(per_server_pops.len(), initial_buffers.len());
+        let p_b = per_server_pops
+            .iter()
+            .zip(initial_buffers)
+            .map(|(pops, &b)| model.top_b_mass(pops, b))
+            .collect();
+        Self {
+            table: HitRatioTable::planner_default(model),
+            p_b,
+        }
+    }
+
+    /// The fixed `p_B` of a server.
+    pub fn p_b(&self, server: usize) -> f64 {
+        self.p_b[server]
+    }
+
+    /// The underlying memo table (for instrumentation).
+    pub fn table(&self) -> &HitRatioTable {
+        &self.table
+    }
+}
+
+impl HitRatioOracle for PaperOracle {
+    fn site_hit_ratio(&self, server: usize, p: f64, b: usize) -> f64 {
+        if b == 0 || p <= 0.0 {
+            return 0.0;
+        }
+        let k = self
+            .table
+            .model()
+            .eviction_horizon_approx(b, self.p_b[server]);
+        self.table.site_hit_ratio(p, k)
+    }
+}
+
+/// Che's approximation, memoising the characteristic time per
+/// `(server, buffer)` pair. Solving for `t_C` costs O(M·L) per distinct
+/// buffer size, so this oracle is intended for small instances (the
+/// ablation) rather than paper-scale planning.
+pub struct CheOracle {
+    model: CheModel,
+    per_server_pops: Vec<Vec<f64>>,
+    /// (server, b) → t_C.
+    memo: Mutex<HashMap<(usize, usize), f64>>,
+}
+
+impl CheOracle {
+    pub fn new(model: CheModel, per_server_pops: Vec<Vec<f64>>) -> Self {
+        Self {
+            model,
+            per_server_pops,
+            memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn characteristic_time(&self, server: usize, b: usize) -> f64 {
+        if let Some(&t) = self.memo.lock().get(&(server, b)) {
+            return t;
+        }
+        let t = self
+            .model
+            .characteristic_time(&self.per_server_pops[server], b);
+        self.memo.lock().insert((server, b), t);
+        t
+    }
+}
+
+impl HitRatioOracle for CheOracle {
+    fn site_hit_ratio(&self, server: usize, p: f64, b: usize) -> f64 {
+        if b == 0 || p <= 0.0 {
+            return 0.0;
+        }
+        let t = self.characteristic_time(server, b);
+        self.model.site_hit_ratio(p, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pops() -> Vec<Vec<f64>> {
+        vec![vec![0.5, 0.3, 0.2], vec![0.1, 0.1, 0.8]]
+    }
+
+    fn paper_oracle() -> PaperOracle {
+        PaperOracle::new(LruModel::new(100, 1.0), &pops(), &[150, 80])
+    }
+
+    #[test]
+    fn paper_oracle_zero_buffer_zero_hits() {
+        let o = paper_oracle();
+        assert_eq!(o.site_hit_ratio(0, 0.5, 0), 0.0);
+        assert_eq!(o.site_hit_ratio(0, 0.0, 100), 0.0);
+    }
+
+    #[test]
+    fn paper_oracle_monotone_in_buffer_and_popularity() {
+        let o = paper_oracle();
+        let small = o.site_hit_ratio(0, 0.3, 30);
+        let large = o.site_hit_ratio(0, 0.3, 250);
+        assert!(large > small, "large {large} <= small {small}");
+        assert!(o.site_hit_ratio(0, 0.5, 100) > o.site_hit_ratio(0, 0.05, 100));
+    }
+
+    #[test]
+    fn paper_oracle_p_b_reflects_initial_buffer() {
+        let o = paper_oracle();
+        // Server 0's initial buffer (150) covers half the 300 objects —
+        // p_B must be well above one half given Zipf skew.
+        assert!(o.p_b(0) > 0.5);
+        assert!(o.p_b(0) <= 1.0);
+        // Smaller buffer at server 1 → smaller p_B than a full-coverage one.
+        assert!(o.p_b(1) < 1.0);
+    }
+
+    #[test]
+    fn che_oracle_memoises() {
+        let o = CheOracle::new(CheModel::new(100, 1.0), pops());
+        let a = o.site_hit_ratio(1, 0.8, 60);
+        let b = o.site_hit_ratio(1, 0.8, 60);
+        assert_eq!(a, b);
+        assert_eq!(o.memo.lock().len(), 1);
+        let _ = o.site_hit_ratio(1, 0.8, 61);
+        assert_eq!(o.memo.lock().len(), 2);
+    }
+
+    #[test]
+    fn oracles_roughly_agree() {
+        let paper = paper_oracle();
+        let che = CheOracle::new(CheModel::new(100, 1.0), pops());
+        for &(s, p, b) in &[(0usize, 0.3f64, 100usize), (1, 0.8, 60), (0, 0.2, 200)] {
+            let hp = paper.site_hit_ratio(s, p, b);
+            let hc = che.site_hit_ratio(s, p, b);
+            assert!(
+                (hp - hc).abs() < 0.12,
+                "server {s} p {p} b {b}: paper {hp} vs che {hc}"
+            );
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! The immutable placement-problem instance.
+
+use crate::Hops;
+
+/// Everything the algorithms need, flattened into dense matrices:
+/// server-to-server and server-to-primary distances, site sizes, server
+/// capacities, the demand matrix, and the caching parameters of the hybrid
+/// objective (per-site λ, mean request size, objects per site, Zipf θ).
+#[derive(Debug, Clone)]
+pub struct PlacementProblem {
+    n_servers: usize,
+    m_sites: usize,
+    /// `dist_ss[i * n + k]`: hops between servers i and k.
+    dist_ss: Vec<Hops>,
+    /// `dist_sp[i * m + j]`: hops from server i to the primary of site j.
+    dist_sp: Vec<Hops>,
+    /// `o_j`: bytes to store a replica of site j.
+    pub site_bytes: Vec<u64>,
+    /// `s_i`: storage capacity of server i in bytes.
+    pub capacities: Vec<u64>,
+    /// `r[i * m + j]`: requests from server i's clients for site j.
+    demand: Vec<u64>,
+    /// Per-server total demand (cached).
+    server_totals: Vec<u64>,
+    /// λ_j: fraction of site j's requests that are uncacheable/expired.
+    pub lambda: Vec<f64>,
+    /// `u_j`: updates to site j over the measurement period. Every update
+    /// must be pushed from the primary to each replica, so replicas of
+    /// frequently updated sites carry a consistency cost — the read+update
+    /// FAP extension (Loukopoulos & Ahmad; Wolfson et al.). Zero by
+    /// default, which recovers the paper's read-only objective.
+    pub update_rates: Vec<u64>,
+    /// Mean request size ō in bytes (buffer size B = cache bytes / ō).
+    pub mean_request_bytes: f64,
+    /// Objects per site (L) and Zipf exponent (θ) of the shared
+    /// object-popularity law — inputs to the hit-ratio oracles.
+    pub objects_per_site: usize,
+    pub theta: f64,
+}
+
+impl PlacementProblem {
+    /// Assemble an instance, validating shapes.
+    ///
+    /// # Panics
+    /// Panics on any dimension mismatch, non-positive mean request size, or
+    /// out-of-range λ.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        n_servers: usize,
+        m_sites: usize,
+        dist_ss: Vec<Hops>,
+        dist_sp: Vec<Hops>,
+        site_bytes: Vec<u64>,
+        capacities: Vec<u64>,
+        demand: Vec<u64>,
+        lambda: Vec<f64>,
+        mean_request_bytes: f64,
+        objects_per_site: usize,
+        theta: f64,
+    ) -> Self {
+        assert!(n_servers > 0 && m_sites > 0, "empty instance");
+        assert_eq!(dist_ss.len(), n_servers * n_servers, "dist_ss shape");
+        assert_eq!(dist_sp.len(), n_servers * m_sites, "dist_sp shape");
+        assert_eq!(site_bytes.len(), m_sites, "site_bytes shape");
+        assert_eq!(capacities.len(), n_servers, "capacities shape");
+        assert_eq!(demand.len(), n_servers * m_sites, "demand shape");
+        assert_eq!(lambda.len(), m_sites, "lambda shape");
+        assert!(
+            mean_request_bytes > 0.0 && mean_request_bytes.is_finite(),
+            "mean request size must be positive"
+        );
+        assert!(
+            lambda.iter().all(|&l| (0.0..=1.0).contains(&l)),
+            "lambda out of [0,1]"
+        );
+        assert!(objects_per_site > 0, "need objects per site");
+        for i in 0..n_servers {
+            assert_eq!(dist_ss[i * n_servers + i], 0, "self-distance must be 0");
+        }
+        let server_totals = (0..n_servers)
+            .map(|i| demand[i * m_sites..(i + 1) * m_sites].iter().sum())
+            .collect();
+        Self {
+            n_servers,
+            m_sites,
+            dist_ss,
+            dist_sp,
+            site_bytes,
+            capacities,
+            demand,
+            server_totals,
+            lambda,
+            update_rates: vec![0; m_sites],
+            mean_request_bytes,
+            objects_per_site,
+            theta,
+        }
+    }
+
+    /// Set per-site update rates (read+update objective).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn set_update_rates(&mut self, rates: Vec<u64>) {
+        assert_eq!(rates.len(), self.m_sites, "update_rates shape");
+        self.update_rates = rates;
+    }
+
+    /// Consistency cost of keeping one replica of site `j` at server `i`:
+    /// every update travels primary → replica.
+    #[inline]
+    pub fn replica_update_cost(&self, i: usize, j: usize) -> f64 {
+        self.update_rates[j] as f64 * self.dist_primary(i, j) as f64
+    }
+
+    pub fn n_servers(&self) -> usize {
+        self.n_servers
+    }
+
+    pub fn m_sites(&self) -> usize {
+        self.m_sites
+    }
+
+    /// Hops between servers `i` and `k`.
+    #[inline]
+    pub fn dist_servers(&self, i: usize, k: usize) -> Hops {
+        self.dist_ss[i * self.n_servers + k]
+    }
+
+    /// Hops from server `i` to the primary of site `j`.
+    #[inline]
+    pub fn dist_primary(&self, i: usize, j: usize) -> Hops {
+        self.dist_sp[i * self.m_sites + j]
+    }
+
+    /// `r_j^(i)`.
+    #[inline]
+    pub fn requests(&self, i: usize, j: usize) -> u64 {
+        self.demand[i * self.m_sites + j]
+    }
+
+    /// Σ_j r_j^(i).
+    pub fn server_total(&self, i: usize) -> u64 {
+        self.server_totals[i]
+    }
+
+    /// Grand total of requests.
+    pub fn grand_total(&self) -> u64 {
+        self.server_totals.iter().sum()
+    }
+
+    /// Site popularity `p_j^(i)` (fraction of server i's requests).
+    pub fn site_popularity(&self, i: usize, j: usize) -> f64 {
+        let t = self.server_totals[i];
+        if t == 0 {
+            0.0
+        } else {
+            self.requests(i, j) as f64 / t as f64
+        }
+    }
+
+    /// All site popularities at server `i`.
+    pub fn popularity_row(&self, i: usize) -> Vec<f64> {
+        (0..self.m_sites).map(|j| self.site_popularity(i, j)).collect()
+    }
+
+    /// LRU buffer size (in objects) for `cache_bytes` of free space.
+    pub fn buffer_objects(&self, cache_bytes: u64) -> usize {
+        (cache_bytes as f64 / self.mean_request_bytes).floor() as usize
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testkit {
+    use super::*;
+
+    /// A tiny deterministic instance used across the algorithm tests:
+    /// `n` servers on a line (distance |i−k|), primaries `prim_dist` hops
+    /// beyond the far end, uniform site sizes and capacities.
+    pub fn line_problem(
+        n: usize,
+        m: usize,
+        site_bytes: u64,
+        capacity: u64,
+        demand: Vec<u64>,
+    ) -> PlacementProblem {
+        let mut dist_ss = vec![0 as Hops; n * n];
+        for i in 0..n {
+            for k in 0..n {
+                dist_ss[i * n + k] = (i as i64 - k as i64).unsigned_abs() as Hops;
+            }
+        }
+        // Primary of site j sits 10 hops past server 0, plus j to vary.
+        let mut dist_sp = vec![0 as Hops; n * m];
+        for i in 0..n {
+            for j in 0..m {
+                dist_sp[i * m + j] = 10 + i as Hops + (j % 3) as Hops;
+            }
+        }
+        PlacementProblem::new(
+            n,
+            m,
+            dist_ss,
+            dist_sp,
+            vec![site_bytes; m],
+            vec![capacity; n],
+            demand,
+            vec![0.0; m],
+            100.0,
+            50,
+            1.0,
+        )
+    }
+
+    pub fn uniform_demand(n: usize, m: usize, r: u64) -> Vec<u64> {
+        vec![r; n * m]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testkit::*;
+    use super::*;
+
+    #[test]
+    fn accessors_work() {
+        let p = line_problem(3, 4, 1000, 5000, uniform_demand(3, 4, 10));
+        assert_eq!(p.n_servers(), 3);
+        assert_eq!(p.m_sites(), 4);
+        assert_eq!(p.dist_servers(0, 2), 2);
+        assert_eq!(p.dist_servers(2, 0), 2);
+        assert_eq!(p.dist_primary(1, 0), 11);
+        assert_eq!(p.requests(2, 3), 10);
+        assert_eq!(p.server_total(0), 40);
+        assert_eq!(p.grand_total(), 120);
+    }
+
+    #[test]
+    fn popularity_normalises() {
+        let p = line_problem(2, 2, 100, 100, vec![30, 10, 0, 0]);
+        assert!((p.site_popularity(0, 0) - 0.75).abs() < 1e-12);
+        assert_eq!(p.site_popularity(1, 0), 0.0);
+        let row = p.popularity_row(0);
+        assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buffer_objects_uses_mean_request_size() {
+        let p = line_problem(1, 1, 100, 100, vec![1]);
+        assert_eq!(p.buffer_objects(1050), 10);
+        assert_eq!(p.buffer_objects(0), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_panics() {
+        PlacementProblem::new(
+            2,
+            2,
+            vec![0; 4],
+            vec![0; 4],
+            vec![1; 2],
+            vec![1; 2],
+            vec![1; 3], // wrong
+            vec![0.0; 2],
+            1.0,
+            10,
+            1.0,
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn nonzero_self_distance_panics() {
+        PlacementProblem::new(
+            1,
+            1,
+            vec![5],
+            vec![0],
+            vec![1],
+            vec![1],
+            vec![1],
+            vec![0.0],
+            1.0,
+            10,
+            1.0,
+        );
+    }
+}

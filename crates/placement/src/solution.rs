@@ -1,0 +1,349 @@
+//! The mutable placement: the X matrix, per-server free space, and the
+//! nearest-replica (`SN`) pointers, maintained incrementally as replicas
+//! are created — the book-keeping of lines 19–25 of the paper's Figure 2.
+
+use crate::problem::PlacementProblem;
+use crate::Hops;
+
+/// Where server `i` sends its requests for site `j` when they are not
+/// answered locally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Nearest {
+    /// The primary site holds the closest copy.
+    Primary,
+    /// Server with this index holds the closest replica (may be `i` itself
+    /// if `i` is a replicator).
+    Server(u32),
+}
+
+/// A (partial) assignment of site replicas to servers.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    n: usize,
+    m: usize,
+    /// `x[i * m + j]` — true if site j is replicated at server i.
+    x: Vec<bool>,
+    /// `nearest[i * m + j]` — SN_j^(i).
+    nearest: Vec<Nearest>,
+    /// Capacity remaining at each server (available to the cache).
+    free_bytes: Vec<u64>,
+    replica_count: usize,
+}
+
+impl Placement {
+    /// The starting point of every algorithm here: only primary copies
+    /// exist and all storage is free.
+    pub fn primaries_only(problem: &PlacementProblem) -> Self {
+        let n = problem.n_servers();
+        let m = problem.m_sites();
+        Self {
+            n,
+            m,
+            x: vec![false; n * m],
+            nearest: vec![Nearest::Primary; n * m],
+            free_bytes: problem.capacities.clone(),
+            replica_count: 0,
+        }
+    }
+
+    pub fn n_servers(&self) -> usize {
+        self.n
+    }
+
+    pub fn m_sites(&self) -> usize {
+        self.m
+    }
+
+    /// Is site `j` replicated at server `i`?
+    #[inline]
+    pub fn is_replicated(&self, i: usize, j: usize) -> bool {
+        self.x[i * self.m + j]
+    }
+
+    /// The nearest holder of site `j` for server `i`.
+    #[inline]
+    pub fn nearest(&self, i: usize, j: usize) -> Nearest {
+        self.nearest[i * self.m + j]
+    }
+
+    /// Hops from server `i` to the nearest copy of site `j`.
+    #[inline]
+    pub fn nearest_dist(&self, problem: &PlacementProblem, i: usize, j: usize) -> Hops {
+        match self.nearest(i, j) {
+            Nearest::Primary => problem.dist_primary(i, j),
+            Nearest::Server(k) => problem.dist_servers(i, k as usize),
+        }
+    }
+
+    /// Bytes still free (cache space) at server `i`.
+    #[inline]
+    pub fn free_bytes(&self, i: usize) -> u64 {
+        self.free_bytes[i]
+    }
+
+    /// Total replicas created (excludes primaries).
+    pub fn replica_count(&self) -> usize {
+        self.replica_count
+    }
+
+    /// Servers replicating site `j`.
+    pub fn replicators_of(&self, j: usize) -> Vec<usize> {
+        (0..self.n).filter(|&i| self.is_replicated(i, j)).collect()
+    }
+
+    /// Sites replicated at server `i`.
+    pub fn sites_at(&self, i: usize) -> Vec<usize> {
+        (0..self.m).filter(|&j| self.is_replicated(i, j)).collect()
+    }
+
+    /// Can server `i` still hold a replica of site `j`?
+    pub fn fits(&self, problem: &PlacementProblem, i: usize, j: usize) -> bool {
+        !self.is_replicated(i, j) && problem.site_bytes[j] <= self.free_bytes[i]
+    }
+
+    /// Create the replica `(i, j)`, updating free space and every server's
+    /// SN pointer for site `j` (lines 19–25 of the paper's Figure 2).
+    ///
+    /// Returns the servers whose nearest-copy distance for site `j`
+    /// *strictly improved* (always includes `i` unless it already held the
+    /// site at distance 0, which `add_replica` forbids) — callers maintain
+    /// caches keyed on those distances.
+    ///
+    /// # Panics
+    /// Panics if the replica already exists or does not fit.
+    pub fn add_replica(&mut self, problem: &PlacementProblem, i: usize, j: usize) -> Vec<usize> {
+        assert!(!self.is_replicated(i, j), "replica ({i}, {j}) already exists");
+        assert!(
+            problem.site_bytes[j] <= self.free_bytes[i],
+            "replica ({i}, {j}) exceeds free space"
+        );
+        self.x[i * self.m + j] = true;
+        self.free_bytes[i] -= problem.site_bytes[j];
+        self.replica_count += 1;
+        let mut improved = Vec::new();
+        for k in 0..self.n {
+            let cur = self.nearest_dist(problem, k, j);
+            if problem.dist_servers(k, i) < cur {
+                self.nearest[k * self.m + j] = Nearest::Server(i as u32);
+                improved.push(k);
+            }
+        }
+        // The replicator itself is always its own nearest copy.
+        self.nearest[i * self.m + j] = Nearest::Server(i as u32);
+        improved
+    }
+
+    /// Remove the replica `(i, j)`, restoring free space and recomputing
+    /// every server's SN pointer for site `j` (the only affected column).
+    /// O(N²). Used by the backtracking heuristic.
+    ///
+    /// # Panics
+    /// Panics if the replica does not exist.
+    pub fn remove_replica(&mut self, problem: &PlacementProblem, i: usize, j: usize) {
+        assert!(self.is_replicated(i, j), "replica ({i}, {j}) absent");
+        self.x[i * self.m + j] = false;
+        self.free_bytes[i] += problem.site_bytes[j];
+        self.replica_count -= 1;
+        for k in 0..self.n {
+            let mut best = Nearest::Primary;
+            let mut best_d = problem.dist_primary(k, j);
+            for s in 0..self.n {
+                if self.is_replicated(s, j) {
+                    let d = problem.dist_servers(k, s);
+                    if d < best_d || (d == best_d && best == Nearest::Primary) {
+                        best = Nearest::Server(s as u32);
+                        best_d = d;
+                    }
+                }
+            }
+            self.nearest[k * self.m + j] = best;
+        }
+    }
+
+    /// Recompute every SN pointer from scratch — O(N²M); used by tests to
+    /// check the incremental maintenance and by bulk constructors.
+    pub fn rebuild_nearest(&mut self, problem: &PlacementProblem) {
+        for i in 0..self.n {
+            for j in 0..self.m {
+                let mut best = Nearest::Primary;
+                let mut best_d = problem.dist_primary(i, j);
+                for k in 0..self.n {
+                    if self.is_replicated(k, j) {
+                        let d = problem.dist_servers(i, k);
+                        if d < best_d || (d == best_d && best == Nearest::Primary) {
+                            best = Nearest::Server(k as u32);
+                            best_d = d;
+                        }
+                    }
+                }
+                self.nearest[i * self.m + j] = best;
+            }
+        }
+    }
+
+    /// Check all structural invariants; panics with a description on
+    /// violation. Used by tests and `debug_assert!`s.
+    pub fn validate(&self, problem: &PlacementProblem) {
+        assert_eq!(self.n, problem.n_servers());
+        assert_eq!(self.m, problem.m_sites());
+        for i in 0..self.n {
+            let used: u64 = (0..self.m)
+                .filter(|&j| self.is_replicated(i, j))
+                .map(|j| problem.site_bytes[j])
+                .sum();
+            assert_eq!(
+                used + self.free_bytes[i],
+                problem.capacities[i],
+                "byte accounting broken at server {i}"
+            );
+        }
+        for i in 0..self.n {
+            for j in 0..self.m {
+                // SN must point at an actual holder, and no holder may be
+                // strictly closer.
+                let d = match self.nearest(i, j) {
+                    Nearest::Primary => problem.dist_primary(i, j),
+                    Nearest::Server(k) => {
+                        assert!(
+                            self.is_replicated(k as usize, j),
+                            "SN of ({i},{j}) points at non-replicator {k}"
+                        );
+                        problem.dist_servers(i, k as usize)
+                    }
+                };
+                assert!(
+                    d <= problem.dist_primary(i, j),
+                    "SN of ({i},{j}) farther than primary"
+                );
+                for k in 0..self.n {
+                    if self.is_replicated(k, j) {
+                        assert!(
+                            problem.dist_servers(i, k) >= d,
+                            "server {k} closer to ({i},{j}) than its SN"
+                        );
+                    }
+                }
+                if self.is_replicated(i, j) {
+                    assert_eq!(
+                        self.nearest(i, j),
+                        Nearest::Server(i as u32),
+                        "replicator ({i},{j}) not its own SN"
+                    );
+                }
+            }
+        }
+        let count = self.x.iter().filter(|&&b| b).count();
+        assert_eq!(count, self.replica_count, "replica_count drifted");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::problem::testkit::*;
+    use super::*;
+
+    fn problem() -> PlacementProblem {
+        line_problem(4, 3, 1000, 2500, uniform_demand(4, 3, 10))
+    }
+
+    #[test]
+    fn primaries_only_initial_state() {
+        let p = problem();
+        let pl = Placement::primaries_only(&p);
+        assert_eq!(pl.replica_count(), 0);
+        assert_eq!(pl.free_bytes(0), 2500);
+        assert_eq!(pl.nearest(2, 1), Nearest::Primary);
+        assert_eq!(pl.nearest_dist(&p, 2, 1), p.dist_primary(2, 1));
+        pl.validate(&p);
+    }
+
+    #[test]
+    fn add_replica_updates_everything() {
+        let p = problem();
+        let mut pl = Placement::primaries_only(&p);
+        pl.add_replica(&p, 1, 0);
+        assert!(pl.is_replicated(1, 0));
+        assert_eq!(pl.free_bytes(1), 1500);
+        assert_eq!(pl.replica_count(), 1);
+        // Everyone now routes site 0 to server 1 (closer than any primary).
+        for i in 0..4 {
+            assert_eq!(pl.nearest(i, 0), Nearest::Server(1));
+        }
+        assert_eq!(pl.nearest_dist(&p, 3, 0), 2);
+        pl.validate(&p);
+    }
+
+    #[test]
+    fn closer_replica_takes_over() {
+        let p = problem();
+        let mut pl = Placement::primaries_only(&p);
+        pl.add_replica(&p, 0, 0);
+        assert_eq!(pl.nearest(3, 0), Nearest::Server(0));
+        pl.add_replica(&p, 3, 0);
+        assert_eq!(pl.nearest(3, 0), Nearest::Server(3));
+        assert_eq!(pl.nearest(2, 0), Nearest::Server(3));
+        // Server 1 keeps the original, equally-near-or-closer copy.
+        assert_eq!(pl.nearest(1, 0), Nearest::Server(0));
+        pl.validate(&p);
+    }
+
+    #[test]
+    fn incremental_matches_rebuild() {
+        let p = problem();
+        let mut incr = Placement::primaries_only(&p);
+        incr.add_replica(&p, 0, 0);
+        incr.add_replica(&p, 3, 0);
+        incr.add_replica(&p, 2, 1);
+        let mut rebuilt = incr.clone();
+        rebuilt.rebuild_nearest(&p);
+        for i in 0..4 {
+            for j in 0..3 {
+                assert_eq!(
+                    incr.nearest_dist(&p, i, j),
+                    rebuilt.nearest_dist(&p, i, j),
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fits_respects_capacity_and_duplicates() {
+        let p = problem();
+        let mut pl = Placement::primaries_only(&p);
+        assert!(pl.fits(&p, 0, 0));
+        pl.add_replica(&p, 0, 0);
+        assert!(!pl.fits(&p, 0, 0), "duplicate accepted");
+        pl.add_replica(&p, 0, 1);
+        // 2500 - 2000 = 500 left; a 1000-byte site no longer fits.
+        assert!(!pl.fits(&p, 0, 2));
+    }
+
+    #[test]
+    fn replicators_and_sites_listings() {
+        let p = problem();
+        let mut pl = Placement::primaries_only(&p);
+        pl.add_replica(&p, 0, 2);
+        pl.add_replica(&p, 3, 2);
+        assert_eq!(pl.replicators_of(2), vec![0, 3]);
+        assert_eq!(pl.sites_at(0), vec![2]);
+        assert!(pl.sites_at(1).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_add_panics() {
+        let p = problem();
+        let mut pl = Placement::primaries_only(&p);
+        pl.add_replica(&p, 0, 0);
+        pl.add_replica(&p, 0, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overfull_add_panics() {
+        let p = line_problem(2, 2, 3000, 2500, uniform_demand(2, 2, 1));
+        let mut pl = Placement::primaries_only(&p);
+        pl.add_replica(&p, 0, 0);
+    }
+}

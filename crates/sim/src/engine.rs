@@ -1,0 +1,304 @@
+//! The per-server request loop.
+
+use crate::metrics::LatencyHistogram;
+use crate::plan::{ConsistencyMode, ServerPlan, SimConfig};
+use cdn_cache::{Cache, ObjectKey};
+use cdn_workload::{Flavor, Request};
+
+/// Per-server simulation outcome.
+#[derive(Debug)]
+pub struct ServerReport {
+    pub server: usize,
+    pub histogram: LatencyHistogram,
+    /// Hops travelled beyond the first hop, summed over measured requests.
+    pub cost_hops: u64,
+    pub total_requests: u64,
+    pub measured_requests: u64,
+    pub local_requests: u64,
+    pub cache_hits: u64,
+    pub replica_hits: u64,
+    /// Measured requests that travelled to a primary (origin) site.
+    pub origin_fetches: u64,
+    /// Measured requests served by another CDN server's replica.
+    pub peer_fetches: u64,
+    /// Bytes of measured responses, total and the share fetched from
+    /// origin — CDNs bill on egress, so byte-weighted offload matters as
+    /// much as request-weighted.
+    pub total_bytes: u64,
+    pub origin_bytes: u64,
+}
+
+/// How a single request was resolved (exposed for fine-grained tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// Site replicated at the first-hop server.
+    Replica,
+    /// Fresh cache hit at the first-hop server.
+    CacheHit,
+    /// Cache hit on an expired object: refresh from the nearest copy.
+    CacheRefresh,
+    /// Cache miss: fetch from the nearest copy (and admit).
+    CacheMiss,
+    /// Uncacheable: fetch from the nearest copy, bypassing the cache.
+    Bypass,
+}
+
+/// Resolve one request against a server's plan and cache; returns the
+/// resolution and the hops travelled beyond the first-hop server.
+#[inline]
+pub fn resolve(
+    plan: &ServerPlan,
+    cache: &mut dyn Cache,
+    req: Request,
+    object_bytes: u64,
+    consistency: ConsistencyMode,
+) -> (Resolution, u32) {
+    let site = req.site as usize;
+    if plan.replicated[site] {
+        // Replicas are kept consistent by the CDN; even expired-flagged
+        // requests are served locally.
+        return (Resolution::Replica, 0);
+    }
+    let hops = plan.nearest_hops[site];
+    match req.flavor {
+        Flavor::Uncacheable => (Resolution::Bypass, hops),
+        Flavor::Normal => {
+            let key = ObjectKey::new(req.site, req.object);
+            if cache.access(key, object_bytes) {
+                (Resolution::CacheHit, 0)
+            } else {
+                (Resolution::CacheMiss, hops)
+            }
+        }
+        Flavor::Expired => {
+            let key = ObjectKey::new(req.site, req.object);
+            if cache.access(key, object_bytes) {
+                match consistency {
+                    // Strong: the stale copy must be refreshed from the
+                    // nearest replica before being served.
+                    ConsistencyMode::Strong => (Resolution::CacheRefresh, hops),
+                    // Weak: serve the (possibly stale) copy locally.
+                    ConsistencyMode::Weak => (Resolution::CacheHit, 0),
+                }
+            } else {
+                (Resolution::CacheMiss, hops)
+            }
+        }
+    }
+}
+
+/// Run one server's full stream. `object_bytes(site, object)` supplies
+/// sizes; `warmup` requests are processed but not measured. The cache is
+/// used exactly as given — size it from `plan.cache_bytes` (as
+/// [`crate::runner::simulate_system`] does) unless deliberately diverging,
+/// e.g. to model a cache-less server.
+pub fn simulate_server<I>(
+    plan: &ServerPlan,
+    config: &SimConfig,
+    requests: I,
+    warmup: u64,
+    object_bytes: impl Fn(u32, u32) -> u64,
+    mut cache: Box<dyn Cache>,
+) -> ServerReport
+where
+    I: Iterator<Item = Request>,
+{
+    config.validate();
+    let mut histogram = LatencyHistogram::new(config.bin_ms, config.n_bins);
+    let mut report = ServerReport {
+        server: plan.server,
+        histogram: LatencyHistogram::new(config.bin_ms, config.n_bins),
+        cost_hops: 0,
+        total_requests: 0,
+        measured_requests: 0,
+        local_requests: 0,
+        cache_hits: 0,
+        replica_hits: 0,
+        origin_fetches: 0,
+        peer_fetches: 0,
+        total_bytes: 0,
+        origin_bytes: 0,
+    };
+
+    for req in requests {
+        let bytes = object_bytes(req.site, req.object);
+        let (resolution, hops) = resolve(plan, cache.as_mut(), req, bytes, config.consistency);
+        report.total_requests += 1;
+        if report.total_requests <= warmup {
+            continue;
+        }
+        report.measured_requests += 1;
+        report.cost_hops += hops as u64;
+        report.total_bytes += bytes;
+        let latency = config.hop_delay_ms * (1.0 + hops as f64);
+        histogram.record(latency);
+        match resolution {
+            Resolution::Replica => {
+                report.replica_hits += 1;
+                report.local_requests += 1;
+            }
+            Resolution::CacheHit => {
+                report.cache_hits += 1;
+                report.local_requests += 1;
+            }
+            Resolution::CacheRefresh | Resolution::CacheMiss | Resolution::Bypass => {
+                // The request travelled to the nearest holder: origin if the
+                // primary is still the closest copy, a peer replica server
+                // otherwise.
+                if plan.nearest_is_primary[req.site as usize] {
+                    report.origin_fetches += 1;
+                    report.origin_bytes += bytes;
+                } else {
+                    report.peer_fetches += 1;
+                }
+            }
+        }
+    }
+    report.histogram = histogram;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdn_cache::LruCache as Lru;
+    use crate::plan::ConsistencyMode as CM;
+
+    fn plan(replicated: Vec<bool>, nearest: Vec<u32>, cache_bytes: u64) -> ServerPlan {
+        let nearest_is_primary = nearest.iter().map(|&h| h > 0).collect();
+        ServerPlan {
+            server: 0,
+            replicated,
+            nearest_hops: nearest,
+            nearest_is_primary,
+            cache_bytes,
+        }
+    }
+
+    fn req(site: u32, object: u32, flavor: Flavor) -> Request {
+        Request {
+            site,
+            object,
+            flavor,
+        }
+    }
+
+    #[test]
+    fn replica_requests_are_free() {
+        let p = plan(vec![true], vec![0], 100);
+        let mut cache = Lru::new(100);
+        let (res, hops) = resolve(&p, &mut cache, req(0, 5, Flavor::Normal), 10, CM::Strong);
+        assert_eq!(res, Resolution::Replica);
+        assert_eq!(hops, 0);
+        // Even expired requests are local on replicas.
+        let (res, hops) = resolve(&p, &mut cache, req(0, 5, Flavor::Expired), 10, CM::Strong);
+        assert_eq!(res, Resolution::Replica);
+        assert_eq!(hops, 0);
+    }
+
+    #[test]
+    fn miss_then_hit_sequence() {
+        let p = plan(vec![false], vec![7], 100);
+        let mut cache = Lru::new(100);
+        let (res, hops) = resolve(&p, &mut cache, req(0, 1, Flavor::Normal), 10, CM::Strong);
+        assert_eq!((res, hops), (Resolution::CacheMiss, 7));
+        let (res, hops) = resolve(&p, &mut cache, req(0, 1, Flavor::Normal), 10, CM::Strong);
+        assert_eq!((res, hops), (Resolution::CacheHit, 0));
+    }
+
+    #[test]
+    fn expired_hit_pays_refresh() {
+        let p = plan(vec![false], vec![4], 100);
+        let mut cache = Lru::new(100);
+        resolve(&p, &mut cache, req(0, 1, Flavor::Normal), 10, CM::Strong);
+        let (res, hops) = resolve(&p, &mut cache, req(0, 1, Flavor::Expired), 10, CM::Strong);
+        assert_eq!((res, hops), (Resolution::CacheRefresh, 4));
+        // Refresh keeps the object cached: the next normal access hits.
+        let (res, _) = resolve(&p, &mut cache, req(0, 1, Flavor::Normal), 10, CM::Strong);
+        assert_eq!(res, Resolution::CacheHit);
+    }
+
+    #[test]
+    fn weak_consistency_serves_stale_locally() {
+        let p = plan(vec![false], vec![4], 100);
+        let mut cache = Lru::new(100);
+        resolve(&p, &mut cache, req(0, 1, Flavor::Normal), 10, CM::Weak);
+        let (res, hops) = resolve(&p, &mut cache, req(0, 1, Flavor::Expired), 10, CM::Weak);
+        assert_eq!((res, hops), (Resolution::CacheHit, 0));
+    }
+
+    #[test]
+    fn uncacheable_bypasses_cache() {
+        let p = plan(vec![false], vec![5], 100);
+        let mut cache = Lru::new(100);
+        let (res, hops) = resolve(&p, &mut cache, req(0, 1, Flavor::Uncacheable), 10, CM::Strong);
+        assert_eq!((res, hops), (Resolution::Bypass, 5));
+        // Not admitted: a subsequent normal request misses.
+        let (res, _) = resolve(&p, &mut cache, req(0, 1, Flavor::Normal), 10, CM::Strong);
+        assert_eq!(res, Resolution::CacheMiss);
+    }
+
+    #[test]
+    fn simulate_server_counts_and_latencies() {
+        let p = plan(vec![true, false], vec![0, 3], 1000);
+        let cfg = SimConfig::default();
+        let stream = vec![
+            req(0, 1, Flavor::Normal),  // replica: 20 ms
+            req(1, 1, Flavor::Normal),  // miss: 80 ms
+            req(1, 1, Flavor::Normal),  // hit: 20 ms
+            req(1, 2, Flavor::Uncacheable), // bypass: 80 ms
+        ];
+        let report = simulate_server(
+            &p,
+            &cfg,
+            stream.into_iter(),
+            0,
+            |_, _| 10,
+            Box::new(Lru::new(p.cache_bytes)),
+        );
+        assert_eq!(report.total_requests, 4);
+        assert_eq!(report.measured_requests, 4);
+        assert_eq!(report.replica_hits, 1);
+        assert_eq!(report.cache_hits, 1);
+        assert_eq!(report.local_requests, 2);
+        assert_eq!(report.cost_hops, 6);
+        assert!((report.histogram.mean() - (20.0 + 80.0 + 20.0 + 80.0) / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warmup_excluded_from_measurement() {
+        let p = plan(vec![false], vec![3], 1000);
+        let cfg = SimConfig::default();
+        let stream = vec![req(0, 1, Flavor::Normal), req(0, 1, Flavor::Normal)];
+        let report = simulate_server(
+            &p,
+            &cfg,
+            stream.into_iter(),
+            1,
+            |_, _| 10,
+            Box::new(Lru::new(p.cache_bytes)),
+        );
+        assert_eq!(report.total_requests, 2);
+        assert_eq!(report.measured_requests, 1);
+        // The warm-up miss populated the cache; the measured request hits.
+        assert_eq!(report.cache_hits, 1);
+        assert_eq!(report.cost_hops, 0);
+    }
+
+    #[test]
+    fn zero_capacity_cache_never_hits() {
+        let p = plan(vec![false], vec![2], 0);
+        let cfg = SimConfig::default();
+        let stream = vec![req(0, 1, Flavor::Normal), req(0, 1, Flavor::Normal)];
+        let report = simulate_server(
+            &p,
+            &cfg,
+            stream.into_iter(),
+            0,
+            |_, _| 10,
+            Box::new(Lru::new(p.cache_bytes)),
+        );
+        assert_eq!(report.cache_hits, 0);
+        assert_eq!(report.cost_hops, 4);
+    }
+}

@@ -1,0 +1,30 @@
+//! Trace-driven simulation of the hybrid CDN.
+//!
+//! Reproduces the paper's evaluation loop: every client request arrives at
+//! its *first-hop* CDN server; if the site is replicated there (or the
+//! object is cached) the request is served locally, otherwise it is
+//! redirected to the nearest holder `SN_j^(i)` and the response is cached
+//! on the way back. Latency is `hop_delay × (1 + hops to the serving
+//! node)` — one access hop to the first-hop server plus the redirect — with
+//! "propagation, queueing and processing delay inside the core network ...
+//! 20 ms/hop".
+//!
+//! Consistency follows the paper's second experiment: replicas are always
+//! consistent (the CDN pushes invalidations), while a cache hit on an
+//! *expired* object pays a refresh round to the nearest replica.
+//!
+//! * [`metrics`] — latency histogram / CDF / mean, cost counters.
+//! * [`plan`] — the per-server view of a placement (what is replicated,
+//!   how far the nearest copy is, how much space the cache gets).
+//! * [`engine`] — the per-server request loop.
+//! * [`runner`] — whole-system simulation, parallel across servers.
+
+pub mod engine;
+pub mod metrics;
+pub mod plan;
+pub mod runner;
+
+pub use engine::{simulate_server, ServerReport};
+pub use metrics::{LatencyHistogram, SimReport};
+pub use plan::{ConsistencyMode, ServerPlan, SimConfig};
+pub use runner::{simulate_system, simulate_system_streams};

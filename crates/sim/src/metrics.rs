@@ -1,0 +1,349 @@
+//! Latency and cost accounting.
+
+/// Histogram of response times with fixed-width bins plus an overflow bin.
+/// The paper's CDF plots are exactly `cdf()` of this structure.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    bin_ms: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    sum_ms: f64,
+    n: u64,
+    max_ms: f64,
+}
+
+impl LatencyHistogram {
+    /// `bin_ms`-wide bins covering `[0, bin_ms * n_bins)`.
+    ///
+    /// # Panics
+    /// Panics unless `bin_ms > 0` and `n_bins > 0`.
+    pub fn new(bin_ms: f64, n_bins: usize) -> Self {
+        assert!(bin_ms > 0.0 && bin_ms.is_finite(), "invalid bin width");
+        assert!(n_bins > 0, "need at least one bin");
+        Self {
+            bin_ms,
+            counts: vec![0; n_bins],
+            overflow: 0,
+            sum_ms: 0.0,
+            n: 0,
+            max_ms: 0.0,
+        }
+    }
+
+    /// Default sizing for the paper's scale: 1 ms bins up to 4 s.
+    pub fn default_paper() -> Self {
+        Self::new(1.0, 4096)
+    }
+
+    /// Record one response time.
+    pub fn record(&mut self, ms: f64) {
+        debug_assert!(ms >= 0.0);
+        let idx = (ms / self.bin_ms).floor() as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.sum_ms += ms;
+        self.n += 1;
+        if ms > self.max_ms {
+            self.max_ms = ms;
+        }
+    }
+
+    /// Merge another histogram (must have identical shape).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.bin_ms, other.bin_ms, "bin width mismatch");
+        assert_eq!(self.counts.len(), other.counts.len(), "bin count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.sum_ms += other.sum_ms;
+        self.n += other.n;
+        self.max_ms = self.max_ms.max(other.max_ms);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean latency in ms (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum_ms / self.n as f64
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> f64 {
+        self.max_ms
+    }
+
+    /// The q-quantile (`0 <= q <= 1`) via the histogram (upper bin edge).
+    pub fn percentile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.n == 0 {
+            return 0.0;
+        }
+        let target = (q * self.n as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return (i as f64 + 1.0) * self.bin_ms;
+            }
+        }
+        self.max_ms
+    }
+
+    /// CDF points `(upper bin edge ms, cumulative fraction)` for every
+    /// non-empty prefix bin — the series plotted in the paper's figures.
+    pub fn cdf(&self) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        if self.n == 0 {
+            return out;
+        }
+        let mut acc = 0u64;
+        let last_used = self
+            .counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .unwrap_or(0);
+        for (i, &c) in self.counts.iter().enumerate().take(last_used + 1) {
+            acc += c;
+            out.push(((i as f64 + 1.0) * self.bin_ms, acc as f64 / self.n as f64));
+        }
+        if self.overflow > 0 {
+            out.push((self.max_ms, 1.0));
+        }
+        out
+    }
+
+    /// Fraction of samples at or below `ms`.
+    pub fn fraction_at_or_below(&self, ms: f64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let idx = (ms / self.bin_ms).floor() as usize;
+        let acc: u64 = self.counts.iter().take(idx + 1).sum();
+        acc as f64 / self.n as f64
+    }
+}
+
+/// Per-server digest within a [`SimReport`] — the operator's per-POP view.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerSummary {
+    pub server: usize,
+    pub measured_requests: u64,
+    pub mean_latency_ms: f64,
+    pub local_ratio: f64,
+    pub cache_hit_ratio: f64,
+    pub origin_fetches: u64,
+}
+
+/// Whole-system simulation result.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Response-time distribution over measured (post-warm-up) requests.
+    pub histogram: LatencyHistogram,
+    /// Mean response time over measured requests, ms.
+    pub mean_latency_ms: f64,
+    /// Average network cost (hops travelled beyond the first-hop server)
+    /// per measured request — the paper's Figure 6 metric.
+    pub mean_cost_hops: f64,
+    /// All requests processed, including warm-up.
+    pub total_requests: u64,
+    /// Requests measured (post-warm-up).
+    pub measured_requests: u64,
+    /// Measured requests answered entirely at the first-hop server
+    /// (replica or fresh cache hit).
+    pub local_requests: u64,
+    /// Measured cache hits (fresh; excludes refresh-on-expired hits).
+    pub cache_hits: u64,
+    /// Measured requests served by a site replica at the first hop.
+    pub replica_hits: u64,
+    /// Measured requests that had to travel to a primary (origin) site —
+    /// the traffic a CDN exists to absorb.
+    pub origin_fetches: u64,
+    /// Measured requests served by another CDN server's replica.
+    pub peer_fetches: u64,
+    /// Bytes of measured responses (total) and the share fetched from the
+    /// origin sites.
+    pub total_bytes: u64,
+    pub origin_bytes: u64,
+    /// Per-server digests, ordered by server id.
+    pub per_server: Vec<ServerSummary>,
+}
+
+impl SimReport {
+    /// Load imbalance across servers: max/mean of measured requests
+    /// handled at the first hop. 1.0 = perfectly even.
+    pub fn load_imbalance(&self) -> f64 {
+        if self.per_server.is_empty() {
+            return 1.0;
+        }
+        let max = self
+            .per_server
+            .iter()
+            .map(|s| s.measured_requests)
+            .max()
+            .unwrap_or(0) as f64;
+        let mean = self.measured_requests as f64 / self.per_server.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Fraction of measured requests answered locally.
+    pub fn local_ratio(&self) -> f64 {
+        if self.measured_requests == 0 {
+            0.0
+        } else {
+            self.local_requests as f64 / self.measured_requests as f64
+        }
+    }
+
+    /// Cache hit ratio over measured requests.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        if self.measured_requests == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.measured_requests as f64
+        }
+    }
+
+    /// Origin offload: the fraction of measured requests the CDN kept away
+    /// from the primary sites.
+    pub fn origin_offload(&self) -> f64 {
+        if self.measured_requests == 0 {
+            0.0
+        } else {
+            1.0 - self.origin_fetches as f64 / self.measured_requests as f64
+        }
+    }
+
+    /// Byte-weighted origin offload: the fraction of response *bytes* the
+    /// CDN kept off the origins (what egress billing sees).
+    pub fn origin_offload_bytes(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.origin_bytes as f64 / self.total_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_mean() {
+        let mut h = LatencyHistogram::new(1.0, 100);
+        h.record(10.0);
+        h.record(20.0);
+        h.record(30.0);
+        assert_eq!(h.count(), 3);
+        assert!((h.mean() - 20.0).abs() < 1e-12);
+        assert_eq!(h.max(), 30.0);
+    }
+
+    #[test]
+    fn overflow_counted() {
+        let mut h = LatencyHistogram::new(1.0, 10);
+        h.record(5.0);
+        h.record(500.0);
+        assert_eq!(h.count(), 2);
+        let cdf = h.cdf();
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        assert_eq!(cdf.last().unwrap().0, 500.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let mut h = LatencyHistogram::new(2.0, 50);
+        for v in [1.0, 3.0, 3.5, 7.0, 20.0, 20.0] {
+            h.record(v);
+        }
+        let cdf = h.cdf();
+        for w in cdf.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let mut h = LatencyHistogram::new(1.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        assert!((h.percentile(0.5) - 50.0).abs() <= 1.0);
+        assert!((h.percentile(0.99) - 99.0).abs() <= 1.0);
+        assert!(h.percentile(0.0) >= 1.0);
+    }
+
+    #[test]
+    fn fraction_at_or_below_matches_cdf() {
+        let mut h = LatencyHistogram::new(1.0, 100);
+        h.record(10.0);
+        h.record(20.0);
+        assert!((h.fraction_at_or_below(10.0) - 0.5).abs() < 1e-12);
+        assert!((h.fraction_at_or_below(9.0) - 0.0).abs() < 1e-12);
+        assert!((h.fraction_at_or_below(25.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = LatencyHistogram::new(1.0, 10);
+        let mut b = LatencyHistogram::new(1.0, 10);
+        a.record(1.0);
+        b.record(2.0);
+        b.record(100.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 100.0);
+        assert!((a.mean() - (1.0 + 2.0 + 100.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_shape_mismatch_panics() {
+        let mut a = LatencyHistogram::new(1.0, 10);
+        let b = LatencyHistogram::new(2.0, 10);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn empty_report_ratios_are_zero() {
+        let r = SimReport {
+            histogram: LatencyHistogram::new(1.0, 1),
+            mean_latency_ms: 0.0,
+            mean_cost_hops: 0.0,
+            total_requests: 0,
+            measured_requests: 0,
+            local_requests: 0,
+            cache_hits: 0,
+            replica_hits: 0,
+            origin_fetches: 0,
+            peer_fetches: 0,
+            total_bytes: 0,
+            origin_bytes: 0,
+            per_server: Vec::new(),
+        };
+        assert_eq!(r.local_ratio(), 0.0);
+        assert_eq!(r.cache_hit_ratio(), 0.0);
+        assert_eq!(r.origin_offload(), 0.0);
+        assert_eq!(r.load_imbalance(), 1.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! The per-server operational view of a placement, plus simulation
+//! configuration.
+
+use cdn_placement::{Placement, PlacementProblem};
+
+/// What one CDN server needs to serve requests: which sites it replicates,
+/// how many hops away the nearest copy of every site is, and how many bytes
+/// its cache gets (the capacity left over after replicas).
+#[derive(Debug, Clone)]
+pub struct ServerPlan {
+    pub server: usize,
+    /// `replicated[j]` — site j is fully replicated here.
+    pub replicated: Vec<bool>,
+    /// `nearest_hops[j]` — hops to the nearest copy of site j (0 when
+    /// replicated locally).
+    pub nearest_hops: Vec<u32>,
+    /// `nearest_is_primary[j]` — the nearest copy of site j is the primary
+    /// (origin) site rather than a CDN replica.
+    pub nearest_is_primary: Vec<bool>,
+    /// Bytes available to the LRU cache.
+    pub cache_bytes: u64,
+}
+
+impl ServerPlan {
+    /// Extract server `i`'s plan from a placement.
+    pub fn from_placement(problem: &PlacementProblem, placement: &Placement, i: usize) -> Self {
+        let m = problem.m_sites();
+        let replicated = (0..m).map(|j| placement.is_replicated(i, j)).collect();
+        let nearest_hops = (0..m)
+            .map(|j| placement.nearest_dist(problem, i, j))
+            .collect();
+        let nearest_is_primary = (0..m)
+            .map(|j| matches!(placement.nearest(i, j), cdn_placement::Nearest::Primary))
+            .collect();
+        Self {
+            server: i,
+            replicated,
+            nearest_hops,
+            nearest_is_primary,
+            cache_bytes: placement.free_bytes(i),
+        }
+    }
+
+    /// Plans for every server.
+    pub fn all_from_placement(problem: &PlacementProblem, placement: &Placement) -> Vec<Self> {
+        (0..problem.n_servers())
+            .map(|i| Self::from_placement(problem, placement, i))
+            .collect()
+    }
+}
+
+/// How stale cached copies are handled (paper §3.3). Replicas are always
+/// push-invalidated by the CDN; this governs the *cache*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConsistencyMode {
+    /// Accessed copies are always up to date: a cache hit on an expired
+    /// object pays a refresh round to the nearest replica (the paper's
+    /// second experiment).
+    #[default]
+    Strong,
+    /// Accessed copies might be stale: expired objects are served from the
+    /// cache at local latency (the client may see old content).
+    Weak,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Per-hop network delay, ms. The paper sets 20 ms/hop (propagation +
+    /// queueing + processing).
+    pub hop_delay_ms: f64,
+    /// Fraction of each server's stream used to warm the cache before
+    /// measurement starts ("we allowed an appropriate warm-up period").
+    pub warmup_fraction: f64,
+    /// Latency-histogram bin width (ms) and bin count.
+    pub bin_ms: f64,
+    pub n_bins: usize,
+    /// Cache-consistency regime for expired objects.
+    pub consistency: ConsistencyMode,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            hop_delay_ms: 20.0,
+            warmup_fraction: 0.2,
+            bin_ms: 1.0,
+            n_bins: 4096,
+            consistency: ConsistencyMode::Strong,
+        }
+    }
+}
+
+impl SimConfig {
+    pub(crate) fn validate(&self) {
+        assert!(
+            self.hop_delay_ms > 0.0 && self.hop_delay_ms.is_finite(),
+            "hop delay must be positive"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.warmup_fraction),
+            "warm-up fraction must be in [0, 1)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdn_placement::PlacementProblem;
+
+    fn tiny_problem() -> PlacementProblem {
+        // 2 servers 3 hops apart, 2 sites with primaries 10/12 hops away.
+        PlacementProblem::new(
+            2,
+            2,
+            vec![0, 3, 3, 0],
+            vec![10, 12, 11, 13],
+            vec![1000, 1000],
+            vec![1500, 1500],
+            vec![5, 5, 5, 5],
+            vec![0.0, 0.0],
+            100.0,
+            10,
+            1.0,
+        )
+    }
+
+    #[test]
+    fn plan_reflects_placement() {
+        let p = tiny_problem();
+        let mut pl = Placement::primaries_only(&p);
+        pl.add_replica(&p, 0, 1);
+        let plans = ServerPlan::all_from_placement(&p, &pl);
+        assert_eq!(plans.len(), 2);
+        assert!(plans[0].replicated[1]);
+        assert_eq!(plans[0].nearest_hops[1], 0);
+        assert_eq!(plans[0].cache_bytes, 500);
+        assert!(!plans[0].nearest_is_primary[1]);
+        assert!(!plans[1].replicated[1]);
+        assert_eq!(plans[1].nearest_hops[1], 3); // via server 0, closer than primary (13)
+        assert!(!plans[1].nearest_is_primary[1]);
+        assert_eq!(plans[1].nearest_hops[0], 11); // primary
+        assert!(plans[1].nearest_is_primary[0]);
+        assert_eq!(plans[1].cache_bytes, 1500);
+    }
+
+    #[test]
+    fn default_config_is_papers() {
+        let c = SimConfig::default();
+        assert_eq!(c.hop_delay_ms, 20.0);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn full_warmup_rejected() {
+        let c = SimConfig {
+            warmup_fraction: 1.0,
+            ..Default::default()
+        };
+        c.validate();
+    }
+}

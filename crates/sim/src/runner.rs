@@ -1,0 +1,392 @@
+//! Whole-system simulation: one engine run per server, in parallel
+//! (servers are fully independent — separate caches, separate streams),
+//! merged into a single [`SimReport`].
+
+use crate::engine::{simulate_server, ServerReport};
+use crate::metrics::{LatencyHistogram, SimReport};
+use crate::plan::{ServerPlan, SimConfig};
+use cdn_cache::{Cache, LruCache};
+use cdn_placement::{Placement, PlacementProblem};
+use cdn_workload::{Request, SiteCatalog, TraceSpec};
+use rayon::prelude::*;
+
+/// Simulate `placement` under the request streams of `trace`.
+///
+/// `make_cache` builds the replacement policy per server; it receives the
+/// plan's cache size in bytes and its result is used as-is (so a factory
+/// that ignores its argument models a cache-less CDN). Pass `None` for the
+/// paper's plain LRU sized to the plan.
+pub fn simulate_system(
+    problem: &PlacementProblem,
+    placement: &Placement,
+    catalog: &SiteCatalog,
+    trace: &TraceSpec,
+    config: &SimConfig,
+    make_cache: Option<&(dyn Fn(u64) -> Box<dyn Cache> + Sync)>,
+) -> SimReport {
+    assert_eq!(
+        trace.n_servers(),
+        problem.n_servers(),
+        "trace/problem server count mismatch"
+    );
+    let lengths: Vec<u64> = (0..trace.n_servers())
+        .map(|i| trace.len_for_server(i))
+        .collect();
+    simulate_system_streams(
+        problem,
+        placement,
+        catalog,
+        config,
+        make_cache,
+        &lengths,
+        |server| trace.stream_for_server(server),
+    )
+}
+
+/// Generalisation of [`simulate_system`] over arbitrary request streams —
+/// the entry point for non-stationary workloads (e.g. popularity drift via
+/// `cdn_workload::Drifted`). `lengths[i]` must be stream `i`'s length (used
+/// to size the warm-up window).
+pub fn simulate_system_streams<F, I>(
+    problem: &PlacementProblem,
+    placement: &Placement,
+    catalog: &SiteCatalog,
+    config: &SimConfig,
+    make_cache: Option<&(dyn Fn(u64) -> Box<dyn Cache> + Sync)>,
+    lengths: &[u64],
+    streams: F,
+) -> SimReport
+where
+    F: Fn(usize) -> I + Sync,
+    I: Iterator<Item = Request>,
+{
+    config.validate();
+    assert_eq!(
+        catalog.m(),
+        problem.m_sites(),
+        "catalog/problem site count mismatch"
+    );
+    assert_eq!(
+        lengths.len(),
+        problem.n_servers(),
+        "lengths/problem server count mismatch"
+    );
+
+    let plans = ServerPlan::all_from_placement(problem, placement);
+    let reports: Vec<ServerReport> = plans
+        .par_iter()
+        .map(|plan| {
+            let warmup = (lengths[plan.server] as f64 * config.warmup_fraction) as u64;
+            let cache: Box<dyn Cache> = match make_cache {
+                Some(f) => f(plan.cache_bytes),
+                None => Box::new(LruCache::new(plan.cache_bytes)),
+            };
+            simulate_server(
+                plan,
+                config,
+                streams(plan.server),
+                warmup,
+                |site, object| catalog.sites[site as usize].object_sizes[object as usize],
+                cache,
+            )
+        })
+        .collect();
+
+    merge_reports(reports, config)
+}
+
+fn merge_reports(reports: Vec<ServerReport>, config: &SimConfig) -> SimReport {
+    let per_server: Vec<crate::metrics::ServerSummary> = reports
+        .iter()
+        .map(|r| crate::metrics::ServerSummary {
+            server: r.server,
+            measured_requests: r.measured_requests,
+            mean_latency_ms: r.histogram.mean(),
+            local_ratio: if r.measured_requests == 0 {
+                0.0
+            } else {
+                r.local_requests as f64 / r.measured_requests as f64
+            },
+            cache_hit_ratio: if r.measured_requests == 0 {
+                0.0
+            } else {
+                r.cache_hits as f64 / r.measured_requests as f64
+            },
+            origin_fetches: r.origin_fetches,
+        })
+        .collect();
+    let mut histogram = LatencyHistogram::new(config.bin_ms, config.n_bins);
+    let mut total_requests = 0;
+    let mut measured_requests = 0;
+    let mut local_requests = 0;
+    let mut cache_hits = 0;
+    let mut replica_hits = 0;
+    let mut origin_fetches = 0;
+    let mut peer_fetches = 0;
+    let mut total_bytes = 0;
+    let mut origin_bytes = 0;
+    let mut cost_hops = 0u64;
+    for r in &reports {
+        histogram.merge(&r.histogram);
+        total_requests += r.total_requests;
+        measured_requests += r.measured_requests;
+        local_requests += r.local_requests;
+        cache_hits += r.cache_hits;
+        replica_hits += r.replica_hits;
+        origin_fetches += r.origin_fetches;
+        peer_fetches += r.peer_fetches;
+        total_bytes += r.total_bytes;
+        origin_bytes += r.origin_bytes;
+        cost_hops += r.cost_hops;
+    }
+    SimReport {
+        mean_latency_ms: histogram.mean(),
+        mean_cost_hops: if measured_requests == 0 {
+            0.0
+        } else {
+            cost_hops as f64 / measured_requests as f64
+        },
+        histogram,
+        total_requests,
+        measured_requests,
+        local_requests,
+        cache_hits,
+        replica_hits,
+        origin_fetches,
+        peer_fetches,
+        total_bytes,
+        origin_bytes,
+        per_server,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdn_workload::{DemandMatrix, LambdaMode, WorkloadConfig};
+
+    /// A small but fully wired scenario: real catalog/demand/trace over a
+    /// hand-made metric.
+    fn scenario(lambda: f64, mode: LambdaMode) -> (PlacementProblem, SiteCatalog, TraceSpec) {
+        let mut cfg = WorkloadConfig::small();
+        cfg.m_sites = 6;
+        cfg.objects_per_site = 40;
+        cfg.base_requests = 3_000;
+        let catalog = SiteCatalog::generate(&cfg, 42);
+        let n = 3;
+        let demand = DemandMatrix::generate(&catalog, n, 43);
+        let dist_ss = vec![0, 2, 4, 2, 0, 2, 4, 2, 0];
+        let mut dist_sp = vec![0u32; n * cfg.m_sites];
+        for i in 0..n {
+            for j in 0..cfg.m_sites {
+                dist_sp[i * cfg.m_sites + j] = 8 + (i as u32) + (j as u32 % 2);
+            }
+        }
+        let site_bytes: Vec<u64> = catalog.sites.iter().map(|s| s.total_bytes).collect();
+        // A third of the corpus per server: with 6 roughly equal sites this
+        // fits ~2 replicas per server while leaving cache head-room.
+        let capacity = catalog.total_bytes() / 3;
+        let raw: Vec<u64> = (0..n)
+            .flat_map(|i| (0..cfg.m_sites).map(move |j| (i, j)))
+            .map(|(i, j)| demand.requests(i, j))
+            .collect();
+        let problem = PlacementProblem::new(
+            n,
+            cfg.m_sites,
+            dist_ss,
+            dist_sp,
+            site_bytes,
+            vec![capacity; n],
+            raw,
+            vec![lambda; cfg.m_sites],
+            catalog.mean_request_bytes(),
+            cfg.objects_per_site,
+            cfg.theta,
+        );
+        let trace = TraceSpec::new(&demand, catalog.object_zipf.clone(), lambda, mode, 44);
+        (problem, catalog, trace)
+    }
+
+    #[test]
+    fn caching_beats_no_storage_at_all() {
+        let (problem, catalog, trace) = scenario(0.0, LambdaMode::Uncacheable);
+        let cfg = SimConfig::default();
+        let caching = Placement::primaries_only(&problem);
+        let report = simulate_system(&problem, &caching, &catalog, &trace, &cfg, None);
+        assert!(report.cache_hits > 0);
+        assert!(report.local_ratio() > 0.1, "local {}", report.local_ratio());
+        // Mean latency must be below the worst case (primary fetch always).
+        let worst = cfg.hop_delay_ms * (1.0 + 10.0);
+        assert!(report.mean_latency_ms < worst);
+    }
+
+    #[test]
+    fn replicas_reduce_latency_versus_nothing() {
+        let (problem, catalog, trace) = scenario(0.0, LambdaMode::Uncacheable);
+        let cfg = SimConfig::default();
+        // Zero cache: compare primaries-only vs greedy replication.
+        let no_cache: Option<&(dyn Fn(u64) -> Box<dyn Cache> + Sync)> =
+            Some(&|_cap| Box::new(LruCache::new(0)) as Box<dyn Cache>);
+        let base = simulate_system(
+            &problem,
+            &Placement::primaries_only(&problem),
+            &catalog,
+            &trace,
+            &cfg,
+            no_cache,
+        );
+        let greedy = cdn_placement::greedy_global(&problem).placement;
+        let repl = simulate_system(&problem, &greedy, &catalog, &trace, &cfg, no_cache);
+        assert!(repl.mean_latency_ms < base.mean_latency_ms);
+        assert!(repl.replica_hits > 0);
+        assert_eq!(repl.cache_hits, 0);
+    }
+
+    #[test]
+    fn lambda_expired_increases_latency_of_pure_caching() {
+        let (problem, catalog, trace0) = scenario(0.0, LambdaMode::Expired);
+        let (_, _, trace10) = scenario(0.10, LambdaMode::Expired);
+        let cfg = SimConfig::default();
+        let pl = Placement::primaries_only(&problem);
+        let clean = simulate_system(&problem, &pl, &catalog, &trace0, &cfg, None);
+        let stale = simulate_system(&problem, &pl, &catalog, &trace10, &cfg, None);
+        assert!(
+            stale.mean_latency_ms > clean.mean_latency_ms,
+            "stale {} <= clean {}",
+            stale.mean_latency_ms,
+            clean.mean_latency_ms
+        );
+    }
+
+    #[test]
+    fn report_identities() {
+        let (problem, catalog, trace) = scenario(0.05, LambdaMode::Uncacheable);
+        let cfg = SimConfig::default();
+        let pl = Placement::primaries_only(&problem);
+        let report = simulate_system(&problem, &pl, &catalog, &trace, &cfg, None);
+        assert_eq!(report.total_requests, trace_len(&trace));
+        assert!(report.measured_requests <= report.total_requests);
+        assert_eq!(
+            report.local_requests,
+            report.cache_hits + report.replica_hits
+        );
+        assert_eq!(report.histogram.count(), report.measured_requests);
+        // No replicas: replica hits impossible.
+        assert_eq!(report.replica_hits, 0);
+    }
+
+    fn trace_len(trace: &TraceSpec) -> u64 {
+        (0..trace.n_servers())
+            .map(|i| trace.len_for_server(i))
+            .sum()
+    }
+
+    #[test]
+    fn byte_accounting_consistent() {
+        let (problem, catalog, trace) = scenario(0.0, LambdaMode::Uncacheable);
+        let cfg = SimConfig::default();
+        let pl = Placement::primaries_only(&problem);
+        let report = simulate_system(&problem, &pl, &catalog, &trace, &cfg, None);
+        assert!(report.total_bytes > 0);
+        assert!(report.origin_bytes <= report.total_bytes);
+        let off = report.origin_offload_bytes();
+        assert!((0.0..=1.0).contains(&off));
+        // With no replicas every remote fetch is an origin fetch, so byte
+        // offload equals the cache's byte hit share.
+        assert!(report.origin_bytes > 0);
+    }
+
+    #[test]
+    fn weak_consistency_outperforms_strong_under_staleness() {
+        let (problem, catalog, trace) = scenario(0.15, LambdaMode::Expired);
+        let strong_cfg = SimConfig::default();
+        let weak_cfg = SimConfig {
+            consistency: crate::plan::ConsistencyMode::Weak,
+            ..Default::default()
+        };
+        let pl = Placement::primaries_only(&problem);
+        let strong = simulate_system(&problem, &pl, &catalog, &trace, &strong_cfg, None);
+        let weak = simulate_system(&problem, &pl, &catalog, &trace, &weak_cfg, None);
+        assert!(
+            weak.mean_latency_ms < strong.mean_latency_ms,
+            "weak {} >= strong {}",
+            weak.mean_latency_ms,
+            strong.mean_latency_ms
+        );
+        // Weak consistency turns refreshes into local hits.
+        assert!(weak.cache_hits > strong.cache_hits);
+    }
+
+    #[test]
+    fn per_server_summaries_sum_to_totals() {
+        let (problem, catalog, trace) = scenario(0.0, LambdaMode::Uncacheable);
+        let cfg = SimConfig::default();
+        let pl = Placement::primaries_only(&problem);
+        let report = simulate_system(&problem, &pl, &catalog, &trace, &cfg, None);
+        assert_eq!(report.per_server.len(), problem.n_servers());
+        let sum: u64 = report.per_server.iter().map(|s| s.measured_requests).sum();
+        assert_eq!(sum, report.measured_requests);
+        let origin: u64 = report.per_server.iter().map(|s| s.origin_fetches).sum();
+        assert_eq!(origin, report.origin_fetches);
+        assert!(report.load_imbalance() >= 1.0);
+        // Servers are ordered by id.
+        for (i, s) in report.per_server.iter().enumerate() {
+            assert_eq!(s.server, i);
+        }
+    }
+
+    #[test]
+    fn drifting_stream_degrades_pure_caching() {
+        use cdn_workload::{DriftConfig, Drifted};
+        let (problem, catalog, trace) = scenario(0.0, LambdaMode::Uncacheable);
+        let cfg = SimConfig::default();
+        let pl = Placement::primaries_only(&problem);
+        let lengths: Vec<u64> = (0..trace.n_servers())
+            .map(|i| trace.len_for_server(i))
+            .collect();
+        let l = catalog.object_zipf.n() as u32;
+        let stationary = simulate_system(&problem, &pl, &catalog, &trace, &cfg, None);
+        let fast_drift = simulate_system_streams(
+            &problem,
+            &pl,
+            &catalog,
+            &cfg,
+            None,
+            &lengths,
+            |server| {
+                Drifted::new(
+                    trace.stream_for_server(server),
+                    DriftConfig {
+                        rotation_period: 50,
+                        objects_per_site: l,
+                    },
+                )
+            },
+        );
+        assert!(
+            fast_drift.cache_hits < stationary.cache_hits,
+            "drift {} >= stationary {}",
+            fast_drift.cache_hits,
+            stationary.cache_hits
+        );
+        assert!(fast_drift.mean_latency_ms > stationary.mean_latency_ms);
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let (problem, catalog, trace) = scenario(0.1, LambdaMode::Expired);
+        let cfg = SimConfig::default();
+        let pl = cdn_placement::greedy_global(&problem).placement;
+        let a = simulate_system(&problem, &pl, &catalog, &trace, &cfg, None);
+        let b = simulate_system(&problem, &pl, &catalog, &trace, &cfg, None);
+        assert_eq!(a.mean_latency_ms, b.mean_latency_ms);
+        assert_eq!(a.cache_hits, b.cache_hits);
+        assert_eq!(a.cost_hops_identity(), b.cost_hops_identity());
+    }
+
+    impl SimReport {
+        fn cost_hops_identity(&self) -> u64 {
+            (self.mean_cost_hops * self.measured_requests as f64).round() as u64
+        }
+    }
+}

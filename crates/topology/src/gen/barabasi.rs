@@ -1,0 +1,143 @@
+//! Barabási–Albert preferential-attachment graphs.
+//!
+//! The transit-stub model captures the Internet's administrative hierarchy;
+//! preferential attachment captures its degree distribution (a few highly
+//! connected hubs, many leaves). The paper evaluates only on transit-stub;
+//! our `ablation_topology` benchmark re-runs the headline comparison on BA
+//! graphs to check the conclusions do not hinge on the hierarchy.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the BA process.
+#[derive(Debug, Clone, Copy)]
+pub struct BarabasiAlbertConfig {
+    /// Final number of nodes.
+    pub n_nodes: usize,
+    /// Edges each new node attaches with (`m` in the literature).
+    pub edges_per_node: usize,
+}
+
+impl BarabasiAlbertConfig {
+    fn validate(&self) {
+        assert!(
+            self.edges_per_node >= 1,
+            "need at least one edge per new node"
+        );
+        assert!(
+            self.n_nodes > self.edges_per_node,
+            "need more nodes ({}) than edges per node ({})",
+            self.n_nodes,
+            self.edges_per_node
+        );
+    }
+}
+
+/// Generate a connected BA graph: start from a clique of `m + 1` seed
+/// nodes, then attach each new node to `m` distinct existing nodes chosen
+/// proportionally to their degree (implemented with the standard
+/// repeated-endpoints trick: sample uniformly from the edge-endpoint list).
+pub fn barabasi_albert(config: &BarabasiAlbertConfig, seed: u64) -> Graph {
+    config.validate();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = config.edges_per_node;
+    let mut builder = GraphBuilder::new(config.n_nodes);
+
+    // Endpoint multiset: each edge contributes both endpoints, so sampling
+    // uniformly from it is degree-proportional sampling.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * config.n_nodes * m);
+
+    // Seed clique over m + 1 nodes.
+    let seed_nodes = m + 1;
+    for a in 0..seed_nodes {
+        for b in a + 1..seed_nodes {
+            builder.add_edge(a as NodeId, b as NodeId);
+            endpoints.push(a as NodeId);
+            endpoints.push(b as NodeId);
+        }
+    }
+
+    for v in seed_nodes..config.n_nodes {
+        let mut targets = Vec::with_capacity(m);
+        // Rejection-sample m distinct degree-proportional targets.
+        while targets.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for t in targets {
+            builder.add_edge(v as NodeId, t);
+            endpoints.push(v as NodeId);
+            endpoints.push(t);
+        }
+    }
+
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(n: usize, m: usize) -> BarabasiAlbertConfig {
+        BarabasiAlbertConfig {
+            n_nodes: n,
+            edges_per_node: m,
+        }
+    }
+
+    #[test]
+    fn node_and_edge_counts() {
+        let cfg = config(100, 2);
+        let g = barabasi_albert(&cfg, 1);
+        assert_eq!(g.n_nodes(), 100);
+        // Clique of 3 (3 edges) + 97 nodes × 2 edges.
+        assert_eq!(g.n_edges(), 3 + 97 * 2);
+    }
+
+    #[test]
+    fn always_connected() {
+        for seed in 0..5 {
+            let g = barabasi_albert(&config(200, 2), seed);
+            assert!(g.is_connected(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn produces_hubs() {
+        // Preferential attachment must yield a max degree far above the
+        // mean — the defining property versus uniform random graphs.
+        let g = barabasi_albert(&config(500, 2), 3);
+        let max_degree = (0..500u32).map(|v| g.degree(v)).max().unwrap();
+        let mean_degree = 2.0 * g.n_edges() as f64 / 500.0;
+        assert!(
+            max_degree as f64 > 4.0 * mean_degree,
+            "max {max_degree} vs mean {mean_degree}"
+        );
+    }
+
+    #[test]
+    fn minimum_degree_is_m() {
+        let g = barabasi_albert(&config(300, 3), 4);
+        for v in 0..300u32 {
+            assert!(g.degree(v) >= 3, "node {v} degree {}", g.degree(v));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = barabasi_albert(&config(150, 2), 9);
+        let b = barabasi_albert(&config(150, 2), 9);
+        for v in 0..150u32 {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_config_panics() {
+        barabasi_albert(&config(2, 2), 0);
+    }
+}

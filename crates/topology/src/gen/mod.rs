@@ -1,0 +1,10 @@
+//! Random topology generators.
+//!
+//! * [`flat`] — flat random graphs (random tree + extra edges, Waxman-style
+//!   probability), the building block for domains.
+//! * [`transit_stub`] — the two-level transit-stub model of GT-ITM, which is
+//!   what the paper generates its evaluation network with.
+
+pub mod barabasi;
+pub mod flat;
+pub mod transit_stub;

@@ -1,0 +1,327 @@
+//! Two-level transit-stub topology generator (GT-ITM model).
+//!
+//! The Internet-like structure GT-ITM produces: a small core of *transit
+//! domains* (backbone ASes) whose nodes each attach a handful of *stub
+//! domains* (edge networks). Traffic between stubs crosses the transit core,
+//! which gives shortest-path hop counts their characteristic bimodal shape —
+//! cheap within a stub, several hops across the core — and that shape is what
+//! drives the replica-placement trade-offs in the paper.
+
+use crate::gen::flat;
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Role of a node in the two-level hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// Backbone node; `domain` is the transit-domain index.
+    Transit { domain: u32 },
+    /// Edge node; `domain` is the global stub-domain index.
+    Stub { domain: u32 },
+}
+
+/// One stub domain: its member nodes and the transit node it hangs off.
+#[derive(Debug, Clone)]
+pub struct StubDomain {
+    pub nodes: Vec<NodeId>,
+    pub transit_attachment: NodeId,
+}
+
+/// Parameters of the generator. `paper_default` reproduces the scale used in
+/// the paper's evaluation (a ~1560-node transit-stub graph; see DESIGN.md's
+/// parameter-reconstruction table for how that number was recovered from the
+/// OCR'd text).
+#[derive(Debug, Clone, Copy)]
+pub struct TransitStubConfig {
+    /// Number of transit domains.
+    pub transit_domains: usize,
+    /// Nodes per transit domain.
+    pub transit_nodes_per_domain: usize,
+    /// Stub domains attached to each transit node.
+    pub stubs_per_transit_node: usize,
+    /// Nodes per stub domain.
+    pub stub_nodes_per_domain: usize,
+    /// Extra-edge probability inside a transit domain (beyond the tree).
+    pub transit_edge_prob: f64,
+    /// Extra-edge probability inside a stub domain (beyond the tree).
+    pub stub_edge_prob: f64,
+    /// Extra transit-domain-to-transit-domain edges beyond the spanning tree.
+    pub extra_transit_domain_edges: usize,
+    /// Probability that a stub domain gets a second attachment to a random
+    /// transit node (multi-homing).
+    pub multihome_prob: f64,
+}
+
+impl TransitStubConfig {
+    /// The evaluation-scale configuration: 4 transit domains of 6 nodes,
+    /// 4 stub domains per transit node, 16 nodes per stub domain:
+    /// `4*6 + 4*6*4*16 = 1560` nodes.
+    pub fn paper_default() -> Self {
+        Self {
+            transit_domains: 4,
+            transit_nodes_per_domain: 6,
+            stubs_per_transit_node: 4,
+            stub_nodes_per_domain: 16,
+            transit_edge_prob: 0.5,
+            stub_edge_prob: 0.2,
+            extra_transit_domain_edges: 2,
+            multihome_prob: 0.05,
+        }
+    }
+
+    /// A small configuration for unit tests and examples (~84 nodes).
+    pub fn small() -> Self {
+        Self {
+            transit_domains: 2,
+            transit_nodes_per_domain: 2,
+            stubs_per_transit_node: 4,
+            stub_nodes_per_domain: 5,
+            transit_edge_prob: 0.5,
+            stub_edge_prob: 0.3,
+            extra_transit_domain_edges: 1,
+            multihome_prob: 0.0,
+        }
+    }
+
+    /// Total number of nodes the configuration produces.
+    pub fn total_nodes(&self) -> usize {
+        let transit = self.transit_domains * self.transit_nodes_per_domain;
+        transit + transit * self.stubs_per_transit_node * self.stub_nodes_per_domain
+    }
+
+    /// Total number of stub domains.
+    pub fn total_stub_domains(&self) -> usize {
+        self.transit_domains * self.transit_nodes_per_domain * self.stubs_per_transit_node
+    }
+
+    fn validate(&self) {
+        assert!(self.transit_domains >= 1, "need at least one transit domain");
+        assert!(
+            self.transit_nodes_per_domain >= 1,
+            "need at least one node per transit domain"
+        );
+        assert!(
+            self.stub_nodes_per_domain >= 1,
+            "need at least one node per stub domain"
+        );
+    }
+}
+
+/// A generated transit-stub topology: the graph plus the hierarchy metadata
+/// needed to place CDN servers and primary sites inside stub domains.
+///
+/// ```
+/// use cdn_topology::{TransitStubConfig, TransitStubTopology};
+/// let topo = TransitStubTopology::generate(&TransitStubConfig::small(), 42);
+/// assert!(topo.graph.is_connected());
+/// assert_eq!(topo.graph.n_nodes(), TransitStubConfig::small().total_nodes());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TransitStubTopology {
+    pub graph: Graph,
+    pub roles: Vec<NodeRole>,
+    pub transit_nodes: Vec<NodeId>,
+    pub stub_domains: Vec<StubDomain>,
+}
+
+impl TransitStubTopology {
+    /// Generate a topology from `config` with the given `seed`.
+    /// Deterministic: equal `(config, seed)` gives an identical topology.
+    pub fn generate(config: &TransitStubConfig, seed: u64) -> Self {
+        config.validate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut builder = GraphBuilder::new(0);
+        let mut roles = Vec::new();
+
+        // 1. Transit domains: connected random subgraphs.
+        let mut transit_domain_nodes: Vec<Vec<NodeId>> = Vec::new();
+        for d in 0..config.transit_domains {
+            let first = builder.grow(config.transit_nodes_per_domain);
+            let nodes: Vec<NodeId> =
+                (first..first + config.transit_nodes_per_domain as NodeId).collect();
+            roles.extend(nodes.iter().map(|_| NodeRole::Transit { domain: d as u32 }));
+            flat::connected_random_domain(&mut builder, &nodes, config.transit_edge_prob, &mut rng);
+            transit_domain_nodes.push(nodes);
+        }
+
+        // 2. Connect transit domains: spanning tree over domains plus extras,
+        // using random endpoint nodes for every inter-domain edge.
+        for d in 1..config.transit_domains {
+            let other = rng.gen_range(0..d);
+            let a = *pick(&transit_domain_nodes[d], &mut rng);
+            let b = *pick(&transit_domain_nodes[other], &mut rng);
+            builder.add_edge(a, b);
+        }
+        if config.transit_domains > 1 {
+            let mut added = 0;
+            let mut attempts = 0;
+            while added < config.extra_transit_domain_edges && attempts < 64 {
+                attempts += 1;
+                let d1 = rng.gen_range(0..config.transit_domains);
+                let d2 = rng.gen_range(0..config.transit_domains);
+                if d1 == d2 {
+                    continue;
+                }
+                let a = *pick(&transit_domain_nodes[d1], &mut rng);
+                let b = *pick(&transit_domain_nodes[d2], &mut rng);
+                if builder.add_edge(a, b) {
+                    added += 1;
+                }
+            }
+        }
+
+        let transit_nodes: Vec<NodeId> = transit_domain_nodes.iter().flatten().copied().collect();
+
+        // 3. Stub domains hanging off every transit node.
+        let mut stub_domains = Vec::with_capacity(config.total_stub_domains());
+        for &t in &transit_nodes {
+            for _ in 0..config.stubs_per_transit_node {
+                let domain_idx = stub_domains.len() as u32;
+                let first = builder.grow(config.stub_nodes_per_domain);
+                let nodes: Vec<NodeId> =
+                    (first..first + config.stub_nodes_per_domain as NodeId).collect();
+                roles.extend(nodes.iter().map(|_| NodeRole::Stub { domain: domain_idx }));
+                flat::connected_random_domain(
+                    &mut builder,
+                    &nodes,
+                    config.stub_edge_prob,
+                    &mut rng,
+                );
+                let gateway = *pick(&nodes, &mut rng);
+                builder.add_edge(gateway, t);
+                // Occasional multi-homing to a second transit node.
+                if config.multihome_prob > 0.0 && rng.gen_bool(config.multihome_prob) {
+                    let t2 = *pick(&transit_nodes, &mut rng);
+                    if t2 != t {
+                        let gw2 = *pick(&nodes, &mut rng);
+                        builder.add_edge(gw2, t2);
+                    }
+                }
+                stub_domains.push(StubDomain {
+                    nodes,
+                    transit_attachment: t,
+                });
+            }
+        }
+
+        let graph = builder.build();
+        debug_assert!(graph.is_connected());
+        Self {
+            graph,
+            roles,
+            transit_nodes,
+            stub_domains,
+        }
+    }
+}
+
+fn pick<'a, T, R: Rng>(slice: &'a [T], rng: &mut R) -> &'a T {
+    &slice[rng.gen_range(0..slice.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_has_1560_nodes() {
+        assert_eq!(TransitStubConfig::paper_default().total_nodes(), 1560);
+    }
+
+    #[test]
+    fn generated_node_count_matches_config() {
+        let cfg = TransitStubConfig::small();
+        let topo = TransitStubTopology::generate(&cfg, 7);
+        assert_eq!(topo.graph.n_nodes(), cfg.total_nodes());
+        assert_eq!(topo.roles.len(), cfg.total_nodes());
+        assert_eq!(topo.stub_domains.len(), cfg.total_stub_domains());
+    }
+
+    #[test]
+    fn generated_graph_is_connected() {
+        for seed in 0..5 {
+            let topo = TransitStubTopology::generate(&TransitStubConfig::small(), seed);
+            assert!(topo.graph.is_connected(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn paper_scale_graph_is_connected() {
+        let topo = TransitStubTopology::generate(&TransitStubConfig::paper_default(), 1);
+        assert!(topo.graph.is_connected());
+        assert_eq!(topo.graph.n_nodes(), 1560);
+    }
+
+    #[test]
+    fn roles_partition_matches_domains() {
+        let cfg = TransitStubConfig::small();
+        let topo = TransitStubTopology::generate(&cfg, 3);
+        let transit = topo
+            .roles
+            .iter()
+            .filter(|r| matches!(r, NodeRole::Transit { .. }))
+            .count();
+        assert_eq!(transit, cfg.transit_domains * cfg.transit_nodes_per_domain);
+        for (d, sd) in topo.stub_domains.iter().enumerate() {
+            for &n in &sd.nodes {
+                assert_eq!(
+                    topo.roles[n as usize],
+                    NodeRole::Stub { domain: d as u32 }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stub_domains_attach_to_transit_nodes() {
+        let topo = TransitStubTopology::generate(&TransitStubConfig::small(), 11);
+        for sd in &topo.stub_domains {
+            assert!(topo.transit_nodes.contains(&sd.transit_attachment));
+            // At least one stub node must have an edge to the attachment.
+            let attached = sd
+                .nodes
+                .iter()
+                .any(|&n| topo.graph.neighbors(n).contains(&sd.transit_attachment));
+            assert!(attached);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = TransitStubConfig::small();
+        let a = TransitStubTopology::generate(&cfg, 99);
+        let b = TransitStubTopology::generate(&cfg, 99);
+        assert_eq!(a.graph.n_edges(), b.graph.n_edges());
+        for v in 0..a.graph.n_nodes() as NodeId {
+            assert_eq!(a.graph.neighbors(v), b.graph.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = TransitStubConfig::paper_default();
+        let a = TransitStubTopology::generate(&cfg, 1);
+        let b = TransitStubTopology::generate(&cfg, 2);
+        let same_everywhere = (0..a.graph.n_nodes() as NodeId)
+            .all(|v| a.graph.neighbors(v) == b.graph.neighbors(v));
+        assert!(!same_everywhere);
+    }
+
+    #[test]
+    fn single_domain_minimal_config_works() {
+        let cfg = TransitStubConfig {
+            transit_domains: 1,
+            transit_nodes_per_domain: 1,
+            stubs_per_transit_node: 1,
+            stub_nodes_per_domain: 1,
+            transit_edge_prob: 0.0,
+            stub_edge_prob: 0.0,
+            extra_transit_domain_edges: 0,
+            multihome_prob: 0.0,
+        };
+        let topo = TransitStubTopology::generate(&cfg, 0);
+        assert_eq!(topo.graph.n_nodes(), 2);
+        assert!(topo.graph.is_connected());
+    }
+}

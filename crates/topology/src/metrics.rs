@@ -1,0 +1,139 @@
+//! Structural summaries of generated topologies.
+//!
+//! Used by tests (sanity bounds on the generator) and logged by the
+//! experiment harness so a run's topology can be characterised without
+//! shipping the whole graph.
+
+use crate::graph::{Graph, NodeId};
+use crate::shortest_path::bfs_hops;
+use crate::{Hops, UNREACHABLE};
+use rayon::prelude::*;
+
+/// Summary statistics of a graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopologyMetrics {
+    pub n_nodes: usize,
+    pub n_edges: usize,
+    /// Longest shortest path over the sampled sources.
+    pub diameter: Hops,
+    /// Mean shortest-path length over the sampled sources.
+    pub mean_path_hops: f64,
+    /// Mean node degree.
+    pub mean_degree: f64,
+}
+
+/// Compute metrics, sampling every `stride`-th node as a BFS source (use
+/// `stride = 1` for exact values; larger strides for big graphs).
+///
+/// # Panics
+/// Panics if `stride == 0` or the graph is disconnected (metrics would be
+/// meaningless and the generators guarantee connectivity).
+pub fn compute_metrics(graph: &Graph, stride: usize) -> TopologyMetrics {
+    assert!(stride > 0, "stride must be positive");
+    let n = graph.n_nodes();
+    assert!(n > 0, "empty graph has no metrics");
+
+    let sources: Vec<NodeId> = (0..n).step_by(stride).map(|v| v as NodeId).collect();
+    let (sum, count, diameter) = sources
+        .par_iter()
+        .map(|&s| {
+            let dist = bfs_hops(graph, s);
+            let mut sum = 0u64;
+            let mut count = 0u64;
+            let mut max = 0 as Hops;
+            for (v, &d) in dist.iter().enumerate() {
+                assert!(d != UNREACHABLE, "graph is disconnected at node {v}");
+                if v as NodeId != s {
+                    sum += d as u64;
+                    count += 1;
+                    max = max.max(d);
+                }
+            }
+            (sum, count, max)
+        })
+        .reduce(
+            || (0, 0, 0),
+            |a, b| (a.0 + b.0, a.1 + b.1, a.2.max(b.2)),
+        );
+
+    TopologyMetrics {
+        n_nodes: n,
+        n_edges: graph.n_edges(),
+        diameter,
+        mean_path_hops: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+        mean_degree: 2.0 * graph.n_edges() as f64 / n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::transit_stub::{TransitStubConfig, TransitStubTopology};
+    use crate::graph::GraphBuilder;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 1..n {
+            b.add_edge((i - 1) as NodeId, i as NodeId);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn path_metrics_exact() {
+        let m = compute_metrics(&path_graph(4), 1);
+        assert_eq!(m.n_nodes, 4);
+        assert_eq!(m.n_edges, 3);
+        assert_eq!(m.diameter, 3);
+        // Pairwise distances: 1+2+3 + 1+1+2 + ... = (sum over ordered pairs) / 12
+        let expected = (2.0 * (1.0 + 2.0 + 3.0 + 1.0 + 2.0 + 1.0)) / 12.0;
+        assert!((m.mean_path_hops - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_graph_diameter_one() {
+        let mut b = GraphBuilder::new(5);
+        for i in 0..5u32 {
+            for j in i + 1..5u32 {
+                b.add_edge(i, j);
+            }
+        }
+        let m = compute_metrics(&b.build(), 1);
+        assert_eq!(m.diameter, 1);
+        assert!((m.mean_path_hops - 1.0).abs() < 1e-12);
+        assert!((m.mean_degree - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_metrics_close_to_exact() {
+        let topo = TransitStubTopology::generate(&TransitStubConfig::small(), 2);
+        let exact = compute_metrics(&topo.graph, 1);
+        let sampled = compute_metrics(&topo.graph, 3);
+        assert!(sampled.diameter <= exact.diameter);
+        assert!((sampled.mean_path_hops - exact.mean_path_hops).abs() / exact.mean_path_hops < 0.2);
+    }
+
+    #[test]
+    fn transit_stub_has_local_structure() {
+        // Mean path length should be well below the diameter for a
+        // hierarchical graph: most pairs cross the core.
+        let topo = TransitStubTopology::generate(&TransitStubConfig::paper_default(), 3);
+        let m = compute_metrics(&topo.graph, 16);
+        assert!(m.diameter >= 4, "diameter {} too small", m.diameter);
+        assert!(m.mean_path_hops > 2.0);
+        assert!(m.mean_path_hops < m.diameter as f64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_stride_panics() {
+        compute_metrics(&path_graph(2), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn disconnected_graph_panics() {
+        let b = GraphBuilder::new(2);
+        compute_metrics(&b.build(), 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! Assignment of CDN servers and primary sites to the topology.
+//!
+//! The paper "placed each server and primary site inside a randomly selected
+//! stub domain". We reproduce that, by default without reusing a stub domain
+//! for two servers (so first-hop populations do not collapse onto the same
+//! node), while primaries may land anywhere.
+
+use crate::gen::transit_stub::TransitStubTopology;
+use crate::graph::NodeId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// How to pick host nodes within the topology.
+#[derive(Debug, Clone, Copy)]
+pub struct HostPlacementConfig {
+    /// Number of CDN servers (N in the paper; 50 in the evaluation).
+    pub n_servers: usize,
+    /// Number of primary sites (M in the paper; 200 in the evaluation).
+    pub m_primaries: usize,
+    /// If true, each server goes to a distinct stub domain (fails if there
+    /// are fewer stub domains than servers).
+    pub distinct_server_domains: bool,
+}
+
+impl HostPlacementConfig {
+    /// The paper's evaluation scale: N = 50 servers, M = 200 sites.
+    pub fn paper_default() -> Self {
+        Self {
+            n_servers: 50,
+            m_primaries: 200,
+            distinct_server_domains: true,
+        }
+    }
+
+    /// A small scale for tests and examples.
+    pub fn small() -> Self {
+        Self {
+            n_servers: 6,
+            m_primaries: 15,
+            distinct_server_domains: true,
+        }
+    }
+}
+
+/// The chosen host nodes. Indices into `servers` are the "server ids" used
+/// throughout the workspace; likewise `primaries[j]` is the primary node of
+/// site `j`.
+#[derive(Debug, Clone)]
+pub struct HostPlacement {
+    pub servers: Vec<NodeId>,
+    pub primaries: Vec<NodeId>,
+}
+
+impl HostPlacement {
+    /// Place hosts into stub domains of `topo`.
+    ///
+    /// # Panics
+    /// Panics if `distinct_server_domains` is set and the topology has fewer
+    /// stub domains than servers.
+    pub fn place(topo: &TransitStubTopology, config: &HostPlacementConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_domains = topo.stub_domains.len();
+        assert!(n_domains > 0, "topology has no stub domains");
+
+        let servers = if config.distinct_server_domains {
+            assert!(
+                n_domains >= config.n_servers,
+                "{} stub domains cannot host {} servers distinctly",
+                n_domains,
+                config.n_servers
+            );
+            let mut domains: Vec<usize> = (0..n_domains).collect();
+            domains.shuffle(&mut rng);
+            domains[..config.n_servers]
+                .iter()
+                .map(|&d| random_node_in_domain(topo, d, &mut rng))
+                .collect()
+        } else {
+            (0..config.n_servers)
+                .map(|_| {
+                    let d = rng.gen_range(0..n_domains);
+                    random_node_in_domain(topo, d, &mut rng)
+                })
+                .collect()
+        };
+
+        let primaries = (0..config.m_primaries)
+            .map(|_| {
+                let d = rng.gen_range(0..n_domains);
+                random_node_in_domain(topo, d, &mut rng)
+            })
+            .collect();
+
+        Self { servers, primaries }
+    }
+
+    /// All host nodes in distance-matrix row order: servers first, then
+    /// primaries. Row `i` for server `i`; row `n_servers + j` for site `j`.
+    pub fn host_rows(&self) -> Vec<NodeId> {
+        let mut rows = self.servers.clone();
+        rows.extend_from_slice(&self.primaries);
+        rows
+    }
+}
+
+fn random_node_in_domain(topo: &TransitStubTopology, domain: usize, rng: &mut StdRng) -> NodeId {
+    let nodes = &topo.stub_domains[domain].nodes;
+    nodes[rng.gen_range(0..nodes.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::transit_stub::{NodeRole, TransitStubConfig};
+
+    fn small_topo() -> TransitStubTopology {
+        TransitStubTopology::generate(&TransitStubConfig::small(), 5)
+    }
+
+    #[test]
+    fn places_requested_counts() {
+        let topo = small_topo();
+        let cfg = HostPlacementConfig {
+            n_servers: 4,
+            m_primaries: 9,
+            distinct_server_domains: true,
+        };
+        let p = HostPlacement::place(&topo, &cfg, 1);
+        assert_eq!(p.servers.len(), 4);
+        assert_eq!(p.primaries.len(), 9);
+    }
+
+    #[test]
+    fn all_hosts_are_stub_nodes() {
+        let topo = small_topo();
+        let cfg = HostPlacementConfig::small();
+        let p = HostPlacement::place(&topo, &cfg, 2);
+        for &n in p.servers.iter().chain(p.primaries.iter()) {
+            assert!(matches!(topo.roles[n as usize], NodeRole::Stub { .. }));
+        }
+    }
+
+    #[test]
+    fn distinct_server_domains_enforced() {
+        let topo = small_topo();
+        let cfg = HostPlacementConfig {
+            n_servers: topo.stub_domains.len(),
+            m_primaries: 3,
+            distinct_server_domains: true,
+        };
+        let p = HostPlacement::place(&topo, &cfg, 3);
+        let mut domains: Vec<u32> = p
+            .servers
+            .iter()
+            .map(|&n| match topo.roles[n as usize] {
+                NodeRole::Stub { domain } => domain,
+                NodeRole::Transit { .. } => unreachable!(),
+            })
+            .collect();
+        domains.sort_unstable();
+        domains.dedup();
+        assert_eq!(domains.len(), p.servers.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_distinct_servers_panics() {
+        let topo = small_topo();
+        let cfg = HostPlacementConfig {
+            n_servers: topo.stub_domains.len() + 1,
+            m_primaries: 1,
+            distinct_server_domains: true,
+        };
+        HostPlacement::place(&topo, &cfg, 0);
+    }
+
+    #[test]
+    fn non_distinct_mode_allows_more_servers_than_domains() {
+        let topo = small_topo();
+        let cfg = HostPlacementConfig {
+            n_servers: topo.stub_domains.len() * 2,
+            m_primaries: 1,
+            distinct_server_domains: false,
+        };
+        let p = HostPlacement::place(&topo, &cfg, 4);
+        assert_eq!(p.servers.len(), topo.stub_domains.len() * 2);
+    }
+
+    #[test]
+    fn host_rows_order_servers_then_primaries() {
+        let topo = small_topo();
+        let cfg = HostPlacementConfig::small();
+        let p = HostPlacement::place(&topo, &cfg, 5);
+        let rows = p.host_rows();
+        assert_eq!(&rows[..p.servers.len()], &p.servers[..]);
+        assert_eq!(&rows[p.servers.len()..], &p.primaries[..]);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let topo = small_topo();
+        let cfg = HostPlacementConfig::small();
+        let a = HostPlacement::place(&topo, &cfg, 9);
+        let b = HostPlacement::place(&topo, &cfg, 9);
+        assert_eq!(a.servers, b.servers);
+        assert_eq!(a.primaries, b.primaries);
+    }
+}

@@ -1,0 +1,268 @@
+//! Empirical statistics of generated traces.
+//!
+//! The reproduction's claims lean on the workload having the right shape
+//! (Zipf-like concentration, heavy-tailed footprint). This module measures
+//! a trace's shape *empirically* so tests can close the loop between the
+//! generator's configuration and what the simulator actually sees, and so
+//! users bringing their own traces can compare them against SURGE's.
+
+use crate::trace::Request;
+use std::collections::HashMap;
+
+/// Aggregated statistics over a request stream.
+#[derive(Debug, Clone)]
+pub struct TraceStats {
+    /// Total requests observed.
+    pub total: u64,
+    /// Requests per site id.
+    pub site_counts: HashMap<u32, u64>,
+    /// Requests per (site, object).
+    pub object_counts: HashMap<(u32, u32), u64>,
+    /// Unique objects seen after each power-of-two request count — the
+    /// footprint curve `(requests, distinct objects)`.
+    pub footprint: Vec<(u64, u64)>,
+}
+
+impl TraceStats {
+    /// Consume a stream and accumulate statistics.
+    pub fn from_requests(requests: impl Iterator<Item = Request>) -> Self {
+        let mut total = 0u64;
+        let mut site_counts: HashMap<u32, u64> = HashMap::new();
+        let mut object_counts: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut footprint = Vec::new();
+        let mut next_mark = 1u64;
+        for r in requests {
+            total += 1;
+            *site_counts.entry(r.site).or_insert(0) += 1;
+            *object_counts.entry((r.site, r.object)).or_insert(0) += 1;
+            if total == next_mark {
+                footprint.push((total, object_counts.len() as u64));
+                next_mark *= 2;
+            }
+        }
+        footprint.push((total, object_counts.len() as u64));
+        Self {
+            total,
+            site_counts,
+            object_counts,
+            footprint,
+        }
+    }
+
+    /// Number of distinct objects referenced.
+    pub fn distinct_objects(&self) -> usize {
+        self.object_counts.len()
+    }
+
+    /// Fraction of requests answered by the most popular `frac` of the
+    /// *distinct* objects (e.g. `concentration(0.1)` = share of traffic on
+    /// the top-10% objects). Returns 0 for an empty trace.
+    ///
+    /// # Panics
+    /// Panics unless `frac` is within `(0, 1]`.
+    pub fn concentration(&self, frac: f64) -> f64 {
+        assert!(frac > 0.0 && frac <= 1.0, "frac {frac} out of (0,1]");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut counts: Vec<u64> = self.object_counts.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let k = ((counts.len() as f64 * frac).ceil() as usize).max(1);
+        let top: u64 = counts.iter().take(k).sum();
+        top as f64 / self.total as f64
+    }
+
+    /// Shannon entropy (bits) of the object-reference distribution. Low
+    /// entropy = concentrated (cache-friendly) traffic.
+    pub fn entropy_bits(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n = self.total as f64;
+        -self
+            .object_counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / n;
+                p * p.log2()
+            })
+            .sum::<f64>()
+    }
+
+    /// Least-squares slope of log(frequency) vs log(rank) over the top
+    /// `ranks` objects — an estimate of the Zipf exponent θ (returned
+    /// positive). `None` if fewer than 3 ranks are available.
+    ///
+    /// Note: a whole-trace estimate mixes objects of *differently popular
+    /// sites*, which flattens the head; to recover a site-internal θ use
+    /// [`Self::zipf_exponent_estimate_for_site`].
+    pub fn zipf_exponent_estimate(&self, ranks: usize) -> Option<f64> {
+        let counts: Vec<u64> = self.object_counts.values().copied().collect();
+        Self::fit_exponent(counts, ranks)
+    }
+
+    /// Zipf-exponent estimate restricted to one site's objects.
+    pub fn zipf_exponent_estimate_for_site(&self, site: u32, ranks: usize) -> Option<f64> {
+        let counts: Vec<u64> = self
+            .object_counts
+            .iter()
+            .filter(|((s, _), _)| *s == site)
+            .map(|(_, &c)| c)
+            .collect();
+        Self::fit_exponent(counts, ranks)
+    }
+
+    fn fit_exponent(mut counts: Vec<u64>, ranks: usize) -> Option<f64> {
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let k = ranks.min(counts.len());
+        if k < 3 {
+            return None;
+        }
+        let points: Vec<(f64, f64)> = counts[..k]
+            .iter()
+            .enumerate()
+            .map(|(idx, &c)| (((idx + 1) as f64).ln(), (c.max(1) as f64).ln()))
+            .collect();
+        let n = points.len() as f64;
+        let sx: f64 = points.iter().map(|p| p.0).sum();
+        let sy: f64 = points.iter().map(|p| p.1).sum();
+        let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            return None;
+        }
+        Some(-((n * sxy - sx * sy) / denom))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkloadConfig;
+    use crate::demand::DemandMatrix;
+    use crate::site::SiteCatalog;
+    use crate::trace::{Flavor, LambdaMode, TraceSpec};
+
+    fn generated_stats(theta: f64) -> TraceStats {
+        let mut cfg = WorkloadConfig::small();
+        cfg.theta = theta;
+        cfg.objects_per_site = 200;
+        cfg.base_requests = 20_000;
+        let cat = SiteCatalog::generate(&cfg, 5);
+        let demand = DemandMatrix::generate(&cat, 2, 6);
+        let spec = TraceSpec::new(
+            &demand,
+            cat.object_zipf.clone(),
+            0.0,
+            LambdaMode::Uncacheable,
+            7,
+        );
+        TraceStats::from_requests(spec.stream_for_server(0))
+    }
+
+    fn hand_requests(objects: &[u32]) -> Vec<Request> {
+        objects
+            .iter()
+            .map(|&o| Request {
+                site: 0,
+                object: o,
+                flavor: Flavor::Normal,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn counts_are_exact() {
+        let s = TraceStats::from_requests(hand_requests(&[1, 1, 2, 3, 3, 3]).into_iter());
+        assert_eq!(s.total, 6);
+        assert_eq!(s.distinct_objects(), 3);
+        assert_eq!(s.object_counts[&(0, 3)], 3);
+        assert_eq!(s.site_counts[&0], 6);
+    }
+
+    #[test]
+    fn footprint_is_monotone_and_ends_at_distinct_count() {
+        let s = generated_stats(1.0);
+        for w in s.footprint.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(
+            s.footprint.last().unwrap().1,
+            s.distinct_objects() as u64
+        );
+    }
+
+    #[test]
+    fn concentration_bounds() {
+        let s = generated_stats(1.0);
+        let c10 = s.concentration(0.1);
+        let c100 = s.concentration(1.0);
+        assert!(c10 > 0.1, "top-10% should exceed uniform share, got {c10}");
+        assert!((c100 - 1.0).abs() < 1e-12);
+        assert!(c10 < c100);
+    }
+
+    #[test]
+    fn higher_theta_more_concentrated_lower_entropy() {
+        let flat = generated_stats(0.4);
+        let skewed = generated_stats(1.4);
+        assert!(skewed.concentration(0.05) > flat.concentration(0.05));
+        assert!(skewed.entropy_bits() < flat.entropy_bits());
+    }
+
+    #[test]
+    fn entropy_of_uniform_trace_is_log2_n() {
+        let s = TraceStats::from_requests(hand_requests(&[0, 1, 2, 3]).into_iter());
+        assert!((s.entropy_bits() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_exponent_recovered_within_tolerance() {
+        for theta in [0.7, 1.0] {
+            let s = generated_stats(theta);
+            // Per-site estimate on the busiest site, head ranks only (the
+            // tail is noisy at finite sample sizes).
+            let busiest = *s
+                .site_counts
+                .iter()
+                .max_by_key(|(_, &c)| c)
+                .map(|(site, _)| site)
+                .unwrap();
+            let est = s
+                .zipf_exponent_estimate_for_site(busiest, 30)
+                .expect("enough ranks");
+            assert!(
+                (est - theta).abs() < 0.25,
+                "theta {theta}: estimated {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn whole_trace_estimate_is_flatter_than_site_estimate() {
+        let s = generated_stats(1.0);
+        let busiest = *s
+            .site_counts
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .map(|(site, _)| site)
+            .unwrap();
+        let global = s.zipf_exponent_estimate(30).unwrap();
+        let per_site = s.zipf_exponent_estimate_for_site(busiest, 30).unwrap();
+        assert!(global < per_site, "global {global} vs site {per_site}");
+    }
+
+    #[test]
+    fn exponent_estimate_needs_three_ranks() {
+        let s = TraceStats::from_requests(hand_requests(&[0, 1]).into_iter());
+        assert!(s.zipf_exponent_estimate(10).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn concentration_zero_frac_panics() {
+        generated_stats(1.0).concentration(0.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! The N×M demand matrix `r_j^(i)`: requests initiated by the client
+//! population behind server `i` for site `j` over the measurement period.
+//!
+//! The paper draws the popularity of each site at each server from a
+//! truncated normal N(1/N, 1/4N) on µ ± 3σ, then the per-server shares are
+//! normalised so each site's total request volume matches its popularity
+//! class.
+
+use crate::dist::TruncatedNormal;
+use crate::site::SiteCatalog;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Row-major `r[i][j]` demand matrix with cached totals.
+#[derive(Debug, Clone)]
+pub struct DemandMatrix {
+    n_servers: usize,
+    m_sites: usize,
+    /// `r[i * m + j]` = requests from server i's clients for site j.
+    r: Vec<u64>,
+    /// Σ_j r[i][j] per server.
+    server_totals: Vec<u64>,
+    /// Σ_i r[i][j] per site.
+    site_totals: Vec<u64>,
+}
+
+impl DemandMatrix {
+    /// Generate the paper's demand model for `n_servers` over `catalog`.
+    pub fn generate(catalog: &SiteCatalog, n_servers: usize, seed: u64) -> Self {
+        assert!(n_servers > 0, "need at least one server");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = TruncatedNormal::paper_site_demand(n_servers);
+        let m = catalog.m();
+        let mut r = vec![0u64; n_servers * m];
+
+        for (j, site) in catalog.sites.iter().enumerate() {
+            // Per-server shares, renormalised to sum to 1.
+            let mut shares: Vec<f64> = (0..n_servers).map(|_| dist.sample(&mut rng)).collect();
+            let total: f64 = shares.iter().sum();
+            for s in &mut shares {
+                *s /= total;
+            }
+            // Largest-remainder rounding so the integer row sums exactly to
+            // the site's request volume.
+            let target = site.total_requests;
+            let mut floors: Vec<u64> = shares
+                .iter()
+                .map(|&s| (s * target as f64).floor() as u64)
+                .collect();
+            let mut remainder = target - floors.iter().sum::<u64>();
+            let mut order: Vec<usize> = (0..n_servers).collect();
+            order.sort_by(|&a, &b| {
+                let fa = shares[a] * target as f64 - floors[a] as f64;
+                let fb = shares[b] * target as f64 - floors[b] as f64;
+                fb.partial_cmp(&fa).unwrap()
+            });
+            let mut idx = 0;
+            while remainder > 0 {
+                floors[order[idx % n_servers]] += 1;
+                remainder -= 1;
+                idx += 1;
+            }
+            for (i, &count) in floors.iter().enumerate() {
+                r[i * m + j] = count;
+            }
+        }
+
+        let server_totals: Vec<u64> = (0..n_servers)
+            .map(|i| r[i * m..(i + 1) * m].iter().sum())
+            .collect();
+        let site_totals: Vec<u64> = (0..m)
+            .map(|j| (0..n_servers).map(|i| r[i * m + j]).sum())
+            .collect();
+
+        Self {
+            n_servers,
+            m_sites: m,
+            r,
+            server_totals,
+            site_totals,
+        }
+    }
+
+    /// Build directly from an explicit matrix (tests, custom scenarios).
+    ///
+    /// # Panics
+    /// Panics if `r.len() != n_servers * m_sites`.
+    pub fn from_raw(n_servers: usize, m_sites: usize, r: Vec<u64>) -> Self {
+        assert_eq!(r.len(), n_servers * m_sites, "matrix shape mismatch");
+        let server_totals = (0..n_servers)
+            .map(|i| r[i * m_sites..(i + 1) * m_sites].iter().sum())
+            .collect();
+        let site_totals = (0..m_sites)
+            .map(|j| (0..n_servers).map(|i| r[i * m_sites + j]).sum())
+            .collect();
+        Self {
+            n_servers,
+            m_sites,
+            r,
+            server_totals,
+            site_totals,
+        }
+    }
+
+    pub fn n_servers(&self) -> usize {
+        self.n_servers
+    }
+
+    pub fn m_sites(&self) -> usize {
+        self.m_sites
+    }
+
+    /// `r_j^(i)` — requests from server `i` for site `j`.
+    #[inline]
+    pub fn requests(&self, server: usize, site: usize) -> u64 {
+        self.r[server * self.m_sites + site]
+    }
+
+    /// Full demand row of a server.
+    pub fn server_row(&self, server: usize) -> &[u64] {
+        &self.r[server * self.m_sites..(server + 1) * self.m_sites]
+    }
+
+    /// Σ_j r_j^(i).
+    pub fn server_total(&self, server: usize) -> u64 {
+        self.server_totals[server]
+    }
+
+    /// Σ_i r_j^(i).
+    pub fn site_total(&self, site: usize) -> u64 {
+        self.site_totals[site]
+    }
+
+    /// Grand total of requests.
+    pub fn grand_total(&self) -> u64 {
+        self.server_totals.iter().sum()
+    }
+
+    /// Popularity `p_j^(i) = r_j^(i) / Σ_k r_k^(i)` of site `j` at server
+    /// `i` — the quantity the LRU model takes as input.
+    pub fn site_popularity(&self, server: usize, site: usize) -> f64 {
+        let total = self.server_totals[server];
+        if total == 0 {
+            0.0
+        } else {
+            self.requests(server, site) as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkloadConfig;
+
+    fn demand() -> (SiteCatalog, DemandMatrix) {
+        let cat = SiteCatalog::generate(&WorkloadConfig::small(), 7);
+        let d = DemandMatrix::generate(&cat, 6, 8);
+        (cat, d)
+    }
+
+    #[test]
+    fn site_totals_match_catalog() {
+        let (cat, d) = demand();
+        for (j, site) in cat.sites.iter().enumerate() {
+            assert_eq!(d.site_total(j), site.total_requests, "site {j}");
+        }
+    }
+
+    #[test]
+    fn grand_total_matches_catalog() {
+        let (cat, d) = demand();
+        assert_eq!(d.grand_total(), cat.total_requests());
+    }
+
+    #[test]
+    fn shares_are_roughly_uniform() {
+        // With µ = 1/N and σ = 1/(4N) truncated at 3σ, each server's share
+        // of a site must lie within [µ−3σ, µ+3σ]/normalisation ≈ ±75% of µ.
+        let (cat, d) = demand();
+        let n = d.n_servers() as f64;
+        for j in 0..d.m_sites() {
+            let total = cat.sites[j].total_requests as f64;
+            for i in 0..d.n_servers() {
+                let share = d.requests(i, j) as f64 / total;
+                assert!(share > 0.0, "server {i} site {j} got zero demand");
+                assert!(share < 2.5 / n, "share {share} too concentrated");
+            }
+        }
+    }
+
+    #[test]
+    fn popularity_rows_sum_to_one() {
+        let (_, d) = demand();
+        for i in 0..d.n_servers() {
+            let sum: f64 = (0..d.m_sites()).map(|j| d.site_popularity(i, j)).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "server {i}: {sum}");
+        }
+    }
+
+    #[test]
+    fn from_raw_round_trips() {
+        let d = DemandMatrix::from_raw(2, 3, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(d.requests(0, 2), 3);
+        assert_eq!(d.requests(1, 0), 4);
+        assert_eq!(d.server_total(0), 6);
+        assert_eq!(d.server_total(1), 15);
+        assert_eq!(d.site_total(1), 7);
+        assert_eq!(d.server_row(1), &[4, 5, 6]);
+    }
+
+    #[test]
+    fn zero_demand_server_has_zero_popularity() {
+        let d = DemandMatrix::from_raw(2, 2, vec![0, 0, 3, 1]);
+        assert_eq!(d.site_popularity(0, 0), 0.0);
+        assert!((d.site_popularity(1, 0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cat = SiteCatalog::generate(&WorkloadConfig::small(), 1);
+        let a = DemandMatrix::generate(&cat, 4, 5);
+        let b = DemandMatrix::generate(&cat, 4, 5);
+        for i in 0..4 {
+            assert_eq!(a.server_row(i), b.server_row(i));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_raw_shape_mismatch_panics() {
+        DemandMatrix::from_raw(2, 2, vec![1, 2, 3]);
+    }
+}

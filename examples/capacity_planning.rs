@@ -1,0 +1,41 @@
+//! Capacity planning: how much storage should each CDN server buy?
+//!
+//! Sweeps the per-server capacity (as a fraction of the hosted corpus) and
+//! reports the simulated mean latency of replication, caching and the
+//! hybrid scheme at each point — the kind of provisioning curve an operator
+//! would use to pick a storage budget.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use cdn_core::{Scenario, ScenarioConfig, Strategy};
+
+fn main() {
+    println!("capacity%  replication_ms  caching_ms  hybrid_ms  hybrid_replicas");
+    for capacity in [0.05, 0.10, 0.15, 0.20, 0.30, 0.50] {
+        let mut config = ScenarioConfig::small();
+        config.capacity_fraction = capacity;
+        let scenario = Scenario::generate(&config);
+
+        let mut row = vec![format!("{:>8.0}%", capacity * 100.0)];
+        let mut hybrid_replicas = 0;
+        for strategy in [Strategy::Replication, Strategy::Caching, Strategy::Hybrid] {
+            let plan = scenario.plan(strategy);
+            if strategy == Strategy::Hybrid {
+                hybrid_replicas = plan.placement.replica_count();
+            }
+            let report = scenario.simulate(&plan);
+            row.push(format!("{:>14.2}", report.mean_latency_ms));
+        }
+        row.push(format!("{:>16}", hybrid_replicas));
+        println!("{}", row.join(" "));
+    }
+
+    println!(
+        "\nreading the curve: at small capacities caching dominates (one site\n\
+         replica would eat the whole disk), at large capacities replication\n\
+         catches up, and the hybrid tracks the better of the two throughout —\n\
+         the operator can stop buying disk where the hybrid curve flattens."
+    );
+}

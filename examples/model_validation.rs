@@ -1,0 +1,49 @@
+//! Stand-alone use of the analytical LRU model (the paper's Section 3.2),
+//! validated against a Monte-Carlo simulation of a real LRU cache — the
+//! single-server core of the paper's Figure 6.
+//!
+//! ```text
+//! cargo run --release --example model_validation
+//! ```
+
+use cdn_core::lru_model::validation::{monte_carlo_hit_ratio, paper_model_prediction};
+use cdn_core::lru_model::{CheModel, LruModel};
+use cdn_core::workload::ZipfLike;
+
+fn main() {
+    // One CDN server caching for 8 sites of 500 objects each, Zipf θ = 1.0.
+    let l = 500;
+    let theta = 1.0;
+    let zipf = ZipfLike::new(l, theta);
+    let model = LruModel::from_zipf(zipf.clone());
+    let che = CheModel::from_zipf(zipf.clone());
+    let site_pops = [0.30, 0.20, 0.15, 0.12, 0.10, 0.06, 0.04, 0.03];
+
+    println!("buffer   mc_hit    paper_model (err)    che_model (err)");
+    for buffer in [50usize, 100, 200, 400, 800, 1600] {
+        let mc = monte_carlo_hit_ratio(&site_pops, &zipf, buffer, 600_000, 150_000, 42);
+        // Aggregate the per-site predictions weighted by popularity.
+        let paper: f64 = paper_model_prediction(&site_pops, &model, buffer)
+            .iter()
+            .zip(&site_pops)
+            .map(|(h, p)| h * p)
+            .sum();
+        let che_h = che.aggregate_hit_ratio(&site_pops, buffer);
+        println!(
+            "{:>6} {:>8.4} {:>12.4} ({:>+6.3}) {:>10.4} ({:>+6.3})",
+            buffer,
+            mc.aggregate,
+            paper,
+            paper - mc.aggregate,
+            che_h,
+            che_h - mc.aggregate,
+        );
+    }
+
+    println!(
+        "\nthe paper's model tracks the simulated LRU within a few points of\n\
+         hit ratio across two orders of magnitude of cache size (it reports\n\
+         <7% error on per-request cost); Che's approximation is shown as an\n\
+         independent cross-check."
+    );
+}

@@ -1,0 +1,48 @@
+//! Quickstart: generate a small CDN scenario, run the paper's three
+//! content-delivery strategies, and print the comparison.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cdn_core::{compare_strategies, Scenario, ScenarioConfig, Strategy};
+
+fn main() {
+    // A small transit-stub network with 6 CDN servers hosting 15 sites;
+    // each server's storage is 15% of the total corpus.
+    let config = ScenarioConfig::small();
+    println!(
+        "generating scenario: {} servers, {} sites, capacity {:.0}% of corpus",
+        config.hosts.n_servers,
+        config.workload.m_sites,
+        config.capacity_fraction * 100.0
+    );
+    let scenario = Scenario::generate(&config);
+    println!(
+        "topology: {} nodes, {} edges; corpus {:.1} MB; {} requests",
+        scenario.topology.graph.n_nodes(),
+        scenario.topology.graph.n_edges(),
+        scenario.catalog.total_bytes() as f64 / 1e6,
+        scenario.problem.grand_total(),
+    );
+
+    // Plan and simulate the paper's three mechanisms.
+    let comparison = compare_strategies(
+        &scenario,
+        &[Strategy::Replication, Strategy::Caching, Strategy::Hybrid],
+    );
+    println!("\n{}", comparison.summary_table());
+
+    if let Some(gain) = comparison.improvement(Strategy::Hybrid, Strategy::Replication) {
+        println!(
+            "hybrid improves mean latency over pure replication by {:.1}%",
+            gain * 100.0
+        );
+    }
+    if let Some(gain) = comparison.improvement(Strategy::Hybrid, Strategy::Caching) {
+        println!(
+            "hybrid improves mean latency over pure caching by {:.1}%",
+            gain * 100.0
+        );
+    }
+}

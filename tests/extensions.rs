@@ -1,0 +1,151 @@
+//! Integration tests for the extension features: origin offload, the
+//! read+update objective, popularity drift, size-aware caching and the
+//! placement lower bound — all exercised end-to-end through the public API.
+
+use cdn_core::placement::{optimality_gap, replication_cost_lower_bound, replication_only_cost};
+use cdn_core::sim::simulate_system_streams;
+use cdn_core::workload::{DriftConfig, Drifted};
+use cdn_core::{cache, Scenario, ScenarioConfig, Strategy};
+
+fn scenario() -> Scenario {
+    Scenario::generate(&ScenarioConfig::small())
+}
+
+#[test]
+fn origin_offload_identities() {
+    let s = scenario();
+    for strategy in [Strategy::Replication, Strategy::Caching, Strategy::Hybrid] {
+        let report = s.simulate(&s.plan(strategy));
+        // Every measured request is local, from a peer, or from the origin.
+        assert_eq!(
+            report.local_requests + report.peer_fetches + report.origin_fetches,
+            report.measured_requests,
+            "{}",
+            strategy.name()
+        );
+        assert!(report.origin_offload() >= 0.0 && report.origin_offload() <= 1.0);
+    }
+    // Caching never has replicas, so nothing can be fetched from a peer.
+    let caching = s.simulate(&s.plan(Strategy::Caching));
+    assert_eq!(caching.peer_fetches, 0);
+}
+
+#[test]
+fn any_strategy_offloads_more_than_no_cdn() {
+    let s = scenario();
+    // "No CDN": primaries only and zero cache — everything goes to origin.
+    let plan = s.plan(Strategy::Caching);
+    let zero: &(dyn Fn(u64) -> Box<dyn cache::Cache> + Sync) =
+        &|_| Box::new(cache::LruCache::new(0));
+    let bare = s.simulate_with_cache(&plan.placement, zero);
+    assert_eq!(bare.origin_offload(), 0.0);
+    let hybrid = s.simulate(&s.plan(Strategy::Hybrid));
+    assert!(hybrid.origin_offload() > 0.3);
+}
+
+#[test]
+fn update_rates_flow_through_the_scenario() {
+    let s = scenario();
+    let baseline = s.plan(Strategy::Hybrid);
+    let mut problem = s.problem.clone();
+    let heavy = s.problem.grand_total() / s.problem.m_sites() as u64;
+    problem.set_update_rates(vec![heavy; problem.m_sites()]);
+    let constrained = Strategy::Hybrid.run(&problem);
+    assert!(
+        constrained.placement.replica_count() <= baseline.placement.replica_count(),
+        "updates must not increase replication"
+    );
+    constrained.placement.validate(&problem);
+}
+
+#[test]
+fn gdsf_works_inside_the_full_simulator() {
+    let s = scenario();
+    let plan = s.plan(Strategy::Hybrid);
+    let factory = |bytes: u64| cache::by_name("gdsf", bytes).expect("gdsf registered");
+    let report = s.simulate_with_cache(&plan.placement, &factory);
+    assert!(report.cache_hits > 0);
+    // Size-aware caching should not be catastrophically worse than LRU.
+    let lru = s.simulate(&plan);
+    assert!(report.mean_latency_ms < lru.mean_latency_ms * 1.25);
+}
+
+#[test]
+fn drift_hurts_caching_but_not_replication_end_to_end() {
+    // Needs a cache much smaller than the object universe, otherwise
+    // rotations shuffle objects that are all resident anyway.
+    let mut cfg = ScenarioConfig::small();
+    cfg.capacity_fraction = 0.05;
+    cfg.workload.objects_per_site = 400;
+    let s = Scenario::generate(&cfg);
+    let lengths: Vec<u64> = (0..s.trace.n_servers())
+        .map(|i| s.trace.len_for_server(i))
+        .collect();
+    let l = s.catalog.object_zipf.n() as u32;
+    let drifted = |plan: &cdn_core::PlanResult, period: u64| {
+        let zero: &(dyn Fn(u64) -> Box<dyn cache::Cache> + Sync) =
+            &|_| Box::new(cache::LruCache::new(0));
+        let factory = if plan.strategy == Strategy::Replication {
+            Some(zero)
+        } else {
+            None
+        };
+        simulate_system_streams(
+            &s.problem,
+            &plan.placement,
+            &s.catalog,
+            &s.config.sim,
+            factory,
+            &lengths,
+            |server| {
+                Drifted::new(
+                    s.trace.stream_for_server(server),
+                    DriftConfig {
+                        rotation_period: period,
+                        objects_per_site: l,
+                    },
+                )
+            },
+        )
+    };
+    let caching = s.plan(Strategy::Caching);
+    let replication = s.plan(Strategy::Replication);
+    // Rotation is a sliding window (one fresh object per epoch), so it
+    // must be fast relative to the stream to defeat LRU re-learning.
+    let caching_slow = drifted(&caching, u64::MAX).mean_latency_ms;
+    let caching_fast = drifted(&caching, 10).mean_latency_ms;
+    let repl_slow = drifted(&replication, u64::MAX).mean_latency_ms;
+    let repl_fast = drifted(&replication, 10).mean_latency_ms;
+    assert!(caching_fast > caching_slow * 1.02, "caching unaffected by drift");
+    assert!(
+        (repl_fast - repl_slow).abs() < repl_slow * 0.01,
+        "replication should be drift-invariant: {repl_slow} vs {repl_fast}"
+    );
+}
+
+#[test]
+fn lower_bound_holds_for_every_strategy() {
+    let s = scenario();
+    let lb = replication_cost_lower_bound(&s.problem);
+    assert!(lb > 0.0);
+    for strategy in [
+        Strategy::Replication,
+        Strategy::Backtrack,
+        Strategy::Popularity,
+        Strategy::GreedyLocal,
+        Strategy::Random { seed: 3 },
+    ] {
+        let plan = s.plan(strategy);
+        let cost = replication_only_cost(&s.problem, &plan.placement);
+        assert!(
+            cost + 1e-9 >= lb,
+            "{}: cost {cost} below LB {lb}",
+            strategy.name()
+        );
+    }
+    // And the gap metric is well-formed for the best heuristic.
+    let greedy_cost =
+        replication_only_cost(&s.problem, &s.plan(Strategy::Replication).placement);
+    let gap = optimality_gap(greedy_cost, lb);
+    assert!(gap >= 0.0 && gap.is_finite());
+}

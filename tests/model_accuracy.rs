@@ -1,0 +1,74 @@
+//! The Figure 6 check: the planner's predicted cost per request must track
+//! the trace-driven simulation. The paper reports an overall error below
+//! 7% at full scale; the small scenario here is noisier, so we allow 15%.
+
+use cdn_core::{Scenario, ScenarioConfig, Strategy};
+use cdn_core::workload::LambdaMode;
+
+fn check(capacity: f64, lambda: f64, tolerance: f64) {
+    let mut config = ScenarioConfig::small();
+    config.capacity_fraction = capacity;
+    config.lambda = lambda;
+    config.lambda_mode = LambdaMode::Uncacheable;
+    let s = Scenario::generate(&config);
+
+    let plan = s.plan(Strategy::Hybrid);
+    let predicted = plan.predicted_mean_hops(&s.problem);
+    let report = s.simulate(&plan);
+    let actual = report.mean_cost_hops;
+
+    // Warm-up skews the measured side slightly; both sides must be in the
+    // same ballpark for the greedy trade-off to be meaningful.
+    let err = (predicted - actual).abs() / actual.max(1e-9);
+    assert!(
+        err < tolerance,
+        "capacity {capacity}, lambda {lambda}: predicted {predicted:.3} vs actual {actual:.3} hops \
+         ({:.1}% error)",
+        err * 100.0
+    );
+}
+
+#[test]
+fn prediction_tracks_simulation_at_15pc_capacity() {
+    check(0.15, 0.0, 0.15);
+}
+
+#[test]
+fn prediction_tracks_simulation_at_30pc_capacity() {
+    check(0.30, 0.0, 0.15);
+}
+
+#[test]
+fn prediction_tracks_simulation_with_uncacheable_requests() {
+    check(0.15, 0.10, 0.15);
+}
+
+#[test]
+fn pure_caching_prediction_also_tracks() {
+    let s = Scenario::generate(&ScenarioConfig::small());
+    let plan = s.plan(Strategy::Caching);
+    let predicted = plan.predicted_mean_hops(&s.problem);
+    let actual = s.simulate(&plan).mean_cost_hops;
+    let err = (predicted - actual).abs() / actual.max(1e-9);
+    assert!(
+        err < 0.15,
+        "caching: predicted {predicted:.3} vs actual {actual:.3} ({:.1}%)",
+        err * 100.0
+    );
+}
+
+#[test]
+fn replication_prediction_is_nearly_exact() {
+    // With no cache in play, prediction and simulation compute the same
+    // deterministic quantity up to multinomial sampling of the trace.
+    let s = Scenario::generate(&ScenarioConfig::small());
+    let plan = s.plan(Strategy::Replication);
+    let predicted = plan.predicted_mean_hops(&s.problem);
+    let actual = s.simulate(&plan).mean_cost_hops;
+    let err = (predicted - actual).abs() / actual.max(1e-9);
+    assert!(
+        err < 0.02,
+        "replication: predicted {predicted:.4} vs actual {actual:.4} ({:.2}%)",
+        err * 100.0
+    );
+}

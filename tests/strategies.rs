@@ -1,0 +1,99 @@
+//! Cross-strategy integration checks: the hybrid against the ad-hoc splits
+//! (the paper's Figure 5 claim) and against naive baselines.
+
+use cdn_core::{Scenario, ScenarioConfig, Strategy};
+
+#[test]
+fn hybrid_prediction_beats_all_adhoc_splits() {
+    let s = Scenario::generate(&ScenarioConfig::small());
+    let hybrid = s.plan(Strategy::Hybrid).predicted_cost;
+    for fraction in [0.2, 0.4, 0.6, 0.8] {
+        let adhoc = s
+            .plan(Strategy::AdHoc {
+                cache_fraction: fraction,
+            })
+            .predicted_cost;
+        assert!(
+            hybrid <= adhoc + 1e-9,
+            "hybrid {hybrid} worse than {:.0}% ad-hoc {adhoc}",
+            fraction * 100.0
+        );
+    }
+}
+
+#[test]
+fn hybrid_simulation_no_worse_than_adhoc_splits() {
+    let s = Scenario::generate(&ScenarioConfig::small());
+    let hybrid = s.simulate(&s.plan(Strategy::Hybrid)).mean_latency_ms;
+    for fraction in [0.2, 0.8] {
+        let adhoc = s
+            .simulate(&s.plan(Strategy::AdHoc {
+                cache_fraction: fraction,
+            }))
+            .mean_latency_ms;
+        assert!(
+            hybrid <= adhoc * 1.05,
+            "hybrid {hybrid} ms vs {:.0}%-cache ad-hoc {adhoc} ms",
+            fraction * 100.0
+        );
+    }
+}
+
+#[test]
+fn planned_placements_beat_random_in_simulation() {
+    let s = Scenario::generate(&ScenarioConfig::small());
+    let random = s.simulate(&s.plan(Strategy::Random { seed: 11 }));
+    let hybrid = s.simulate(&s.plan(Strategy::Hybrid));
+    assert!(
+        hybrid.mean_latency_ms <= random.mean_latency_ms * 1.02,
+        "hybrid {} vs random {}",
+        hybrid.mean_latency_ms,
+        random.mean_latency_ms
+    );
+}
+
+#[test]
+fn popularity_baseline_is_reasonable_but_not_better_than_hybrid() {
+    let s = Scenario::generate(&ScenarioConfig::small());
+    let popularity = s.simulate(&s.plan(Strategy::Popularity));
+    let hybrid = s.simulate(&s.plan(Strategy::Hybrid));
+    // Popularity placement with leftover caching is a decent heuristic;
+    // hybrid must still match or beat it.
+    assert!(hybrid.mean_latency_ms <= popularity.mean_latency_ms * 1.05);
+}
+
+#[test]
+fn capacity_monotonicity_for_hybrid() {
+    // More storage can only help the hybrid planner's prediction.
+    let mut costs = Vec::new();
+    for capacity in [0.05, 0.15, 0.30] {
+        let mut cfg = ScenarioConfig::small();
+        cfg.capacity_fraction = capacity;
+        let s = Scenario::generate(&cfg);
+        costs.push(s.plan(Strategy::Hybrid).predicted_cost);
+    }
+    assert!(
+        costs[0] >= costs[1] && costs[1] >= costs[2],
+        "prediction not monotone in capacity: {costs:?}"
+    );
+}
+
+#[test]
+fn lambda_hurts_caching_more_than_replication() {
+    // The paper's second experiment's premise: staleness penalises cached
+    // copies (refresh) but not replicas (push-invalidated).
+    let lat = |lambda: f64, strategy: Strategy| {
+        let mut cfg = ScenarioConfig::small();
+        cfg.lambda = lambda;
+        cfg.lambda_mode = cdn_core::workload::LambdaMode::Expired;
+        let s = Scenario::generate(&cfg);
+        s.simulate(&s.plan(strategy)).mean_latency_ms
+    };
+    let caching_degradation = lat(0.2, Strategy::Caching) - lat(0.0, Strategy::Caching);
+    let replication_degradation =
+        lat(0.2, Strategy::Replication) - lat(0.0, Strategy::Replication);
+    assert!(
+        caching_degradation > replication_degradation,
+        "caching degradation {caching_degradation} vs replication {replication_degradation}"
+    );
+}
