@@ -20,7 +20,10 @@ use cdn_workload::LambdaMode;
 
 fn main() {
     let scale = Scale::from_args();
-    banner("Ablation H: strong vs weak consistency (lambda = 10%)", scale);
+    banner(
+        "Ablation H: strong vs weak consistency (lambda = 10%)",
+        scale,
+    );
     let config = scale.config(0.05, 0.10, LambdaMode::Expired);
     let scenario = Scenario::generate(&config);
 

@@ -45,10 +45,7 @@ fn main() {
         let mc = monte_carlo_hit_ratio(&pops, &zipf, buffer, requests, requests / 4, 99);
         let p_b = model.top_b_mass(&pops, buffer);
         let k = model.eviction_horizon(buffer, p_b);
-        let paper: f64 = pops
-            .iter()
-            .map(|&p| p * model.site_hit_ratio(p, k))
-            .sum();
+        let paper: f64 = pops.iter().map(|&p| p * model.site_hit_ratio(p, k)).sum();
         let che_h = che.aggregate_hit_ratio(&pops, buffer);
         let perr = paper - mc.aggregate;
         let cerr = che_h - mc.aggregate;
@@ -68,7 +65,10 @@ fn main() {
     // shrinks (the hybrid run's situation). Fixed p_B uses the initial
     // (largest) buffer's mass throughout.
     println!("\n  fixed-p_B shortcut vs exact recomputation (paper's simplification):");
-    println!("  {:>7} {:>12} {:>12} {:>8}", "buffer", "h(fixed)", "h(exact)", "diff");
+    println!(
+        "  {:>7} {:>12} {:>12} {:>8}",
+        "buffer", "h(fixed)", "h(exact)", "diff"
+    );
     let initial_buffer = 3200usize;
     let p_b_fixed = model.top_b_mass(&pops, initial_buffer);
     let mut rows2 = Vec::new();
@@ -76,8 +76,14 @@ fn main() {
         let buffer = 25usize << exp;
         let k_fixed = model.eviction_horizon(buffer, p_b_fixed);
         let k_exact = model.eviction_horizon(buffer, model.top_b_mass(&pops, buffer));
-        let h_fixed: f64 = pops.iter().map(|&p| p * model.site_hit_ratio(p, k_fixed)).sum();
-        let h_exact: f64 = pops.iter().map(|&p| p * model.site_hit_ratio(p, k_exact)).sum();
+        let h_fixed: f64 = pops
+            .iter()
+            .map(|&p| p * model.site_hit_ratio(p, k_fixed))
+            .sum();
+        let h_exact: f64 = pops
+            .iter()
+            .map(|&p| p * model.site_hit_ratio(p, k_exact))
+            .sum();
         println!(
             "  {buffer:>7} {h_fixed:>12.4} {h_exact:>12.4} {:>+8.4}",
             h_fixed - h_exact
@@ -90,5 +96,9 @@ fn main() {
     );
 
     write_csv("ablation_model_accuracy.csv", "buffer,mc,paper,che", &rows);
-    write_csv("ablation_model_fixed_pb.csv", "buffer,h_fixed,h_exact", &rows2);
+    write_csv(
+        "ablation_model_fixed_pb.csv",
+        "buffer,h_fixed,h_exact",
+        &rows2,
+    );
 }

@@ -16,7 +16,10 @@ use cdn_workload::LambdaMode;
 
 fn main() {
     let scale = Scale::from_args();
-    banner("Ablation D: replacement policy inside the hybrid scheme", scale);
+    banner(
+        "Ablation D: replacement policy inside the hybrid scheme",
+        scale,
+    );
     let config = scale.config(0.05, 0.0, LambdaMode::Uncacheable);
     let scenario = Scenario::generate(&config);
     let plan = scenario.plan(Strategy::Hybrid);

@@ -14,7 +14,10 @@ use cdn_workload::LambdaMode;
 
 fn main() {
     let scale = Scale::from_args();
-    banner("Ablation B: cache-fraction sweep vs the hybrid optimum", scale);
+    banner(
+        "Ablation B: cache-fraction sweep vs the hybrid optimum",
+        scale,
+    );
     let config = scale.config(0.05, 0.0, LambdaMode::Uncacheable);
     let scenario = Scenario::generate(&config);
 
@@ -30,7 +33,10 @@ fn main() {
     let results = run_strategies(&scenario, &strategies);
 
     let mut rows = Vec::new();
-    println!("\n  {:<18} {:>9} {:>9} {:>9}", "strategy", "mean_ms", "hops/req", "replicas");
+    println!(
+        "\n  {:<18} {:>9} {:>9} {:>9}",
+        "strategy", "mean_ms", "hops/req", "replicas"
+    );
     let mut best_fixed = f64::INFINITY;
     let mut hybrid_ms = f64::INFINITY;
     for r in &results {

@@ -106,15 +106,18 @@ fn main() {
         );
         rows.push(format!(
             "{label},{},{:.3},{:.3},{:.3},{gain:.2}",
-            metrics.diameter,
-            repl.mean_latency_ms,
-            caching.mean_latency_ms,
-            hybrid.mean_latency_ms
+            metrics.diameter, repl.mean_latency_ms, caching.mean_latency_ms, hybrid.mean_latency_ms
         ));
         // The hybrid must win (or tie) everywhere — the paper's conclusion
         // should not be an artefact of the transit-stub hierarchy.
-        assert!(hybrid.mean_latency_ms <= repl.mean_latency_ms * 1.02, "{label}");
-        assert!(hybrid.mean_latency_ms <= caching.mean_latency_ms * 1.02, "{label}");
+        assert!(
+            hybrid.mean_latency_ms <= repl.mean_latency_ms * 1.02,
+            "{label}"
+        );
+        assert!(
+            hybrid.mean_latency_ms <= caching.mean_latency_ms * 1.02,
+            "{label}"
+        );
     }
     println!(
         "\n  shorter-diameter graphs (hubs) shrink everyone's redirect cost and\n\

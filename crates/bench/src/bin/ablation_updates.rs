@@ -21,7 +21,10 @@ use cdn_workload::LambdaMode;
 
 fn main() {
     let scale = Scale::from_args();
-    banner("Ablation G: update (write) intensity vs replica count", scale);
+    banner(
+        "Ablation G: update (write) intensity vs replica count",
+        scale,
+    );
     let config = scale.config(0.05, 0.0, LambdaMode::Uncacheable);
     let scenario = Scenario::generate(&config);
 

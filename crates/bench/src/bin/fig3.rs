@@ -23,7 +23,10 @@ fn main() {
     let strategies = [Strategy::Replication, Strategy::Caching, Strategy::Hybrid];
 
     for (panel, capacity) in [("a", 0.05), ("b", 0.10)] {
-        println!("\n-- Figure 3({panel}): capacity {:.0}% --", capacity * 100.0);
+        println!(
+            "\n-- Figure 3({panel}): capacity {:.0}% --",
+            capacity * 100.0
+        );
         let config = scale.config(capacity, 0.0, LambdaMode::Uncacheable);
         let scenario = Scenario::generate(&config);
         let results = run_strategies(&scenario, &strategies);

@@ -25,7 +25,10 @@ fn main() {
     let strategies = [Strategy::Replication, Strategy::Caching, Strategy::Hybrid];
 
     for (panel, capacity) in [("a", 0.05), ("b", 0.10)] {
-        println!("\n-- Figure 4({panel}): capacity {:.0}%, lambda = 0.10 --", capacity * 100.0);
+        println!(
+            "\n-- Figure 4({panel}): capacity {:.0}%, lambda = 0.10 --",
+            capacity * 100.0
+        );
         let config = scale.config(capacity, 0.10, LambdaMode::Expired);
         let scenario = Scenario::generate(&config);
         let results = run_strategies(&scenario, &strategies);

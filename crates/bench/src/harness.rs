@@ -153,8 +153,16 @@ pub fn summary_block(results: &[StrategyResult]) -> String {
 
 /// Mean-latency improvement of `a` over `b`, in percent.
 pub fn improvement_pct(results: &[StrategyResult], a: Strategy, b: Strategy) -> Option<f64> {
-    let la = results.iter().find(|r| r.strategy == a)?.report.mean_latency_ms;
-    let lb = results.iter().find(|r| r.strategy == b)?.report.mean_latency_ms;
+    let la = results
+        .iter()
+        .find(|r| r.strategy == a)?
+        .report
+        .mean_latency_ms;
+    let lb = results
+        .iter()
+        .find(|r| r.strategy == b)?
+        .report
+        .mean_latency_ms;
     (lb > 0.0).then(|| 100.0 * (lb - la) / lb)
 }
 
@@ -301,7 +309,10 @@ mod tests {
 
     #[test]
     fn csv_written_and_readable() {
-        std::env::set_var("CDN_RESULTS_DIR", std::env::temp_dir().join("cdn-test-results"));
+        std::env::set_var(
+            "CDN_RESULTS_DIR",
+            std::env::temp_dir().join("cdn-test-results"),
+        );
         let path = write_csv("unit_test.csv", "a,b", &["1,2".into(), "3,4".into()]);
         let body = std::fs::read_to_string(&path).unwrap();
         assert_eq!(body, "a,b\n1,2\n3,4\n");

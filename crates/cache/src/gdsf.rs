@@ -200,7 +200,7 @@ mod tests {
         c.insert(k(1), 80); // big
         c.insert(k(2), 10); // small
         c.insert(k(3), 10); // small
-        // All frequency 1: scores 1/80 < 1/10, so the big one is evicted.
+                            // All frequency 1: scores 1/80 < 1/10, so the big one is evicted.
         c.insert(k(4), 80);
         assert!(!c.contains(k(1)));
         assert!(c.contains(k(2)));

@@ -14,10 +14,7 @@ pub struct Args {
 impl Args {
     /// Parse raw arguments. `allowed` lists the recognised `--keys` (without
     /// dashes); anything else is rejected. A key appearing last wins.
-    pub fn parse<I: IntoIterator<Item = String>>(
-        raw: I,
-        allowed: &[&str],
-    ) -> Result<Self, String> {
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I, allowed: &[&str]) -> Result<Self, String> {
         let mut options = HashMap::new();
         let mut positional = Vec::new();
         let mut iter = raw.into_iter().peekable();
@@ -92,7 +89,11 @@ mod tests {
 
     #[test]
     fn parses_key_value_pairs() {
-        let a = parse(&["--capacity", "0.1", "--seed", "42"], &["capacity", "seed"]).unwrap();
+        let a = parse(
+            &["--capacity", "0.1", "--seed", "42"],
+            &["capacity", "seed"],
+        )
+        .unwrap();
         assert_eq!(a.get("capacity"), Some("0.1"));
         assert_eq!(a.get_f64("capacity", 0.0).unwrap(), 0.1);
         assert_eq!(a.get_u64("seed", 0).unwrap(), 42);

@@ -12,16 +12,82 @@ pub const USAGE: &str = "hybrid-cdn — replication + caching for CDNs (IPDPS 20
 
 USAGE:
   hybrid-cdn compare  [--capacity 0.05] [--lambda 0] [--mode uncacheable|expired]
-                      [--scale small|paper] [--seed N]
+                      [--scale small|paper] [--seed N] [fault options]
   hybrid-cdn plan     [--strategy hybrid] [--capacity 0.05] [--lambda 0]
                       [--mode uncacheable|expired] [--scale small|paper] [--seed N]
+                      [fault options]
   hybrid-cdn topology [--scale small|paper] [--seed N] [--dot FILE] [--csv FILE]
   hybrid-cdn workload [--theta 1.0] [--sites 15] [--objects 200] [--seed N]
   hybrid-cdn help
 
+FAULT OPTIONS (enable fault injection / failover routing in the simulator):
+  --mttf TICKS          mean requests between server crashes (default: never)
+  --mttr TICKS          mean requests to repair a crashed server (default 500)
+  --origin-outage F     long-run fraction of time origins are down, [0, 1)
+  --retry-penalty-ms MS latency per dead holder skipped (default 200)
+
 STRATEGIES (for --strategy):
   hybrid | replication | caching | popularity | greedy-local | backtrack
   | hybrid-che | random:<seed> | adhoc:<cache-fraction>";
+
+/// The `--key`s shared by every scenario-driven subcommand.
+pub const SCENARIO_KEYS: &[&str] = &[
+    "capacity",
+    "lambda",
+    "mode",
+    "scale",
+    "seed",
+    "mttf",
+    "mttr",
+    "origin-outage",
+    "retry-penalty-ms",
+];
+
+/// Fault parameters from `--mttf`/`--mttr`/`--origin-outage`/
+/// `--retry-penalty-ms`; `None` when no fault flag was given (the exact
+/// fault-free simulation path). The schedule seed follows the scenario
+/// seed so `--seed` varies faults and workload together.
+fn fault_params(
+    a: &Args,
+    scenario_seed: u64,
+) -> Result<Option<cdn_core::sim::FaultParams>, String> {
+    if !["mttf", "mttr", "origin-outage", "retry-penalty-ms"]
+        .iter()
+        .any(|k| a.has(k))
+    {
+        return Ok(None);
+    }
+    let defaults = cdn_core::sim::FaultParams::default();
+    let params = cdn_core::sim::FaultParams {
+        mttf: a.get_f64("mttf", f64::INFINITY)?,
+        mttr: a.get_f64("mttr", defaults.mttr)?,
+        origin_outage: a.get_f64("origin-outage", 0.0)?,
+        retry_penalty_ms: a.get_f64("retry-penalty-ms", defaults.retry_penalty_ms)?,
+        seed: scenario_seed,
+    };
+    if params.mttf <= 0.0 {
+        return Err(format!("--mttf must be positive, got {}", params.mttf));
+    }
+    if !(params.mttr > 0.0 && params.mttr.is_finite()) {
+        return Err(format!(
+            "--mttr must be positive and finite, got {}",
+            params.mttr
+        ));
+    }
+    if !(0.0..1.0).contains(&params.origin_outage) {
+        return Err(format!(
+            "--origin-outage must be in [0, 1), got {}",
+            params.origin_outage
+        ));
+    }
+    if !(params.retry_penalty_ms >= 0.0 && params.retry_penalty_ms.is_finite()) {
+        return Err(format!(
+            "--retry-penalty-ms must be non-negative, got {}",
+            params.retry_penalty_ms
+        ));
+    }
+    Ok(Some(params))
+}
 
 fn scenario_config(a: &Args) -> Result<ScenarioConfig, String> {
     let mode = match a.get("mode").unwrap_or("uncacheable") {
@@ -58,6 +124,7 @@ fn scenario_config(a: &Args) -> Result<ScenarioConfig, String> {
     if a.has("seed") {
         cfg.seed = a.get_u64("seed", cfg.seed)?;
     }
+    cfg.sim.faults = fault_params(a, cfg.seed)?;
     Ok(cfg)
 }
 
@@ -97,12 +164,24 @@ pub fn compare(a: &Args) -> Result<(), String> {
         cfg.lambda * 100.0,
         cfg.seed
     );
+    if let Some(f) = &cfg.sim.faults {
+        println!(
+            "faults: MTTF {} / MTTR {} requests, origin outage {:.0}%, retry penalty {} ms",
+            f.mttf,
+            f.mttr,
+            f.origin_outage * 100.0,
+            f.retry_penalty_ms
+        );
+    }
     let scenario = Scenario::generate(&cfg);
     let cmp = compare_strategies(
         &scenario,
         &[Strategy::Replication, Strategy::Caching, Strategy::Hybrid],
     );
     println!("\n{}", cmp.summary_table());
+    if cfg.sim.faults.is_some() {
+        println!("{}", cmp.fault_table());
+    }
     if let Some(gain) = cmp.improvement(Strategy::Hybrid, Strategy::Replication) {
         println!("hybrid vs replication: {:+.1}%", gain * 100.0);
     }
@@ -152,7 +231,10 @@ pub fn topology(a: &Args) -> Result<(), String> {
     println!(
         "transit-stub topology: {} nodes, {} edges, diameter {}, mean path {:.2} hops, \
          mean degree {:.2}",
-        metrics.n_nodes, metrics.n_edges, metrics.diameter, metrics.mean_path_hops,
+        metrics.n_nodes,
+        metrics.n_edges,
+        metrics.diameter,
+        metrics.mean_path_hops,
         metrics.mean_degree
     );
     if let Some(path) = a.get("dot") {
@@ -209,7 +291,10 @@ pub fn workload(a: &Args) -> Result<(), String> {
         100.0 * stats.concentration(0.10)
     );
     if let Some(est) = stats.zipf_exponent_estimate_for_site(busiest, 30) {
-        println!("estimated site-internal Zipf exponent: {est:.2} (configured {:.2})", cfg.theta);
+        println!(
+            "estimated site-internal Zipf exponent: {est:.2} (configured {:.2})",
+            cfg.theta
+        );
     }
     Ok(())
 }
@@ -238,9 +323,18 @@ mod tests {
     #[test]
     fn scenario_config_defaults_and_overrides() {
         let a = Args::parse(
-            ["--capacity", "0.2", "--lambda", "0.1", "--mode", "expired", "--seed", "5"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--capacity",
+                "0.2",
+                "--lambda",
+                "0.1",
+                "--mode",
+                "expired",
+                "--seed",
+                "5",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
             &["capacity", "lambda", "mode", "scale", "seed"],
         )
         .unwrap();
@@ -265,7 +359,53 @@ mod tests {
         )
         .unwrap();
         assert!(scenario_config(&a).unwrap_err().contains("--lambda"));
-        assert!(parse_strategy("adhoc:1.5").unwrap_err().contains("fraction"));
+        assert!(parse_strategy("adhoc:1.5")
+            .unwrap_err()
+            .contains("fraction"));
+    }
+
+    fn parse_scenario(args: &[&str]) -> Result<ScenarioConfig, String> {
+        let a = Args::parse(args.iter().map(|s| s.to_string()), SCENARIO_KEYS).unwrap();
+        scenario_config(&a)
+    }
+
+    #[test]
+    fn fault_flags_populate_sim_config() {
+        let cfg =
+            parse_scenario(&["--mttf", "300", "--origin-outage", "0.2", "--seed", "9"]).unwrap();
+        let f = cfg.sim.faults.expect("faults enabled");
+        assert_eq!(f.mttf, 300.0);
+        assert_eq!(f.origin_outage, 0.2);
+        assert_eq!(f.mttr, 500.0, "default MTTR");
+        assert_eq!(f.retry_penalty_ms, 200.0, "default retry penalty");
+        assert_eq!(f.seed, 9, "fault seed follows the scenario seed");
+    }
+
+    #[test]
+    fn no_fault_flags_means_no_fault_injection() {
+        let cfg = parse_scenario(&["--capacity", "0.2"]).unwrap();
+        assert!(cfg.sim.faults.is_none());
+        // A single fault flag is enough to switch the layer on.
+        let cfg = parse_scenario(&["--retry-penalty-ms", "50"]).unwrap();
+        let f = cfg.sim.faults.unwrap();
+        assert!(f.is_zero_fault(), "penalty alone never fires a fault");
+        assert_eq!(f.retry_penalty_ms, 50.0);
+    }
+
+    #[test]
+    fn invalid_fault_flags_rejected() {
+        assert!(parse_scenario(&["--mttf", "0"])
+            .unwrap_err()
+            .contains("--mttf"));
+        assert!(parse_scenario(&["--mttr", "-3"])
+            .unwrap_err()
+            .contains("--mttr"));
+        assert!(parse_scenario(&["--origin-outage", "1.0"])
+            .unwrap_err()
+            .contains("--origin-outage"));
+        assert!(parse_scenario(&["--retry-penalty-ms", "-1"])
+            .unwrap_err()
+            .contains("--retry-penalty-ms"));
     }
 
     #[test]

@@ -22,15 +22,15 @@ fn main() {
     }
     let command = raw.remove(0);
     let result = match command.as_str() {
-        "compare" => Args::parse(raw, &["capacity", "lambda", "mode", "scale", "seed"])
-            .and_then(|a| commands::compare(&a)),
-        "plan" => Args::parse(
-            raw,
-            &["strategy", "capacity", "lambda", "mode", "scale", "seed"],
-        )
-        .and_then(|a| commands::plan(&a)),
-        "topology" => Args::parse(raw, &["scale", "seed", "dot", "csv"])
-            .and_then(|a| commands::topology(&a)),
+        "compare" => Args::parse(raw, commands::SCENARIO_KEYS).and_then(|a| commands::compare(&a)),
+        "plan" => {
+            let mut keys = vec!["strategy"];
+            keys.extend_from_slice(commands::SCENARIO_KEYS);
+            Args::parse(raw, &keys).and_then(|a| commands::plan(&a))
+        }
+        "topology" => {
+            Args::parse(raw, &["scale", "seed", "dot", "csv"]).and_then(|a| commands::topology(&a))
+        }
         "workload" => Args::parse(raw, &["theta", "sites", "objects", "seed"])
             .and_then(|a| commands::workload(&a)),
         "help" | "--help" | "-h" => {
@@ -52,7 +52,10 @@ mod tests {
     #[test]
     fn usage_mentions_every_command() {
         for cmd in ["compare", "plan", "topology", "workload"] {
-            assert!(crate::commands::USAGE.contains(cmd), "{cmd} missing from USAGE");
+            assert!(
+                crate::commands::USAGE.contains(cmd),
+                "{cmd} missing from USAGE"
+            );
         }
     }
 }

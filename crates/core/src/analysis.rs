@@ -42,9 +42,8 @@ impl StrategyComparison {
 
     /// Render a compact summary table.
     pub fn summary_table(&self) -> String {
-        let mut out = String::from(
-            "strategy            mean_ms   p95_ms  local%   cache-hit%  replicas\n",
-        );
+        let mut out =
+            String::from("strategy            mean_ms   p95_ms  local%   cache-hit%  replicas\n");
         for r in &self.rows {
             out.push_str(&format!(
                 "{:<18} {:>8.2} {:>8.1} {:>7.1} {:>11.1} {:>9}\n",
@@ -54,6 +53,24 @@ impl StrategyComparison {
                 100.0 * r.report.local_ratio(),
                 100.0 * r.report.cache_hit_ratio(),
                 r.plan.placement.replica_count(),
+            ));
+        }
+        out
+    }
+
+    /// Render the availability view — only meaningful for fault-injected
+    /// runs (all-100% otherwise).
+    pub fn fault_table(&self) -> String {
+        let mut out =
+            String::from("strategy            avail%   failed  failover  degraded_p95_ms\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<18} {:>7.3} {:>8} {:>9} {:>16.1}\n",
+                r.strategy.name(),
+                100.0 * r.report.availability(),
+                r.report.failed_requests,
+                r.report.failover_fetches,
+                r.report.failover_histogram.percentile(0.95),
             ));
         }
         out
@@ -98,9 +115,15 @@ mod tests {
     fn improvement_is_antisymmetric_in_sign() {
         let scenario = Scenario::generate(&ScenarioConfig::small());
         let cmp = compare_strategies(&scenario, &[Strategy::Caching, Strategy::Hybrid]);
-        let ab = cmp.improvement(Strategy::Hybrid, Strategy::Caching).unwrap();
-        let ba = cmp.improvement(Strategy::Caching, Strategy::Hybrid).unwrap();
+        let ab = cmp
+            .improvement(Strategy::Hybrid, Strategy::Caching)
+            .unwrap();
+        let ba = cmp
+            .improvement(Strategy::Caching, Strategy::Hybrid)
+            .unwrap();
         assert!(ab * ba <= 0.0 || (ab == 0.0 && ba == 0.0));
-        assert!(cmp.improvement(Strategy::Replication, Strategy::Hybrid).is_none());
+        assert!(cmp
+            .improvement(Strategy::Replication, Strategy::Hybrid)
+            .is_none());
     }
 }

@@ -4,7 +4,7 @@
 use crate::strategy::{PlanResult, Strategy};
 use cdn_cache::Cache;
 use cdn_placement::hybrid::paper_oracle_for;
-use cdn_placement::{PlacementProblem, Placement};
+use cdn_placement::{Placement, PlacementProblem};
 use cdn_sim::{simulate_system, SimConfig, SimReport};
 use cdn_topology::{
     DistanceMatrix, HostPlacement, HostPlacementConfig, TransitStubConfig, TransitStubTopology,
@@ -147,7 +147,11 @@ impl Scenario {
     pub fn generate(config: &ScenarioConfig) -> Self {
         config.validate();
         let topology = TransitStubTopology::generate(&config.topology, config.seed);
-        let hosts = HostPlacement::place(&topology, &config.hosts, config.seed ^ 0x517c_c1b7_2722_0a95);
+        let hosts = HostPlacement::place(
+            &topology,
+            &config.hosts,
+            config.seed ^ 0x517c_c1b7_2722_0a95,
+        );
         let distances = DistanceMatrix::compute(&topology.graph, &hosts.host_rows());
         let catalog = SiteCatalog::generate(&config.workload, config.seed ^ 0x2545_f491_4f6c_dd1d);
         let n = config.hosts.n_servers;
@@ -167,9 +171,8 @@ impl Scenario {
             let mut rng = StdRng::seed_from_u64(config.seed ^ 0x94d0_49bb_1331_11eb);
             (0..m)
                 .map(|_| {
-                    (config.lambda
-                        + rng.gen_range(-config.lambda_spread..=config.lambda_spread))
-                    .clamp(0.0, 1.0)
+                    (config.lambda + rng.gen_range(-config.lambda_spread..=config.lambda_spread))
+                        .clamp(0.0, 1.0)
                 })
                 .collect()
         };
@@ -302,10 +305,7 @@ mod tests {
         for i in 0..n {
             assert_eq!(s.problem.dist_servers(i, i), 0);
             for k in 0..n {
-                assert_eq!(
-                    s.problem.dist_servers(i, k),
-                    s.problem.dist_servers(k, i)
-                );
+                assert_eq!(s.problem.dist_servers(i, k), s.problem.dist_servers(k, i));
             }
         }
         // Primaries are in stub domains ≥ 1 hop from any distinct server.
@@ -326,10 +326,7 @@ mod tests {
         let b = Scenario::generate(&ScenarioConfig::small());
         assert_eq!(a.problem.grand_total(), b.problem.grand_total());
         assert_eq!(a.catalog.total_bytes(), b.catalog.total_bytes());
-        assert_eq!(
-            a.problem.dist_primary(0, 0),
-            b.problem.dist_primary(0, 0)
-        );
+        assert_eq!(a.problem.dist_primary(0, 0), b.problem.dist_primary(0, 0));
     }
 
     #[test]
@@ -369,8 +366,7 @@ mod tests {
         let mut cfg = ScenarioConfig::small();
         cfg.capacity_profile = CapacityProfile::Skewed { ratio: 8.0 };
         let s = Scenario::generate(&cfg);
-        let uniform_total = (s.catalog.total_bytes() as f64
-            * cfg.capacity_fraction) as u64
+        let uniform_total = (s.catalog.total_bytes() as f64 * cfg.capacity_fraction) as u64
             * s.problem.n_servers() as u64;
         let skewed_total: u64 = s.problem.capacities.iter().sum();
         let rel = (skewed_total as f64 - uniform_total as f64).abs() / uniform_total as f64;

@@ -293,9 +293,14 @@ mod tests {
         // must beat the pure strategies and land in the same ballpark.
         let caching = Strategy::Caching.run(&p).predicted_cost;
         assert!(che.predicted_cost <= caching + 1e-9);
-        let rel = (che.predicted_cost - paper.predicted_cost).abs()
-            / paper.predicted_cost.max(1e-9);
-        assert!(rel < 0.25, "paper {} vs che {}", paper.predicted_cost, che.predicted_cost);
+        let rel =
+            (che.predicted_cost - paper.predicted_cost).abs() / paper.predicted_cost.max(1e-9);
+        assert!(
+            rel < 0.25,
+            "paper {} vs che {}",
+            paper.predicted_cost,
+            che.predicted_cost
+        );
     }
 
     #[test]

@@ -262,7 +262,10 @@ mod tests {
     fn horizon_approx_small_b_is_exact() {
         let m = model();
         for b in 0..=4096 {
-            assert_eq!(m.eviction_horizon_approx(b, 0.7), m.eviction_horizon(b, 0.7));
+            assert_eq!(
+                m.eviction_horizon_approx(b, 0.7),
+                m.eviction_horizon(b, 0.7)
+            );
         }
     }
 

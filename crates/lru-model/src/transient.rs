@@ -155,10 +155,8 @@ mod tests {
         let b = 50;
         let warmup = recommended_warmup(&pops, &z, b, 3.0);
         let total = warmup + 200_000;
-        let after_recommended =
-            monte_carlo_hit_ratio(&pops, &z, b, total, warmup, 5).aggregate;
-        let after_long =
-            monte_carlo_hit_ratio(&pops, &z, b, 600_000, 400_000, 5).aggregate;
+        let after_recommended = monte_carlo_hit_ratio(&pops, &z, b, total, warmup, 5).aggregate;
+        let after_long = monte_carlo_hit_ratio(&pops, &z, b, 600_000, 400_000, 5).aggregate;
         assert!(
             (after_recommended - after_long).abs() < 0.02,
             "recommended {after_recommended} vs long {after_long}"

@@ -36,7 +36,10 @@ pub fn monte_carlo_hit_ratio(
     seed: u64,
 ) -> McResult {
     assert!(!site_pops.is_empty(), "need at least one site");
-    assert!(warmup < total, "warm-up {warmup} must be below total {total}");
+    assert!(
+        warmup < total,
+        "warm-up {warmup} must be below total {total}"
+    );
 
     // Unit-size objects: capacity in "bytes" equals the object count.
     let mut cache = LruCache::new(buffer_objects as u64);

@@ -42,8 +42,8 @@ pub fn adhoc_split(problem: &PlacementProblem, cache_fraction: f64) -> Placement
 
 #[cfg(test)]
 mod tests {
-    use crate::problem::testkit::*;
     use super::*;
+    use crate::problem::testkit::*;
 
     #[test]
     fn fraction_zero_equals_greedy_global() {

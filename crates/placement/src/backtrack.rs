@@ -118,8 +118,8 @@ pub fn greedy_backtrack(problem: &PlacementProblem, config: &BacktrackConfig) ->
 
 #[cfg(test)]
 mod tests {
-    use crate::problem::testkit::*;
     use super::*;
+    use crate::problem::testkit::*;
 
     #[test]
     fn never_worse_than_constructive_greedy() {
@@ -146,9 +146,7 @@ mod tests {
     fn reported_cost_matches_placement() {
         let p = line_problem(3, 5, 800, 2400, uniform_demand(3, 5, 6));
         let out = greedy_backtrack(&p, &BacktrackConfig::default());
-        assert!(
-            (replication_only_cost(&p, &out.placement) - out.final_cost).abs() < 1e-9
-        );
+        assert!((replication_only_cost(&p, &out.placement) - out.final_cost).abs() < 1e-9);
     }
 
     #[test]

@@ -18,9 +18,8 @@ pub fn random_placement(problem: &PlacementProblem, seed: u64) -> Placement {
     let mut placement = Placement::primaries_only(problem);
     let n = problem.n_servers();
     let m = problem.m_sites();
-    let mut candidates: Vec<(usize, usize)> = (0..n)
-        .flat_map(|i| (0..m).map(move |j| (i, j)))
-        .collect();
+    let mut candidates: Vec<(usize, usize)> =
+        (0..n).flat_map(|i| (0..m).map(move |j| (i, j))).collect();
     candidates.shuffle(&mut rng);
     for (i, j) in candidates {
         if placement.fits(problem, i, j) {
@@ -52,10 +51,10 @@ pub fn popularity_placement(problem: &PlacementProblem) -> Placement {
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::cost::replication_only_cost;
     use crate::greedy_global::greedy_global;
     use crate::problem::testkit::*;
-    use super::*;
 
     #[test]
     fn random_placement_fills_until_nothing_fits() {

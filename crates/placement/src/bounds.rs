@@ -97,12 +97,12 @@ pub fn optimality_gap(cost: f64, lower_bound: f64) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::backtrack::{greedy_backtrack, BacktrackConfig};
     use crate::cost::replication_only_cost;
     use crate::greedy_global::greedy_global;
     use crate::problem::testkit::*;
     use crate::solution::Placement;
-    use super::*;
 
     #[test]
     fn bound_is_below_greedy_and_backtrack() {

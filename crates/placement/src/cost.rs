@@ -74,8 +74,8 @@ pub fn mean_hops_per_request(problem: &PlacementProblem, total_cost: f64) -> f64
 
 #[cfg(test)]
 mod tests {
-    use crate::problem::testkit::*;
     use super::*;
+    use crate::problem::testkit::*;
 
     #[test]
     fn primaries_only_cost_is_demand_times_primary_distance() {
@@ -139,7 +139,7 @@ mod tests {
         pl.add_replica(&p, 0, 0);
         pl.add_replica(&p, 1, 0);
         pl.add_replica(&p, 1, 1); // site 1 has zero update rate
-        // Site 0: primary distances are 10 (server 0) and 11 (server 1).
+                                  // Site 0: primary distances are 10 (server 0) and 11 (server 1).
         assert_eq!(update_cost(&p, &pl), 5.0 * (10.0 + 11.0));
         let read = predicted_cost(&p, &pl, |_, _| 0.0);
         assert_eq!(total_cost(&p, &pl, |_, _| 0.0), read + 105.0);

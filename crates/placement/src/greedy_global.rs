@@ -101,9 +101,9 @@ pub fn greedy_global(problem: &PlacementProblem) -> GreedyOutcome {
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::cost::replication_only_cost;
     use crate::problem::testkit::*;
-    use super::*;
 
     #[test]
     fn benefits_are_positive_and_cost_drops_accordingly() {

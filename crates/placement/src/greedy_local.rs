@@ -47,10 +47,10 @@ pub fn greedy_local(problem: &PlacementProblem) -> Placement {
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::cost::replication_only_cost;
     use crate::greedy_global::greedy_global;
     use crate::problem::testkit::*;
-    use super::*;
 
     #[test]
     fn fills_by_local_density() {

@@ -158,12 +158,7 @@ impl ShrinkMemo {
 
     /// Recompute every stale `W` (sequential phase, between scans).
     #[allow(clippy::needless_range_loop)] // i indexes three parallel arrays
-    fn refresh_w(
-        &mut self,
-        problem: &PlacementProblem,
-        placement: &Placement,
-        hits: &[Vec<f64>],
-    ) {
+    fn refresh_w(&mut self, problem: &PlacementProblem, placement: &Placement, hits: &[Vec<f64>]) {
         for i in 0..problem.n_servers() {
             if self.cur_w[i].is_some() {
                 continue;
@@ -325,8 +320,7 @@ pub fn hybrid_greedy(
             })
             .reduce_with(|a, b| {
                 // Deterministic: larger benefit wins, ties to smaller index.
-                if (b.benefit, std::cmp::Reverse(b.flat)) > (a.benefit, std::cmp::Reverse(a.flat))
-                {
+                if (b.benefit, std::cmp::Reverse(b.flat)) > (a.benefit, std::cmp::Reverse(a.flat)) {
                     b
                 } else {
                     a
@@ -413,10 +407,10 @@ pub fn pure_caching(problem: &PlacementProblem, oracle: &dyn HitRatioOracle) -> 
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::cost::replication_only_cost;
     use crate::greedy_global::greedy_global;
     use crate::problem::testkit::*;
-    use super::*;
 
     fn run(problem: &PlacementProblem) -> HybridOutcome {
         hybrid_greedy_paper(problem, &HybridConfig::default())
@@ -551,7 +545,12 @@ mod tests {
                 );
             }
             let rel = (fast.final_cost - exact.final_cost).abs() / exact.final_cost.max(1.0);
-            assert!(rel < 1e-9, "seed {seed}: {} vs {}", fast.final_cost, exact.final_cost);
+            assert!(
+                rel < 1e-9,
+                "seed {seed}: {} vs {}",
+                fast.final_cost,
+                exact.final_cost
+            );
         }
     }
 

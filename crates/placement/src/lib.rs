@@ -22,8 +22,8 @@
 
 pub mod adhoc;
 pub mod backtrack;
-pub mod bounds;
 pub mod baselines;
+pub mod bounds;
 pub mod cost;
 pub mod greedy_global;
 pub mod greedy_local;
@@ -36,13 +36,15 @@ pub use adhoc::adhoc_split;
 pub use backtrack::{greedy_backtrack, BacktrackConfig, BacktrackOutcome};
 pub use baselines::{popularity_placement, random_placement};
 pub use bounds::{optimality_gap, replication_cost_lower_bound};
-pub use cost::{mean_hops_per_request, predicted_cost, replication_only_cost, total_cost, update_cost};
+pub use cost::{
+    mean_hops_per_request, predicted_cost, replication_only_cost, total_cost, update_cost,
+};
 pub use greedy_global::greedy_global;
 pub use greedy_local::greedy_local;
 pub use hybrid::{hybrid_greedy, HybridConfig, HybridOutcome};
 pub use oracle::{CheOracle, HitRatioOracle, PaperOracle};
 pub use problem::PlacementProblem;
-pub use solution::{Nearest, Placement};
+pub use solution::{Nearest, Placement, RankedHolder};
 
 /// Hop distance, mirroring `cdn_topology::Hops` without depending on it
 /// (this crate is pure algorithm; it consumes pre-computed matrices).

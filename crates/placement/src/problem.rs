@@ -161,7 +161,9 @@ impl PlacementProblem {
 
     /// All site popularities at server `i`.
     pub fn popularity_row(&self, i: usize) -> Vec<f64> {
-        (0..self.m_sites).map(|j| self.site_popularity(i, j)).collect()
+        (0..self.m_sites)
+            .map(|j| self.site_popularity(i, j))
+            .collect()
     }
 
     /// LRU buffer size (in objects) for `cache_bytes` of free space.

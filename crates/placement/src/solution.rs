@@ -16,6 +16,15 @@ pub enum Nearest {
     Server(u32),
 }
 
+/// One copy holder of a site as seen from a particular server: who holds
+/// the copy and how far away it is. Produced by
+/// [`Placement::ranked_holders`] for failover routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankedHolder {
+    pub holder: Nearest,
+    pub dist: Hops,
+}
+
 /// A (partial) assignment of site replicas to servers.
 #[derive(Debug, Clone)]
 pub struct Placement {
@@ -112,7 +121,10 @@ impl Placement {
     /// # Panics
     /// Panics if the replica already exists or does not fit.
     pub fn add_replica(&mut self, problem: &PlacementProblem, i: usize, j: usize) -> Vec<usize> {
-        assert!(!self.is_replicated(i, j), "replica ({i}, {j}) already exists");
+        assert!(
+            !self.is_replicated(i, j),
+            "replica ({i}, {j}) already exists"
+        );
         assert!(
             problem.site_bytes[j] <= self.free_bytes[i],
             "replica ({i}, {j}) exceeds free space"
@@ -181,6 +193,54 @@ impl Placement {
         }
     }
 
+    /// Every holder of site `j` (each replicator plus the primary), ranked
+    /// by distance from server `i` — the failover order when holders crash.
+    ///
+    /// Rank 0 is always exactly `self.nearest(i, j)`: the incremental SN
+    /// maintenance in [`add_replica`](Self::add_replica) breaks distance
+    /// ties differently from a fresh sort (an existing pointer keeps its
+    /// site on equal distance), so the head of the list is pinned to the
+    /// live pointer rather than re-derived. The rest of the list is sorted
+    /// by `(dist, server index)` with the primary last among equals.
+    pub fn ranked_holders(
+        &self,
+        problem: &PlacementProblem,
+        i: usize,
+        j: usize,
+    ) -> Vec<RankedHolder> {
+        let mut holders: Vec<RankedHolder> = (0..self.n)
+            .filter(|&k| self.is_replicated(k, j))
+            .map(|k| RankedHolder {
+                holder: Nearest::Server(k as u32),
+                dist: problem.dist_servers(i, k),
+            })
+            .collect();
+        holders.push(RankedHolder {
+            holder: Nearest::Primary,
+            dist: problem.dist_primary(i, j),
+        });
+        // Primary sorts after any equally distant replica (replicas are
+        // CDN-internal; the origin is the copy of last resort at a tie).
+        holders.sort_by_key(|h| {
+            (
+                h.dist,
+                match h.holder {
+                    Nearest::Server(k) => k,
+                    Nearest::Primary => u32::MAX,
+                },
+            )
+        });
+        let head = self.nearest(i, j);
+        let pos = holders
+            .iter()
+            .position(|h| h.holder == head)
+            .expect("SN pointer must be a holder");
+        // `head` is at minimal distance (validate() guarantees it), so the
+        // rotation below only reorders equal-distance entries.
+        holders[..=pos].rotate_right(1);
+        holders
+    }
+
     /// Check all structural invariants; panics with a description on
     /// violation. Used by tests and `debug_assert!`s.
     pub fn validate(&self, problem: &PlacementProblem) {
@@ -239,8 +299,8 @@ impl Placement {
 
 #[cfg(test)]
 mod tests {
-    use crate::problem::testkit::*;
     use super::*;
+    use crate::problem::testkit::*;
 
     fn problem() -> PlacementProblem {
         line_problem(4, 3, 1000, 2500, uniform_demand(4, 3, 10))
@@ -328,6 +388,65 @@ mod tests {
         assert_eq!(pl.replicators_of(2), vec![0, 3]);
         assert_eq!(pl.sites_at(0), vec![2]);
         assert!(pl.sites_at(1).is_empty());
+    }
+
+    #[test]
+    fn ranked_holders_head_is_sn_pointer_and_list_is_complete() {
+        let p = problem();
+        let mut pl = Placement::primaries_only(&p);
+        pl.add_replica(&p, 0, 0);
+        pl.add_replica(&p, 3, 0);
+        for i in 0..4 {
+            let ranked = pl.ranked_holders(&p, i, 0);
+            // Two replicators plus the primary, each exactly once.
+            assert_eq!(ranked.len(), 3);
+            assert_eq!(ranked[0].holder, pl.nearest(i, 0));
+            assert_eq!(ranked[0].dist, pl.nearest_dist(&p, i, 0));
+            for w in ranked.windows(2) {
+                assert!(w[0].dist <= w[1].dist, "holders out of order: {ranked:?}");
+            }
+            let mut seen: Vec<Nearest> = ranked.iter().map(|h| h.holder).collect();
+            seen.sort_by_key(|h| match h {
+                Nearest::Server(k) => *k,
+                Nearest::Primary => u32::MAX,
+            });
+            assert_eq!(
+                seen,
+                vec![Nearest::Server(0), Nearest::Server(3), Nearest::Primary]
+            );
+        }
+    }
+
+    #[test]
+    fn ranked_holders_without_replicas_is_just_the_primary() {
+        let p = problem();
+        let pl = Placement::primaries_only(&p);
+        let ranked = pl.ranked_holders(&p, 1, 2);
+        assert_eq!(
+            ranked,
+            vec![RankedHolder {
+                holder: Nearest::Primary,
+                dist: p.dist_primary(1, 2),
+            }]
+        );
+    }
+
+    #[test]
+    fn ranked_holders_head_tracks_incremental_tie_breaks() {
+        // Two replicas equidistant from server 1: the incremental SN keeps
+        // whichever arrived first, and ranked_holders must mirror that
+        // pointer at rank 0 even though a fresh sort would pick the lower
+        // index.
+        let p = problem();
+        let mut pl = Placement::primaries_only(&p);
+        pl.add_replica(&p, 2, 0); // dist(1,2) = 1
+        pl.add_replica(&p, 0, 0); // dist(1,0) = 1, not strictly closer
+        assert_eq!(pl.nearest(1, 0), Nearest::Server(2));
+        let ranked = pl.ranked_holders(&p, 1, 0);
+        assert_eq!(ranked[0].holder, Nearest::Server(2));
+        assert_eq!(ranked[1].holder, Nearest::Server(0));
+        assert_eq!(ranked[0].dist, ranked[1].dist);
+        assert_eq!(ranked[2].holder, Nearest::Primary);
     }
 
     #[test]

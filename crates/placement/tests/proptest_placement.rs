@@ -26,7 +26,7 @@ fn arb_problem() -> impl Strategy<Value = PlacementProblem> {
         for i in 0..n {
             for j in 0..m {
                 // Primaries at least as far as the whole server span.
-                dist_sp[i * m + j] = 31 + rng.gen_range(0..20) + (coords[i] % 7) as u32;
+                dist_sp[i * m + j] = 31 + rng.gen_range(0..20u32) + (coords[i] % 7) as u32;
             }
         }
         let site_bytes: Vec<u64> = (0..m).map(|_| rng.gen_range(500..3000)).collect();

@@ -1,5 +1,6 @@
 //! The per-server request loop.
 
+use crate::fault::FaultSchedule;
 use crate::metrics::LatencyHistogram;
 use crate::plan::{ConsistencyMode, ServerPlan, SimConfig};
 use cdn_cache::{Cache, ObjectKey};
@@ -21,6 +22,15 @@ pub struct ServerReport {
     pub origin_fetches: u64,
     /// Measured requests served by another CDN server's replica.
     pub peer_fetches: u64,
+    /// Measured remote fetches that skipped at least one dead holder
+    /// before finding a live copy (disjoint from `origin_fetches` and
+    /// `peer_fetches`).
+    pub failover_fetches: u64,
+    /// Measured requests for which no live copy existed anywhere.
+    pub failed_requests: u64,
+    /// Latency distribution of the failover fetches alone — the degraded
+    /// tail that fault injection creates.
+    pub failover_histogram: LatencyHistogram,
     /// Bytes of measured responses, total and the share fetched from
     /// origin — CDNs bill on egress, so byte-weighted offload matters as
     /// much as request-weighted.
@@ -41,6 +51,23 @@ pub enum Resolution {
     CacheMiss,
     /// Uncacheable: fetch from the nearest copy, bypassing the cache.
     Bypass,
+    /// No live copy anywhere: the request was dropped.
+    Failed,
+}
+
+/// Outcome of fault-aware resolution (see [`resolve_faulted`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Routed {
+    pub resolution: Resolution,
+    /// Hops to the holder that served the request (0 for local service or
+    /// failure).
+    pub hops: u32,
+    /// Dead holders (and/or a dead first-hop server) skipped before the
+    /// request completed — each one costs a retry penalty.
+    pub dead_skipped: u32,
+    /// The serving holder was the primary (origin) site. Only meaningful
+    /// for remote resolutions.
+    pub from_origin: bool,
 }
 
 /// Resolve one request against a server's plan and cache; returns the
@@ -87,6 +114,133 @@ pub fn resolve(
     }
 }
 
+/// Walk `plan.holders[site]` from `start_rank`, skipping dead holders.
+/// Returns `(hops, from_origin, dead_skipped)` of the first live copy, or
+/// `None` when every holder is down.
+#[inline]
+fn first_live_holder(
+    plan: &ServerPlan,
+    site: usize,
+    schedule: &FaultSchedule,
+    tick: u64,
+    start_rank: usize,
+    mut dead: u32,
+) -> Option<(u32, bool, u32)> {
+    for h in &plan.holders[site][start_rank..] {
+        let alive = match h.server {
+            None => !schedule.is_origin_down(tick),
+            Some(k) => !schedule.is_server_down(k as usize, tick),
+        };
+        if alive {
+            return Some((h.hops, h.server.is_none(), dead));
+        }
+        dead += 1;
+    }
+    None
+}
+
+/// Fault-aware [`resolve`]: requests fail over along the distance-ranked
+/// holder list to the next-nearest *live* copy, skipping crashed servers
+/// (and, possibly, an unreachable origin).
+///
+/// Semantics:
+/// * A down first-hop server serves nothing locally and its cache is not
+///   touched (the contents survive the crash); the client retries against
+///   the holder list directly, paying one skip for the dead first hop.
+/// * A cache miss admits the object only if some live copy supplied it —
+///   a [`Resolution::Failed`] request leaves the cache unchanged.
+/// * Under [`ConsistencyMode::Strong`] an expired cache hit whose refresh
+///   finds no live copy fails; under weak consistency the stale copy is
+///   served locally without needing any holder.
+///
+/// With an all-alive schedule this is behaviourally identical to
+/// [`resolve`]: `holders[site][0]` mirrors the scalar nearest-copy fields.
+pub fn resolve_faulted(
+    plan: &ServerPlan,
+    cache: &mut dyn Cache,
+    req: Request,
+    object_bytes: u64,
+    consistency: ConsistencyMode,
+    schedule: &FaultSchedule,
+    tick: u64,
+) -> Routed {
+    let site = req.site as usize;
+    let local = |resolution| Routed {
+        resolution,
+        hops: 0,
+        dead_skipped: 0,
+        from_origin: false,
+    };
+    let remote = |resolution, (hops, from_origin, dead_skipped)| Routed {
+        resolution,
+        hops,
+        dead_skipped,
+        from_origin,
+    };
+    let failed = |dead_skipped| Routed {
+        resolution: Resolution::Failed,
+        hops: 0,
+        dead_skipped,
+        from_origin: false,
+    };
+
+    if schedule.is_server_down(plan.server, tick) {
+        // First-hop down: no replica, no cache. If this server replicates
+        // the site it heads its own holder list — skip that dead entry;
+        // otherwise the failed first-hop attempt itself costs one skip.
+        let start_rank = usize::from(plan.replicated[site]);
+        return match first_live_holder(plan, site, schedule, tick, start_rank, 1) {
+            Some(found) => remote(Resolution::Bypass, found),
+            None => failed(1 + (plan.holders[site].len() - start_rank) as u32),
+        };
+    }
+    if plan.replicated[site] {
+        return local(Resolution::Replica);
+    }
+    let fetch = |dead0| first_live_holder(plan, site, schedule, tick, 0, dead0);
+    let all_dead = plan.holders[site].len() as u32;
+    match req.flavor {
+        Flavor::Uncacheable => match fetch(0) {
+            Some(found) => remote(Resolution::Bypass, found),
+            None => failed(all_dead),
+        },
+        Flavor::Normal => {
+            let key = ObjectKey::new(req.site, req.object);
+            if cache.lookup(key) {
+                local(Resolution::CacheHit)
+            } else {
+                match fetch(0) {
+                    Some(found) => {
+                        cache.insert(key, object_bytes);
+                        remote(Resolution::CacheMiss, found)
+                    }
+                    None => failed(all_dead),
+                }
+            }
+        }
+        Flavor::Expired => {
+            let key = ObjectKey::new(req.site, req.object);
+            if cache.lookup(key) {
+                match consistency {
+                    ConsistencyMode::Strong => match fetch(0) {
+                        Some(found) => remote(Resolution::CacheRefresh, found),
+                        None => failed(all_dead),
+                    },
+                    ConsistencyMode::Weak => local(Resolution::CacheHit),
+                }
+            } else {
+                match fetch(0) {
+                    Some(found) => {
+                        cache.insert(key, object_bytes);
+                        remote(Resolution::CacheMiss, found)
+                    }
+                    None => failed(all_dead),
+                }
+            }
+        }
+    }
+}
+
 /// Run one server's full stream. `object_bytes(site, object)` supplies
 /// sizes; `warmup` requests are processed but not measured. The cache is
 /// used exactly as given — size it from `plan.cache_bytes` (as
@@ -98,13 +252,38 @@ pub fn simulate_server<I>(
     requests: I,
     warmup: u64,
     object_bytes: impl Fn(u32, u32) -> u64,
+    cache: Box<dyn Cache>,
+) -> ServerReport
+where
+    I: Iterator<Item = Request>,
+{
+    simulate_server_faulted(plan, config, requests, warmup, object_bytes, cache, None)
+}
+
+/// [`simulate_server`] with an optional fault schedule. `None` takes the
+/// exact fault-free code path; a schedule with no down-windows produces
+/// bit-identical reports to `None` (regression-guarded in the runner
+/// tests). The tick passed to the schedule is the request's index in this
+/// server's stream, counted from the stream start (warm-up included).
+pub fn simulate_server_faulted<I>(
+    plan: &ServerPlan,
+    config: &SimConfig,
+    requests: I,
+    warmup: u64,
+    object_bytes: impl Fn(u32, u32) -> u64,
     mut cache: Box<dyn Cache>,
+    schedule: Option<&FaultSchedule>,
 ) -> ServerReport
 where
     I: Iterator<Item = Request>,
 {
     config.validate();
+    let retry_penalty_ms = config
+        .faults
+        .map(|f| f.retry_penalty_ms)
+        .unwrap_or_default();
     let mut histogram = LatencyHistogram::new(config.bin_ms, config.n_bins);
+    let mut failover_histogram = LatencyHistogram::new(config.bin_ms, config.n_bins);
     let mut report = ServerReport {
         server: plan.server,
         histogram: LatencyHistogram::new(config.bin_ms, config.n_bins),
@@ -116,23 +295,57 @@ where
         replica_hits: 0,
         origin_fetches: 0,
         peer_fetches: 0,
+        failover_fetches: 0,
+        failed_requests: 0,
+        failover_histogram: LatencyHistogram::new(config.bin_ms, config.n_bins),
         total_bytes: 0,
         origin_bytes: 0,
     };
 
     for req in requests {
         let bytes = object_bytes(req.site, req.object);
-        let (resolution, hops) = resolve(plan, cache.as_mut(), req, bytes, config.consistency);
+        let routed = match schedule {
+            None => {
+                let (resolution, hops) =
+                    resolve(plan, cache.as_mut(), req, bytes, config.consistency);
+                Routed {
+                    resolution,
+                    hops,
+                    dead_skipped: 0,
+                    from_origin: plan.nearest_is_primary[req.site as usize],
+                }
+            }
+            Some(schedule) => resolve_faulted(
+                plan,
+                cache.as_mut(),
+                req,
+                bytes,
+                config.consistency,
+                schedule,
+                report.total_requests,
+            ),
+        };
         report.total_requests += 1;
         if report.total_requests <= warmup {
             continue;
         }
         report.measured_requests += 1;
-        report.cost_hops += hops as u64;
+        if routed.resolution == Resolution::Failed {
+            // Nothing was delivered: no bytes, no hops, no latency sample.
+            report.failed_requests += 1;
+            continue;
+        }
+        report.cost_hops += routed.hops as u64;
         report.total_bytes += bytes;
-        let latency = config.hop_delay_ms * (1.0 + hops as f64);
+        // With zero faults `dead_skipped` is 0 and the penalty term adds an
+        // exact +0.0, keeping fault-free latencies bit-identical.
+        let latency = config.hop_delay_ms * (1.0 + routed.hops as f64)
+            + retry_penalty_ms * routed.dead_skipped as f64;
         histogram.record(latency);
-        match resolution {
+        if routed.dead_skipped > 0 {
+            failover_histogram.record(latency);
+        }
+        match routed.resolution {
             Resolution::Replica => {
                 report.replica_hits += 1;
                 report.local_requests += 1;
@@ -142,35 +355,63 @@ where
                 report.local_requests += 1;
             }
             Resolution::CacheRefresh | Resolution::CacheMiss | Resolution::Bypass => {
-                // The request travelled to the nearest holder: origin if the
-                // primary is still the closest copy, a peer replica server
-                // otherwise.
-                if plan.nearest_is_primary[req.site as usize] {
+                // The request travelled to a holder: a failover fetch if it
+                // had to skip dead copies, otherwise origin or peer by who
+                // answered. Byte accounting tracks the actual source either
+                // way.
+                if routed.dead_skipped > 0 {
+                    report.failover_fetches += 1;
+                } else if routed.from_origin {
                     report.origin_fetches += 1;
-                    report.origin_bytes += bytes;
                 } else {
                     report.peer_fetches += 1;
                 }
+                if routed.from_origin {
+                    report.origin_bytes += bytes;
+                }
             }
+            Resolution::Failed => unreachable!("failed requests handled above"),
         }
     }
     report.histogram = histogram;
+    report.failover_histogram = failover_histogram;
     report
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultParams;
+    use crate::plan::{ConsistencyMode as CM, Holder};
     use cdn_cache::LruCache as Lru;
-    use crate::plan::ConsistencyMode as CM;
 
     fn plan(replicated: Vec<bool>, nearest: Vec<u32>, cache_bytes: u64) -> ServerPlan {
-        let nearest_is_primary = nearest.iter().map(|&h| h > 0).collect();
+        let nearest_is_primary: Vec<bool> = nearest.iter().map(|&h| h > 0).collect();
+        // Minimal holder lists consistent with the scalar fields: the local
+        // replica when replicated, the primary otherwise.
+        let holders = replicated
+            .iter()
+            .zip(&nearest)
+            .map(|(&r, &h)| {
+                if r {
+                    vec![Holder {
+                        server: Some(0),
+                        hops: 0,
+                    }]
+                } else {
+                    vec![Holder {
+                        server: None,
+                        hops: h,
+                    }]
+                }
+            })
+            .collect();
         ServerPlan {
             server: 0,
             replicated,
             nearest_hops: nearest,
             nearest_is_primary,
+            holders,
             cache_bytes,
         }
     }
@@ -231,7 +472,13 @@ mod tests {
     fn uncacheable_bypasses_cache() {
         let p = plan(vec![false], vec![5], 100);
         let mut cache = Lru::new(100);
-        let (res, hops) = resolve(&p, &mut cache, req(0, 1, Flavor::Uncacheable), 10, CM::Strong);
+        let (res, hops) = resolve(
+            &p,
+            &mut cache,
+            req(0, 1, Flavor::Uncacheable),
+            10,
+            CM::Strong,
+        );
         assert_eq!((res, hops), (Resolution::Bypass, 5));
         // Not admitted: a subsequent normal request misses.
         let (res, _) = resolve(&p, &mut cache, req(0, 1, Flavor::Normal), 10, CM::Strong);
@@ -243,9 +490,9 @@ mod tests {
         let p = plan(vec![true, false], vec![0, 3], 1000);
         let cfg = SimConfig::default();
         let stream = vec![
-            req(0, 1, Flavor::Normal),  // replica: 20 ms
-            req(1, 1, Flavor::Normal),  // miss: 80 ms
-            req(1, 1, Flavor::Normal),  // hit: 20 ms
+            req(0, 1, Flavor::Normal),      // replica: 20 ms
+            req(1, 1, Flavor::Normal),      // miss: 80 ms
+            req(1, 1, Flavor::Normal),      // hit: 20 ms
             req(1, 2, Flavor::Uncacheable), // bypass: 80 ms
         ];
         let report = simulate_server(
@@ -283,6 +530,294 @@ mod tests {
         // The warm-up miss populated the cache; the measured request hits.
         assert_eq!(report.cache_hits, 1);
         assert_eq!(report.cost_hops, 0);
+    }
+
+    /// One server (0), one site with three holders: peer 1 at 2 hops, peer
+    /// 2 at 5 hops, the primary at 9 hops.
+    fn failover_plan() -> ServerPlan {
+        ServerPlan {
+            server: 0,
+            replicated: vec![false],
+            nearest_hops: vec![2],
+            nearest_is_primary: vec![false],
+            holders: vec![vec![
+                Holder {
+                    server: Some(1),
+                    hops: 2,
+                },
+                Holder {
+                    server: Some(2),
+                    hops: 5,
+                },
+                Holder {
+                    server: None,
+                    hops: 9,
+                },
+            ]],
+            cache_bytes: 100,
+        }
+    }
+
+    /// Schedule where server `s` is down for ticks `[0, 100)`.
+    fn down(servers: &[usize], origin: bool) -> crate::fault::FaultSchedule {
+        let mut windows = vec![Vec::new(); 3];
+        for &s in servers {
+            windows[s] = vec![(0, 100)];
+        }
+        let origin_down = if origin { vec![(0, 100)] } else { Vec::new() };
+        crate::fault::FaultSchedule::from_windows(windows, origin_down)
+    }
+
+    #[test]
+    fn all_alive_matches_plain_resolve() {
+        let p = failover_plan();
+        let schedule = down(&[], false);
+        let mut c1 = Lru::new(100);
+        let mut c2 = Lru::new(100);
+        for flavor in [
+            Flavor::Normal,
+            Flavor::Normal,
+            Flavor::Expired,
+            Flavor::Uncacheable,
+        ] {
+            let (res, hops) = resolve(&p, &mut c1, req(0, 1, flavor), 10, CM::Strong);
+            let routed =
+                resolve_faulted(&p, &mut c2, req(0, 1, flavor), 10, CM::Strong, &schedule, 0);
+            assert_eq!((res, hops), (routed.resolution, routed.hops));
+            assert_eq!(routed.dead_skipped, 0);
+            assert!(!routed.from_origin);
+        }
+    }
+
+    #[test]
+    fn dead_nearest_holder_fails_over_to_next() {
+        let p = failover_plan();
+        let mut cache = Lru::new(100);
+        let schedule = down(&[1], false);
+        let routed = resolve_faulted(
+            &p,
+            &mut cache,
+            req(0, 1, Flavor::Normal),
+            10,
+            CM::Strong,
+            &schedule,
+            5,
+        );
+        assert_eq!(routed.resolution, Resolution::CacheMiss);
+        assert_eq!(routed.hops, 5, "should reach the second-nearest copy");
+        assert_eq!(routed.dead_skipped, 1);
+        assert!(!routed.from_origin);
+        // Past the recovery window the nearest holder serves again.
+        let routed = resolve_faulted(
+            &p,
+            &mut cache,
+            req(0, 2, Flavor::Normal),
+            10,
+            CM::Strong,
+            &schedule,
+            100,
+        );
+        assert_eq!((routed.hops, routed.dead_skipped), (2, 0));
+    }
+
+    #[test]
+    fn both_peers_dead_falls_back_to_origin() {
+        let p = failover_plan();
+        let mut cache = Lru::new(100);
+        let schedule = down(&[1, 2], false);
+        let routed = resolve_faulted(
+            &p,
+            &mut cache,
+            req(0, 1, Flavor::Normal),
+            10,
+            CM::Strong,
+            &schedule,
+            0,
+        );
+        assert_eq!(routed.resolution, Resolution::CacheMiss);
+        assert_eq!(routed.hops, 9);
+        assert_eq!(routed.dead_skipped, 2);
+        assert!(routed.from_origin);
+    }
+
+    #[test]
+    fn no_live_copy_fails_without_polluting_cache() {
+        let p = failover_plan();
+        let mut cache = Lru::new(100);
+        let schedule = down(&[1, 2], true);
+        let routed = resolve_faulted(
+            &p,
+            &mut cache,
+            req(0, 1, Flavor::Normal),
+            10,
+            CM::Strong,
+            &schedule,
+            0,
+        );
+        assert_eq!(routed.resolution, Resolution::Failed);
+        assert_eq!(routed.dead_skipped, 3);
+        assert!(cache.is_empty(), "failed fetch must not admit the object");
+        // A cached copy still serves locally during the blackout.
+        cache.insert(cdn_cache::ObjectKey::new(0, 1), 10);
+        let routed = resolve_faulted(
+            &p,
+            &mut cache,
+            req(0, 1, Flavor::Normal),
+            10,
+            CM::Strong,
+            &schedule,
+            1,
+        );
+        assert_eq!(routed.resolution, Resolution::CacheHit);
+    }
+
+    #[test]
+    fn strong_refresh_fails_but_weak_serves_stale_during_blackout() {
+        let p = failover_plan();
+        let schedule = down(&[1, 2], true);
+        let mut cache = Lru::new(100);
+        cache.insert(cdn_cache::ObjectKey::new(0, 1), 10);
+        let strong = resolve_faulted(
+            &p,
+            &mut cache,
+            req(0, 1, Flavor::Expired),
+            10,
+            CM::Strong,
+            &schedule,
+            0,
+        );
+        assert_eq!(strong.resolution, Resolution::Failed);
+        let weak = resolve_faulted(
+            &p,
+            &mut cache,
+            req(0, 1, Flavor::Expired),
+            10,
+            CM::Weak,
+            &schedule,
+            0,
+        );
+        assert_eq!(weak.resolution, Resolution::CacheHit);
+        assert_eq!(weak.dead_skipped, 0);
+    }
+
+    #[test]
+    fn down_first_hop_skips_local_service_and_cache() {
+        let p = failover_plan();
+        let mut cache = Lru::new(100);
+        cache.insert(cdn_cache::ObjectKey::new(0, 1), 10);
+        let schedule = down(&[0], false);
+        let routed = resolve_faulted(
+            &p,
+            &mut cache,
+            req(0, 1, Flavor::Normal),
+            10,
+            CM::Strong,
+            &schedule,
+            0,
+        );
+        // The cached copy is unreachable: the client retries to the nearest
+        // live holder, paying one skip for the dead first hop.
+        assert_eq!(routed.resolution, Resolution::Bypass);
+        assert_eq!(routed.hops, 2);
+        assert_eq!(routed.dead_skipped, 1);
+        assert_eq!(cache.len(), 1, "crashed server's cache must not change");
+    }
+
+    #[test]
+    fn down_replicator_fails_over_off_its_own_replica() {
+        // Server 0 replicates the site (it heads its own holder list) but
+        // is down: the request must reach the next holder.
+        let p = ServerPlan {
+            server: 0,
+            replicated: vec![true],
+            nearest_hops: vec![0],
+            nearest_is_primary: vec![false],
+            holders: vec![vec![
+                Holder {
+                    server: Some(0),
+                    hops: 0,
+                },
+                Holder {
+                    server: None,
+                    hops: 9,
+                },
+            ]],
+            cache_bytes: 0,
+        };
+        let mut cache = Lru::new(0);
+        let schedule = down(&[0], false);
+        let routed = resolve_faulted(
+            &p,
+            &mut cache,
+            req(0, 1, Flavor::Normal),
+            10,
+            CM::Strong,
+            &schedule,
+            0,
+        );
+        assert_eq!(routed.resolution, Resolution::Bypass);
+        assert_eq!(routed.hops, 9);
+        assert_eq!(routed.dead_skipped, 1);
+        assert!(routed.from_origin);
+        // Up again: served from the local replica.
+        let routed = resolve_faulted(
+            &p,
+            &mut cache,
+            req(0, 1, Flavor::Normal),
+            10,
+            CM::Strong,
+            &schedule,
+            200,
+        );
+        assert_eq!(routed.resolution, Resolution::Replica);
+    }
+
+    #[test]
+    fn simulate_server_faulted_accounts_failures_and_failovers() {
+        let p = failover_plan();
+        let cfg = SimConfig {
+            faults: Some(FaultParams {
+                retry_penalty_ms: 100.0,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        // Holder 1 down for ticks [0,2); everything down at tick 3.
+        let schedule = crate::fault::FaultSchedule::from_windows(
+            vec![Vec::new(), vec![(0, 2), (3, 4)], vec![(3, 4)]],
+            vec![(3, 4)],
+        );
+        let stream = vec![
+            req(0, 1, Flavor::Normal), // tick 0: failover to holder 2 (5 hops + 1 retry)
+            req(0, 1, Flavor::Normal), // tick 1: cache hit
+            req(0, 2, Flavor::Normal), // tick 2: miss to holder 1 (2 hops)
+            req(0, 3, Flavor::Normal), // tick 3: everything down -> failed
+        ];
+        let report = simulate_server_faulted(
+            &p,
+            &cfg,
+            stream.into_iter(),
+            0,
+            |_, _| 10,
+            Box::new(Lru::new(p.cache_bytes)),
+            Some(&schedule),
+        );
+        assert_eq!(report.measured_requests, 4);
+        assert_eq!(report.failed_requests, 1);
+        assert_eq!(report.failover_fetches, 1);
+        assert_eq!(report.peer_fetches, 1);
+        assert_eq!(report.cache_hits, 1);
+        assert_eq!(
+            report.histogram.count(),
+            3,
+            "failed requests record no latency"
+        );
+        assert_eq!(report.failover_histogram.count(), 1);
+        // Failover latency: 20 * (1 + 5) + 100 * 1 = 220 ms.
+        assert!((report.failover_histogram.mean() - 220.0).abs() < 1e-9);
+        // Failed request delivered nothing.
+        assert_eq!(report.total_bytes, 30);
+        assert_eq!(report.cost_hops, 5 + 2);
     }
 
     #[test]

@@ -13,18 +13,28 @@
 //! consistent (the CDN pushes invalidations), while a cache hit on an
 //! *expired* object pays a refresh round to the nearest replica.
 //!
+//! Fault injection (see [`fault`]) layers crash/recovery windows and
+//! origin outages on top: requests fail over along each server's
+//! distance-ranked holder list to the next-nearest *live* copy, paying a
+//! retry penalty per dead holder skipped, and are dropped
+//! ([`engine::Resolution::Failed`]) when no live copy exists. Fault-free
+//! configurations take the exact legacy code path and stay bit-identical.
+//!
 //! * [`metrics`] — latency histogram / CDF / mean, cost counters.
 //! * [`plan`] — the per-server view of a placement (what is replicated,
 //!   how far the nearest copy is, how much space the cache gets).
 //! * [`engine`] — the per-server request loop.
+//! * [`fault`] — deterministic crash/recovery and origin-outage schedules.
 //! * [`runner`] — whole-system simulation, parallel across servers.
 
 pub mod engine;
+pub mod fault;
 pub mod metrics;
 pub mod plan;
 pub mod runner;
 
-pub use engine::{simulate_server, ServerReport};
+pub use engine::{resolve_faulted, simulate_server, simulate_server_faulted, Routed, ServerReport};
+pub use fault::{FaultParams, FaultSchedule};
 pub use metrics::{LatencyHistogram, SimReport};
-pub use plan::{ConsistencyMode, ServerPlan, SimConfig};
+pub use plan::{ConsistencyMode, Holder, ServerPlan, SimConfig};
 pub use runner::{simulate_system, simulate_system_streams};

@@ -111,11 +111,7 @@ impl LatencyHistogram {
             return out;
         }
         let mut acc = 0u64;
-        let last_used = self
-            .counts
-            .iter()
-            .rposition(|&c| c > 0)
-            .unwrap_or(0);
+        let last_used = self.counts.iter().rposition(|&c| c > 0).unwrap_or(0);
         for (i, &c) in self.counts.iter().enumerate().take(last_used + 1) {
             acc += c;
             out.push(((i as f64 + 1.0) * self.bin_ms, acc as f64 / self.n as f64));
@@ -146,6 +142,11 @@ pub struct ServerSummary {
     pub local_ratio: f64,
     pub cache_hit_ratio: f64,
     pub origin_fetches: u64,
+    /// Measured requests this server's clients lost to faults.
+    pub failed_requests: u64,
+    /// Fraction of measured requests that completed (1.0 when nothing was
+    /// measured — an idle server is not an unavailable one).
+    pub availability: f64,
 }
 
 /// Whole-system simulation result.
@@ -174,6 +175,13 @@ pub struct SimReport {
     pub origin_fetches: u64,
     /// Measured requests served by another CDN server's replica.
     pub peer_fetches: u64,
+    /// Measured remote fetches that skipped at least one dead holder before
+    /// completing (disjoint from `origin_fetches`/`peer_fetches`), and the
+    /// latency distribution of just those degraded requests.
+    pub failover_fetches: u64,
+    pub failover_histogram: LatencyHistogram,
+    /// Measured requests with no live copy anywhere — dropped entirely.
+    pub failed_requests: u64,
     /// Bytes of measured responses (total) and the share fetched from the
     /// origin sites.
     pub total_bytes: u64,
@@ -238,6 +246,26 @@ impl SimReport {
             0.0
         } else {
             1.0 - self.origin_bytes as f64 / self.total_bytes as f64
+        }
+    }
+
+    /// Fraction of measured requests that completed (were not dropped by
+    /// faults). 1.0 for an empty run and for any fault-free run.
+    pub fn availability(&self) -> f64 {
+        if self.measured_requests == 0 {
+            1.0
+        } else {
+            1.0 - self.failed_requests as f64 / self.measured_requests as f64
+        }
+    }
+
+    /// Fraction of measured requests that completed only by failing over
+    /// past at least one dead holder.
+    pub fn failover_ratio(&self) -> f64 {
+        if self.measured_requests == 0 {
+            0.0
+        } else {
+            self.failover_fetches as f64 / self.measured_requests as f64
         }
     }
 }
@@ -337,6 +365,9 @@ mod tests {
             replica_hits: 0,
             origin_fetches: 0,
             peer_fetches: 0,
+            failover_fetches: 0,
+            failover_histogram: LatencyHistogram::new(1.0, 1),
+            failed_requests: 0,
             total_bytes: 0,
             origin_bytes: 0,
             per_server: Vec::new(),
@@ -345,5 +376,7 @@ mod tests {
         assert_eq!(r.cache_hit_ratio(), 0.0);
         assert_eq!(r.origin_offload(), 0.0);
         assert_eq!(r.load_imbalance(), 1.0);
+        assert_eq!(r.availability(), 1.0);
+        assert_eq!(r.failover_ratio(), 0.0);
     }
 }

@@ -1,7 +1,19 @@
 //! The per-server operational view of a placement, plus simulation
 //! configuration.
 
-use cdn_placement::{Placement, PlacementProblem};
+use crate::fault::FaultParams;
+use cdn_placement::{Nearest, Placement, PlacementProblem};
+
+/// One copy holder of a site as seen from a plan's server — the failover
+/// targets of [`crate::engine::resolve_faulted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Holder {
+    /// The CDN server holding the copy, or `None` for the primary (origin)
+    /// site.
+    pub server: Option<u32>,
+    /// Hops from the plan's server to this holder.
+    pub hops: u32,
+}
 
 /// What one CDN server needs to serve requests: which sites it replicates,
 /// how many hops away the nearest copy of every site is, and how many bytes
@@ -17,6 +29,11 @@ pub struct ServerPlan {
     /// `nearest_is_primary[j]` — the nearest copy of site j is the primary
     /// (origin) site rather than a CDN replica.
     pub nearest_is_primary: Vec<bool>,
+    /// `holders[j]` — every copy holder of site j (replicators plus the
+    /// primary) ranked by distance. `holders[j][0]` always matches
+    /// `nearest_hops[j]`/`nearest_is_primary[j]`; later entries are the
+    /// failover order when holders are down.
+    pub holders: Vec<Vec<Holder>>,
     /// Bytes available to the LRU cache.
     pub cache_bytes: u64,
 }
@@ -30,13 +47,29 @@ impl ServerPlan {
             .map(|j| placement.nearest_dist(problem, i, j))
             .collect();
         let nearest_is_primary = (0..m)
-            .map(|j| matches!(placement.nearest(i, j), cdn_placement::Nearest::Primary))
+            .map(|j| matches!(placement.nearest(i, j), Nearest::Primary))
+            .collect();
+        let holders = (0..m)
+            .map(|j| {
+                placement
+                    .ranked_holders(problem, i, j)
+                    .into_iter()
+                    .map(|h| Holder {
+                        server: match h.holder {
+                            Nearest::Primary => None,
+                            Nearest::Server(k) => Some(k),
+                        },
+                        hops: h.dist,
+                    })
+                    .collect()
+            })
             .collect();
         Self {
             server: i,
             replicated,
             nearest_hops,
             nearest_is_primary,
+            holders,
             cache_bytes: placement.free_bytes(i),
         }
     }
@@ -77,6 +110,9 @@ pub struct SimConfig {
     pub n_bins: usize,
     /// Cache-consistency regime for expired objects.
     pub consistency: ConsistencyMode,
+    /// Fault injection: `None` runs the exact fault-free code path (and is
+    /// guaranteed bit-identical to `Some` of zero-fault parameters).
+    pub faults: Option<FaultParams>,
 }
 
 impl Default for SimConfig {
@@ -87,6 +123,7 @@ impl Default for SimConfig {
             bin_ms: 1.0,
             n_bins: 4096,
             consistency: ConsistencyMode::Strong,
+            faults: None,
         }
     }
 }
@@ -101,6 +138,9 @@ impl SimConfig {
             (0.0..1.0).contains(&self.warmup_fraction),
             "warm-up fraction must be in [0, 1)"
         );
+        if let Some(faults) = &self.faults {
+            faults.validate();
+        }
     }
 }
 
@@ -143,6 +183,42 @@ mod tests {
         assert_eq!(plans[1].nearest_hops[0], 11); // primary
         assert!(plans[1].nearest_is_primary[0]);
         assert_eq!(plans[1].cache_bytes, 1500);
+
+        // Holder lists: rank 0 mirrors the scalar nearest fields, and every
+        // copy (replicas + primary) appears in distance order.
+        for plan in &plans {
+            for j in 0..2 {
+                let h = &plan.holders[j];
+                assert_eq!(h[0].hops, plan.nearest_hops[j]);
+                assert_eq!(h[0].server.is_none(), plan.nearest_is_primary[j]);
+                for w in h.windows(2) {
+                    assert!(w[0].hops <= w[1].hops);
+                }
+            }
+        }
+        // Site 1 is replicated at server 0: server 1 can fail over from the
+        // replica (3 hops) to the primary (13 hops).
+        assert_eq!(
+            plans[1].holders[1],
+            vec![
+                Holder {
+                    server: Some(0),
+                    hops: 3
+                },
+                Holder {
+                    server: None,
+                    hops: 13
+                },
+            ]
+        );
+        // Site 0 has no replicas: the primary is the only holder.
+        assert_eq!(
+            plans[1].holders[0],
+            vec![Holder {
+                server: None,
+                hops: 11
+            }]
+        );
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! (servers are fully independent — separate caches, separate streams),
 //! merged into a single [`SimReport`].
 
-use crate::engine::{simulate_server, ServerReport};
+use crate::engine::{simulate_server_faulted, ServerReport};
+use crate::fault::FaultSchedule;
 use crate::metrics::{LatencyHistogram, SimReport};
 use crate::plan::{ServerPlan, SimConfig};
 use cdn_cache::{Cache, LruCache};
@@ -72,6 +73,13 @@ where
         "lengths/problem server count mismatch"
     );
 
+    // The fault schedule is fully precomputed before the parallel loop, so
+    // runs stay deterministic regardless of thread scheduling.
+    let schedule: Option<FaultSchedule> = config.faults.map(|f| {
+        let horizon = lengths.iter().copied().max().unwrap_or(0);
+        FaultSchedule::generate(&f, problem.n_servers(), horizon)
+    });
+
     let plans = ServerPlan::all_from_placement(problem, placement);
     let reports: Vec<ServerReport> = plans
         .par_iter()
@@ -81,13 +89,14 @@ where
                 Some(f) => f(plan.cache_bytes),
                 None => Box::new(LruCache::new(plan.cache_bytes)),
             };
-            simulate_server(
+            simulate_server_faulted(
                 plan,
                 config,
                 streams(plan.server),
                 warmup,
                 |site, object| catalog.sites[site as usize].object_sizes[object as usize],
                 cache,
+                schedule.as_ref(),
             )
         })
         .collect();
@@ -113,9 +122,16 @@ fn merge_reports(reports: Vec<ServerReport>, config: &SimConfig) -> SimReport {
                 r.cache_hits as f64 / r.measured_requests as f64
             },
             origin_fetches: r.origin_fetches,
+            failed_requests: r.failed_requests,
+            availability: if r.measured_requests == 0 {
+                1.0
+            } else {
+                1.0 - r.failed_requests as f64 / r.measured_requests as f64
+            },
         })
         .collect();
     let mut histogram = LatencyHistogram::new(config.bin_ms, config.n_bins);
+    let mut failover_histogram = LatencyHistogram::new(config.bin_ms, config.n_bins);
     let mut total_requests = 0;
     let mut measured_requests = 0;
     let mut local_requests = 0;
@@ -123,11 +139,14 @@ fn merge_reports(reports: Vec<ServerReport>, config: &SimConfig) -> SimReport {
     let mut replica_hits = 0;
     let mut origin_fetches = 0;
     let mut peer_fetches = 0;
+    let mut failover_fetches = 0;
+    let mut failed_requests = 0;
     let mut total_bytes = 0;
     let mut origin_bytes = 0;
     let mut cost_hops = 0u64;
     for r in &reports {
         histogram.merge(&r.histogram);
+        failover_histogram.merge(&r.failover_histogram);
         total_requests += r.total_requests;
         measured_requests += r.measured_requests;
         local_requests += r.local_requests;
@@ -135,6 +154,8 @@ fn merge_reports(reports: Vec<ServerReport>, config: &SimConfig) -> SimReport {
         replica_hits += r.replica_hits;
         origin_fetches += r.origin_fetches;
         peer_fetches += r.peer_fetches;
+        failover_fetches += r.failover_fetches;
+        failed_requests += r.failed_requests;
         total_bytes += r.total_bytes;
         origin_bytes += r.origin_bytes;
         cost_hops += r.cost_hops;
@@ -154,6 +175,9 @@ fn merge_reports(reports: Vec<ServerReport>, config: &SimConfig) -> SimReport {
         replica_hits,
         origin_fetches,
         peer_fetches,
+        failover_fetches,
+        failover_histogram,
+        failed_requests,
         total_bytes,
         origin_bytes,
         per_server,
@@ -346,14 +370,8 @@ mod tests {
             .collect();
         let l = catalog.object_zipf.n() as u32;
         let stationary = simulate_system(&problem, &pl, &catalog, &trace, &cfg, None);
-        let fast_drift = simulate_system_streams(
-            &problem,
-            &pl,
-            &catalog,
-            &cfg,
-            None,
-            &lengths,
-            |server| {
+        let fast_drift =
+            simulate_system_streams(&problem, &pl, &catalog, &cfg, None, &lengths, |server| {
                 Drifted::new(
                     trace.stream_for_server(server),
                     DriftConfig {
@@ -361,8 +379,7 @@ mod tests {
                         objects_per_site: l,
                     },
                 )
-            },
-        );
+            });
         assert!(
             fast_drift.cache_hits < stationary.cache_hits,
             "drift {} >= stationary {}",
@@ -388,5 +405,175 @@ mod tests {
         fn cost_hops_identity(&self) -> u64 {
             (self.mean_cost_hops * self.measured_requests as f64).round() as u64
         }
+    }
+
+    use crate::fault::FaultParams;
+
+    fn faulty_params() -> FaultParams {
+        FaultParams {
+            mttf: 400.0,
+            mttr: 150.0,
+            origin_outage: 0.25,
+            retry_penalty_ms: 150.0,
+            seed: 5,
+        }
+    }
+
+    fn assert_reports_identical(a: &SimReport, b: &SimReport) {
+        assert_eq!(a.mean_latency_ms.to_bits(), b.mean_latency_ms.to_bits());
+        assert_eq!(a.mean_cost_hops.to_bits(), b.mean_cost_hops.to_bits());
+        assert_eq!(a.total_requests, b.total_requests);
+        assert_eq!(a.measured_requests, b.measured_requests);
+        assert_eq!(a.local_requests, b.local_requests);
+        assert_eq!(a.cache_hits, b.cache_hits);
+        assert_eq!(a.replica_hits, b.replica_hits);
+        assert_eq!(a.origin_fetches, b.origin_fetches);
+        assert_eq!(a.peer_fetches, b.peer_fetches);
+        assert_eq!(a.failover_fetches, b.failover_fetches);
+        assert_eq!(a.failed_requests, b.failed_requests);
+        assert_eq!(a.total_bytes, b.total_bytes);
+        assert_eq!(a.origin_bytes, b.origin_bytes);
+        assert_eq!(a.histogram.count(), b.histogram.count());
+        assert_eq!(a.histogram.mean().to_bits(), b.histogram.mean().to_bits());
+        assert_eq!(a.histogram.cdf(), b.histogram.cdf());
+        assert_eq!(a.failover_histogram.count(), b.failover_histogram.count());
+        for (x, y) in a.per_server.iter().zip(&b.per_server) {
+            assert_eq!(x.measured_requests, y.measured_requests);
+            assert_eq!(x.mean_latency_ms.to_bits(), y.mean_latency_ms.to_bits());
+            assert_eq!(x.failed_requests, y.failed_requests);
+            assert_eq!(x.availability.to_bits(), y.availability.to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_fault_config_is_bit_identical_to_fault_free() {
+        // The regression guard for the fault layer: enabling fault
+        // injection with parameters that can never fire must not perturb a
+        // single bit of the report.
+        let (problem, catalog, trace) = scenario(0.1, LambdaMode::Expired);
+        let pl = cdn_placement::greedy_global(&problem).placement;
+        let plain = SimConfig::default();
+        let zero_fault = SimConfig {
+            faults: Some(FaultParams {
+                seed: 123,
+                retry_penalty_ms: 500.0, // multiplied by 0 skips: no effect
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        assert!(zero_fault.faults.unwrap().is_zero_fault());
+        let a = simulate_system(&problem, &pl, &catalog, &trace, &plain, None);
+        let b = simulate_system(&problem, &pl, &catalog, &trace, &zero_fault, None);
+        assert_reports_identical(&a, &b);
+    }
+
+    #[test]
+    fn deterministic_under_faults() {
+        let (problem, catalog, trace) = scenario(0.1, LambdaMode::Expired);
+        let cfg = SimConfig {
+            faults: Some(faulty_params()),
+            ..Default::default()
+        };
+        let pl = cdn_placement::greedy_global(&problem).placement;
+        let a = simulate_system(&problem, &pl, &catalog, &trace, &cfg, None);
+        let b = simulate_system(&problem, &pl, &catalog, &trace, &cfg, None);
+        assert!(
+            a.failed_requests > 0 || a.failover_fetches > 0,
+            "faults never fired"
+        );
+        assert_reports_identical(&a, &b);
+    }
+
+    #[test]
+    fn fault_accounting_identities() {
+        let (problem, catalog, trace) = scenario(0.05, LambdaMode::Uncacheable);
+        let cfg = SimConfig {
+            faults: Some(faulty_params()),
+            ..Default::default()
+        };
+        let pl = cdn_placement::greedy_global(&problem).placement;
+        let report = simulate_system(&problem, &pl, &catalog, &trace, &cfg, None);
+        // Every measured request lands in exactly one bucket.
+        assert_eq!(
+            report.local_requests
+                + report.failover_fetches
+                + report.origin_fetches
+                + report.peer_fetches
+                + report.failed_requests,
+            report.measured_requests,
+        );
+        // Failed requests record no latency; failover fetches all do.
+        assert_eq!(
+            report.histogram.count(),
+            report.measured_requests - report.failed_requests
+        );
+        assert_eq!(report.failover_histogram.count(), report.failover_fetches);
+        assert!(
+            report.failover_fetches > 0,
+            "server faults never forced a failover"
+        );
+        let avail = report.availability();
+        assert!((0.0..=1.0).contains(&avail));
+        let failed: u64 = report.per_server.iter().map(|s| s.failed_requests).sum();
+        assert_eq!(failed, report.failed_requests);
+    }
+
+    #[test]
+    fn replication_survives_faults_better_than_pure_caching() {
+        // Under origin outages plus server crashes, replicated copies keep
+        // serving while pure caching must reach unreachable origins on
+        // every miss — availability separates them strictly.
+        let (problem, catalog, trace) = scenario(0.0, LambdaMode::Uncacheable);
+        let cfg = SimConfig {
+            faults: Some(faulty_params()),
+            ..Default::default()
+        };
+        let caching = simulate_system(
+            &problem,
+            &Placement::primaries_only(&problem),
+            &catalog,
+            &trace,
+            &cfg,
+            None,
+        );
+        let greedy = cdn_placement::greedy_global(&problem).placement;
+        let replicated = simulate_system(&problem, &greedy, &catalog, &trace, &cfg, None);
+        assert!(
+            caching.failed_requests > 0,
+            "origin outages must drop requests"
+        );
+        assert!(
+            replicated.availability() > caching.availability(),
+            "replication {} <= caching {}",
+            replicated.availability(),
+            caching.availability()
+        );
+    }
+
+    #[test]
+    fn retry_penalty_inflates_failover_latency() {
+        let (problem, catalog, trace) = scenario(0.0, LambdaMode::Uncacheable);
+        let pl = cdn_placement::greedy_global(&problem).placement;
+        let run = |penalty: f64| {
+            let cfg = SimConfig {
+                faults: Some(FaultParams {
+                    retry_penalty_ms: penalty,
+                    ..faulty_params()
+                }),
+                ..Default::default()
+            };
+            simulate_system(&problem, &pl, &catalog, &trace, &cfg, None)
+        };
+        let cheap = run(0.0);
+        let dear = run(400.0);
+        // Same schedule (same seed): identical routing, dearer retries.
+        assert_eq!(cheap.failover_fetches, dear.failover_fetches);
+        assert!(cheap.failover_fetches > 0);
+        assert!(
+            dear.failover_histogram.mean() > cheap.failover_histogram.mean() + 399.0,
+            "penalty not reflected: {} vs {}",
+            dear.failover_histogram.mean(),
+            cheap.failover_histogram.mean()
+        );
     }
 }

@@ -96,7 +96,10 @@ impl TransitStubConfig {
     }
 
     fn validate(&self) {
-        assert!(self.transit_domains >= 1, "need at least one transit domain");
+        assert!(
+            self.transit_domains >= 1,
+            "need at least one transit domain"
+        );
         assert!(
             self.transit_nodes_per_domain >= 1,
             "need at least one node per transit domain"
@@ -265,10 +268,7 @@ mod tests {
         assert_eq!(transit, cfg.transit_domains * cfg.transit_nodes_per_domain);
         for (d, sd) in topo.stub_domains.iter().enumerate() {
             for &n in &sd.nodes {
-                assert_eq!(
-                    topo.roles[n as usize],
-                    NodeRole::Stub { domain: d as u32 }
-                );
+                assert_eq!(topo.roles[n as usize], NodeRole::Stub { domain: d as u32 });
             }
         }
     }
@@ -303,8 +303,8 @@ mod tests {
         let cfg = TransitStubConfig::paper_default();
         let a = TransitStubTopology::generate(&cfg, 1);
         let b = TransitStubTopology::generate(&cfg, 2);
-        let same_everywhere = (0..a.graph.n_nodes() as NodeId)
-            .all(|v| a.graph.neighbors(v) == b.graph.neighbors(v));
+        let same_everywhere =
+            (0..a.graph.n_nodes() as NodeId).all(|v| a.graph.neighbors(v) == b.graph.neighbors(v));
         assert!(!same_everywhere);
     }
 

@@ -51,16 +51,17 @@ pub fn compute_metrics(graph: &Graph, stride: usize) -> TopologyMetrics {
             }
             (sum, count, max)
         })
-        .reduce(
-            || (0, 0, 0),
-            |a, b| (a.0 + b.0, a.1 + b.1, a.2.max(b.2)),
-        );
+        .reduce(|| (0, 0, 0), |a, b| (a.0 + b.0, a.1 + b.1, a.2.max(b.2)));
 
     TopologyMetrics {
         n_nodes: n,
         n_edges: graph.n_edges(),
         diameter,
-        mean_path_hops: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+        mean_path_hops: if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        },
         mean_degree: 2.0 * graph.n_edges() as f64 / n as f64,
     }
 }

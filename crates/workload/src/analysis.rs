@@ -188,10 +188,7 @@ mod tests {
             assert!(w[0].0 < w[1].0);
             assert!(w[0].1 <= w[1].1);
         }
-        assert_eq!(
-            s.footprint.last().unwrap().1,
-            s.distinct_objects() as u64
-        );
+        assert_eq!(s.footprint.last().unwrap().1, s.distinct_objects() as u64);
     }
 
     #[test]
@@ -233,10 +230,7 @@ mod tests {
             let est = s
                 .zipf_exponent_estimate_for_site(busiest, 30)
                 .expect("enough ranks");
-            assert!(
-                (est - theta).abs() < 0.25,
-                "theta {theta}: estimated {est}"
-            );
+            assert!((est - theta).abs() < 0.25, "theta {theta}: estimated {est}");
         }
     }
 

@@ -121,7 +121,10 @@ impl WorkloadConfig {
 
     pub(crate) fn validate(&self) {
         assert!(self.m_sites > 0, "need at least one site");
-        assert!(self.objects_per_site > 0, "need at least one object per site");
+        assert!(
+            self.objects_per_site > 0,
+            "need at least one object per site"
+        );
         assert!(self.theta >= 0.0 && self.theta.is_finite());
         let mix = &self.class_mix;
         assert!(

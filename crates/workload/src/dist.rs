@@ -227,7 +227,10 @@ mod tests {
         let median = v[v.len() / 2];
         let mean = v.iter().sum::<f64>() / v.len() as f64;
         assert!(median < 250.0, "median {median}");
-        assert!(mean > 4.0 * median, "mean {mean}, median {median}");
+        // Theoretical ratio is ~4.4 but the sample mean of an alpha = 1.1
+        // tail has huge variance even at n = 100k; 3.5x still cleanly
+        // separates heavy tails (an exponential with this median gives ~1.4x).
+        assert!(mean > 3.5 * median, "mean {mean}, median {median}");
     }
 
     #[test]

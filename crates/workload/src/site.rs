@@ -64,7 +64,10 @@ impl SiteCatalog {
         let mut classes = Vec::with_capacity(m);
         classes.extend(std::iter::repeat_n(PopularityClass::Low, n_low));
         classes.extend(std::iter::repeat_n(PopularityClass::Medium, n_med));
-        classes.extend(std::iter::repeat_n(PopularityClass::High, m - n_low - n_med));
+        classes.extend(std::iter::repeat_n(
+            PopularityClass::High,
+            m - n_low - n_med,
+        ));
         classes.shuffle(&mut rng);
 
         let body = LogNormal::new(config.size_model.body_mu, config.size_model.body_sigma);

@@ -47,7 +47,10 @@ pub struct Drifted<I> {
 
 impl<I> Drifted<I> {
     pub fn new(inner: I, config: DriftConfig) -> Self {
-        assert!(config.rotation_period > 0, "rotation period must be positive");
+        assert!(
+            config.rotation_period > 0,
+            "rotation period must be positive"
+        );
         assert!(config.objects_per_site > 0, "need at least one object");
         Self {
             inner,
@@ -102,11 +105,8 @@ mod tests {
     #[test]
     fn stationary_config_is_identity() {
         let input = reqs(&[0, 1, 2, 3, 4]);
-        let out: Vec<Request> = Drifted::new(
-            input.clone().into_iter(),
-            DriftConfig::stationary(10),
-        )
-        .collect();
+        let out: Vec<Request> =
+            Drifted::new(input.clone().into_iter(), DriftConfig::stationary(10)).collect();
         assert_eq!(out, input);
     }
 

@@ -74,7 +74,10 @@ impl TraceSpec {
         lambda_mode: LambdaMode,
         seed: u64,
     ) -> Self {
-        assert!((0.0..=1.0).contains(&lambda), "lambda {lambda} out of [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&lambda),
+            "lambda {lambda} out of [0,1]"
+        );
         Self::with_per_site_lambda(
             demand,
             object_zipf,
@@ -263,9 +266,7 @@ mod tests {
     #[test]
     fn lambda_zero_yields_only_normal() {
         let s = spec(0.0, LambdaMode::Expired);
-        assert!(s
-            .stream_for_server(1)
-            .all(|r| r.flavor == Flavor::Normal));
+        assert!(s.stream_for_server(1).all(|r| r.flavor == Flavor::Normal));
     }
 
     #[test]

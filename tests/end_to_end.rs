@@ -84,7 +84,10 @@ fn latency_cdf_shapes_match_paper_description() {
     let r1 = replication.histogram.fraction_at_or_below(hop);
     assert!(c1 > 0.2, "caching first-hop mass {c1}");
     assert!(h1 > 0.2, "hybrid first-hop mass {h1}");
-    assert!(h1 >= r1, "hybrid ({h1}) below replication ({r1}) at first hop");
+    assert!(
+        h1 >= r1,
+        "hybrid ({h1}) below replication ({r1}) at first hop"
+    );
 
     // The hybrid tail must not be worse than caching's (replicas bound the
     // worst case).

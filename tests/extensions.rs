@@ -116,7 +116,10 @@ fn drift_hurts_caching_but_not_replication_end_to_end() {
     let caching_fast = drifted(&caching, 10).mean_latency_ms;
     let repl_slow = drifted(&replication, u64::MAX).mean_latency_ms;
     let repl_fast = drifted(&replication, 10).mean_latency_ms;
-    assert!(caching_fast > caching_slow * 1.02, "caching unaffected by drift");
+    assert!(
+        caching_fast > caching_slow * 1.02,
+        "caching unaffected by drift"
+    );
     assert!(
         (repl_fast - repl_slow).abs() < repl_slow * 0.01,
         "replication should be drift-invariant: {repl_slow} vs {repl_fast}"
@@ -144,8 +147,7 @@ fn lower_bound_holds_for_every_strategy() {
         );
     }
     // And the gap metric is well-formed for the best heuristic.
-    let greedy_cost =
-        replication_only_cost(&s.problem, &s.plan(Strategy::Replication).placement);
+    let greedy_cost = replication_only_cost(&s.problem, &s.plan(Strategy::Replication).placement);
     let gap = optimality_gap(greedy_cost, lb);
     assert!(gap >= 0.0 && gap.is_finite());
 }

@@ -90,8 +90,7 @@ fn lambda_hurts_caching_more_than_replication() {
         s.simulate(&s.plan(strategy)).mean_latency_ms
     };
     let caching_degradation = lat(0.2, Strategy::Caching) - lat(0.0, Strategy::Caching);
-    let replication_degradation =
-        lat(0.2, Strategy::Replication) - lat(0.0, Strategy::Replication);
+    let replication_degradation = lat(0.2, Strategy::Replication) - lat(0.0, Strategy::Replication);
     assert!(
         caching_degradation > replication_degradation,
         "caching degradation {caching_degradation} vs replication {replication_degradation}"

@@ -1,0 +1,214 @@
+//! Offline stand-in for `rayon`: the same combinator surface this workspace
+//! uses (`par_iter`, `into_par_iter`, `map`, `filter_map`, `flat_map_iter`,
+//! `collect`, `reduce`, `reduce_with`), executed **sequentially** on the
+//! calling thread.
+//!
+//! The workspace requires every parallel region to be order-independent and
+//! deterministic (see the `deterministic_end_to_end` tests), so sequential
+//! execution is always a legal schedule — results are bit-identical to a
+//! one-thread rayon pool. Swap the real rayon back in by repointing the
+//! workspace dependency; no call site changes.
+
+/// A "parallel" iterator: a thin deterministic wrapper over a sequential
+/// [`Iterator`] exposing rayon's method signatures.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    pub fn map<F, T>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> T,
+    {
+        ParIter {
+            inner: self.inner.map(f),
+        }
+    }
+
+    pub fn filter_map<F, T>(self, f: F) -> ParIter<std::iter::FilterMap<I, F>>
+    where
+        F: FnMut(I::Item) -> Option<T>,
+    {
+        ParIter {
+            inner: self.inner.filter_map(f),
+        }
+    }
+
+    pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+    where
+        F: FnMut(&I::Item) -> bool,
+    {
+        ParIter {
+            inner: self.inner.filter(f),
+        }
+    }
+
+    /// rayon's `flat_map_iter`: the inner iterators run sequentially even
+    /// under real rayon, so this is exactly `Iterator::flat_map`.
+    pub fn flat_map_iter<F, U>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        F: FnMut(I::Item) -> U,
+        U: IntoIterator,
+    {
+        ParIter {
+            inner: self.inner.flat_map(f),
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.inner.for_each(f)
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.inner.collect()
+    }
+
+    pub fn count(self) -> usize {
+        self.inner.count()
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.inner.sum()
+    }
+
+    /// rayon's `reduce`: fold with an identity-producing closure.
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        F: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.inner.fold(identity(), op)
+    }
+
+    /// rayon's `reduce_with`: `None` on an empty iterator.
+    pub fn reduce_with<F>(self, op: F) -> Option<I::Item>
+    where
+        F: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.inner.reduce(op)
+    }
+
+    pub fn max_by<F>(self, compare: F) -> Option<I::Item>
+    where
+        F: Fn(&I::Item, &I::Item) -> std::cmp::Ordering,
+    {
+        self.inner.max_by(compare)
+    }
+
+    pub fn min_by<F>(self, compare: F) -> Option<I::Item>
+    where
+        F: Fn(&I::Item, &I::Item) -> std::cmp::Ordering,
+    {
+        self.inner.min_by(compare)
+    }
+}
+
+/// Owned conversion (`Range`, `Vec`, …).
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {}
+
+/// Shared-reference conversion (`&[T]`, `&Vec<T>`).
+pub trait IntoParallelRefIterator<'a> {
+    type Iter: Iterator;
+
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+/// Mutable-reference conversion (`&mut [T]`, `&mut Vec<T>`).
+pub trait IntoParallelRefMutIterator<'a> {
+    type Iter: Iterator;
+
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
+where
+    &'a mut C: IntoIterator,
+{
+    type Iter = <&'a mut C as IntoIterator>::IntoIter;
+
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+/// Sequential stand-in for `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub mod prelude {
+    pub use super::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_sequential() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn reduce_with_and_identity_reduce() {
+        let best = (0..10usize)
+            .into_par_iter()
+            .filter_map(|x| (x % 3 == 0).then_some(x))
+            .reduce_with(std::cmp::max);
+        assert_eq!(best, Some(9));
+        let empty: Option<usize> = (0..0usize).into_par_iter().reduce_with(std::cmp::max);
+        assert_eq!(empty, None);
+        let sum = (1..=4usize).into_par_iter().reduce(|| 0, |a, b| a + b);
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
+        let rows: Vec<u32> = [1u32, 2]
+            .par_iter()
+            .flat_map_iter(|&x| vec![x * 10, x * 10 + 1])
+            .collect();
+        assert_eq!(rows, vec![10, 11, 20, 21]);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates() {
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(v, vec![2, 3, 4]);
+    }
+}
