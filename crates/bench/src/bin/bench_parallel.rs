@@ -1,0 +1,116 @@
+//! Machine-readable parallel-timing benchmark: `BENCH_parallel.json`.
+//!
+//! Runs the standard hybrid scenario once on 1 thread and once on N
+//! threads (default: all available; override with `--threads <n>`),
+//! recording per-phase wall-clock — topology build, placement,
+//! simulation — and asserting the two runs produce bit-identical
+//! results. Emits `BENCH_parallel.json` under the results directory.
+//!
+//! Usage: `bench_parallel [--quick] [--threads <n>]`
+
+use cdn_bench::harness::{banner, write_json, PhaseTimings, Scale};
+use cdn_core::{PlanResult, Scenario, Strategy};
+use cdn_sim::SimReport;
+use cdn_workload::LambdaMode;
+use std::fmt::Write as _;
+
+/// Parse `--threads <n>` from process args.
+fn arg_threads() -> Option<usize> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            return args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0);
+        }
+    }
+    None
+}
+
+/// One full scenario pass on a pool of `threads` threads, timing each phase.
+fn run_at(threads: usize, scale: Scale) -> (PhaseTimings, PlanResult, SimReport) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("build thread pool");
+    pool.install(|| {
+        let mut timings = PhaseTimings::new(threads);
+        let config = scale.config(0.05, 0.0, LambdaMode::Uncacheable);
+        let scenario = timings.time("topology", || Scenario::generate(&config));
+        let plan = timings.time("placement", || scenario.plan(Strategy::Hybrid));
+        let report = timings.time("simulation", || scenario.simulate(&plan));
+        (timings, plan, report)
+    })
+}
+
+/// Bitwise equality of the fields that summarise a run; any scheduling
+/// nondeterminism would show up here first.
+fn reports_identical(
+    a: &(PhaseTimings, PlanResult, SimReport),
+    b: &(PhaseTimings, PlanResult, SimReport),
+) -> bool {
+    let (pa, ra) = (&a.1, &a.2);
+    let (pb, rb) = (&b.1, &b.2);
+    pa.placement.replica_count() == pb.placement.replica_count()
+        && pa.predicted_cost.to_bits() == pb.predicted_cost.to_bits()
+        && ra.mean_latency_ms.to_bits() == rb.mean_latency_ms.to_bits()
+        && ra.mean_cost_hops.to_bits() == rb.mean_cost_hops.to_bits()
+        && ra.total_requests == rb.total_requests
+        && ra.cache_hits == rb.cache_hits
+        && ra.replica_hits == rb.replica_hits
+        && ra.origin_fetches == rb.origin_fetches
+        && ra.peer_fetches == rb.peer_fetches
+        && ra.histogram.cdf() == rb.histogram.cdf()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("bench_parallel: per-phase wall-clock, 1 thread vs N", scale);
+
+    let n_threads = arg_threads()
+        .unwrap_or_else(rayon::current_num_threads)
+        .max(1);
+
+    println!("  run 1/2: 1 thread");
+    let base = run_at(1, scale);
+    println!("  run 2/2: {n_threads} thread(s)");
+    let multi = run_at(n_threads, scale);
+
+    let identical = reports_identical(&base, &multi);
+    let speedup = base.0.total_seconds() / multi.0.total_seconds().max(1e-12);
+
+    for (t, lbl) in [(&base.0, "1 thread"), (&multi.0, "N threads")] {
+        println!("  [{lbl}] total {:.3}s", t.total_seconds());
+        for (name, secs) in &t.phases {
+            println!("      {name:<12} {secs:.3}s");
+        }
+    }
+    println!("  speedup (total): {speedup:.2}x at {n_threads} thread(s)");
+    println!("  bit-identical reports: {identical}");
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"scale\": \"{}\",",
+        if scale == Scale::Quick {
+            "quick"
+        } else {
+            "paper"
+        }
+    );
+    let _ = writeln!(json, "  \"baseline_threads\": 1,");
+    let _ = writeln!(json, "  \"parallel_threads\": {n_threads},");
+    let _ = writeln!(
+        json,
+        "  \"runs\": [{}, {}],",
+        base.0.to_json(),
+        multi.0.to_json()
+    );
+    let _ = writeln!(json, "  \"speedup_total\": {speedup:.4},");
+    let _ = writeln!(json, "  \"bit_identical\": {identical}");
+    json.push_str("}\n");
+    write_json("BENCH_parallel.json", &json);
+
+    assert!(
+        identical,
+        "multi-threaded run diverged from single-threaded run"
+    );
+}

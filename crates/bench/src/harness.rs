@@ -66,6 +66,61 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
     path
 }
 
+/// Write a pre-rendered JSON body under the results directory and report
+/// the path on stdout — machine-readable sibling of [`write_csv`].
+pub fn write_json(name: &str, body: &str) -> PathBuf {
+    let path = results_dir().join(name);
+    std::fs::write(&path, body).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("  wrote {}", path.display());
+    path
+}
+
+/// Wall-clock timings of named phases at one thread count, rendering to a
+/// JSON object. Used by the `bench_parallel` binary; figure binaries keep
+/// their inline `Instant` pairs.
+#[derive(Debug, Clone)]
+pub struct PhaseTimings {
+    pub threads: usize,
+    pub phases: Vec<(String, f64)>,
+}
+
+impl PhaseTimings {
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Run `f`, recording its wall-clock under `name`.
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let out = f();
+        self.phases
+            .push((name.to_string(), t0.elapsed().as_secs_f64()));
+        out
+    }
+
+    /// Sum of all recorded phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.phases.iter().map(|(_, s)| s).sum()
+    }
+
+    /// `{"threads": N, "phases": {"<name>_s": secs, ...}, "total_s": t}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"threads\": {}, \"phases\": {{", self.threads);
+        for (idx, (name, secs)) in self.phases.iter().enumerate() {
+            if idx > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{name}_s\": {secs:.6}");
+        }
+        let _ = write!(out, "}}, \"total_s\": {:.6}}}", self.total_seconds());
+        out
+    }
+}
+
 /// Format a CDF as CSV rows (`latency_ms,fraction`), downsampled to at most
 /// `max_points` points to keep files plottable.
 pub fn cdf_rows(report: &SimReport, max_points: usize) -> Vec<String> {

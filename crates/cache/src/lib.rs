@@ -15,6 +15,7 @@
 pub mod clock;
 pub mod delayed_lru;
 pub mod fifo;
+pub mod fx;
 pub mod gdsf;
 pub mod lfu;
 pub mod lru;
@@ -24,6 +25,7 @@ pub mod traits;
 pub use clock::ClockCache;
 pub use delayed_lru::DelayedLruCache;
 pub use fifo::FifoCache;
+pub use fx::{FxHashMap, FxHasher};
 pub use gdsf::GdsfCache;
 pub use lfu::LfuCache;
 pub use lru::LruCache;

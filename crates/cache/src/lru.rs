@@ -5,9 +5,9 @@
 //! allocation once the slab is warm. This is the hot structure of the
 //! trace-driven simulator (tens of millions of operations per experiment).
 
+use crate::fx::FxHashMap;
 use crate::stats::CacheStats;
 use crate::traits::{Cache, ObjectKey};
-use std::collections::HashMap;
 
 const NIL: u32 = u32::MAX;
 
@@ -31,7 +31,7 @@ struct Entry {
 /// ```
 #[derive(Debug)]
 pub struct LruCache {
-    map: HashMap<ObjectKey, u32>,
+    map: FxHashMap<ObjectKey, u32>,
     slab: Vec<Entry>,
     free: Vec<u32>,
     /// Most recently used entry.
@@ -45,9 +45,23 @@ pub struct LruCache {
 
 impl LruCache {
     pub fn new(capacity_bytes: u64) -> Self {
+        Self::with_expected_objects(capacity_bytes, 0)
+    }
+
+    /// [`LruCache::new`] with the map and slab pre-sized for roughly
+    /// `expected_objects` residents, eliminating the rehash-and-copy churn
+    /// of growing through the warm-up phase. The hint only reserves — a
+    /// wrong value costs memory or growth, never correctness, and 0 means
+    /// "start empty" (exactly `new`).
+    pub fn with_expected_objects(capacity_bytes: u64, expected_objects: usize) -> Self {
+        // Cap the reservation: a hint derived from a huge byte capacity
+        // over a tiny mean object size must not pre-allocate gigabytes.
+        let hint = expected_objects.min(1 << 22);
+        let mut map = FxHashMap::default();
+        map.reserve(hint);
         Self {
-            map: HashMap::new(),
-            slab: Vec::new(),
+            map,
+            slab: Vec::with_capacity(hint),
             free: Vec::new(),
             head: NIL,
             tail: NIL,

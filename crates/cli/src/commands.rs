@@ -12,10 +12,10 @@ pub const USAGE: &str = "hybrid-cdn — replication + caching for CDNs (IPDPS 20
 
 USAGE:
   hybrid-cdn compare  [--capacity 0.05] [--lambda 0] [--mode uncacheable|expired]
-                      [--scale small|paper] [--seed N] [fault options]
+                      [--scale small|paper] [--seed N] [--threads N] [fault options]
   hybrid-cdn plan     [--strategy hybrid] [--capacity 0.05] [--lambda 0]
                       [--mode uncacheable|expired] [--scale small|paper] [--seed N]
-                      [fault options]
+                      [--threads N] [fault options]
   hybrid-cdn topology [--scale small|paper] [--seed N] [--dot FILE] [--csv FILE]
   hybrid-cdn workload [--theta 1.0] [--sites 15] [--objects 200] [--seed N]
   hybrid-cdn help
@@ -37,11 +37,29 @@ pub const SCENARIO_KEYS: &[&str] = &[
     "mode",
     "scale",
     "seed",
+    "threads",
     "mttf",
     "mttr",
     "origin-outage",
     "retry-penalty-ms",
 ];
+
+/// Apply `--threads N` (configure the global rayon pool before any parallel
+/// region runs) and return the effective worker count. Results are
+/// bit-identical at any thread count, so this is purely a speed knob.
+fn configure_threads(a: &Args) -> Result<usize, String> {
+    if a.has("threads") {
+        let n = a.get_u64("threads", 0)?;
+        if n == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n as usize)
+            .build_global()
+            .map_err(|e| format!("--threads: {e}"))?;
+    }
+    Ok(rayon::current_num_threads())
+}
 
 /// Fault parameters from `--mttf`/`--mttr`/`--origin-outage`/
 /// `--retry-penalty-ms`; `None` when no fault flag was given (the exact
@@ -156,8 +174,9 @@ fn parse_strategy(spec: &str) -> Result<Strategy, String> {
 
 pub fn compare(a: &Args) -> Result<(), String> {
     let cfg = scenario_config(a)?;
+    let threads = configure_threads(a)?;
     println!(
-        "scenario: {} servers, {} sites, capacity {:.1}%, lambda {:.0}%, seed {}",
+        "scenario: {} servers, {} sites, capacity {:.1}%, lambda {:.0}%, seed {}, {threads} thread(s)",
         cfg.hosts.n_servers,
         cfg.workload.m_sites,
         cfg.capacity_fraction * 100.0,
@@ -194,10 +213,11 @@ pub fn compare(a: &Args) -> Result<(), String> {
 pub fn plan(a: &Args) -> Result<(), String> {
     let cfg = scenario_config(a)?;
     let strategy = parse_strategy(a.get("strategy").unwrap_or("hybrid"))?;
+    let threads = configure_threads(a)?;
     let scenario = Scenario::generate(&cfg);
     let plan = scenario.plan(strategy);
     println!(
-        "strategy {}: {} replicas, predicted {:.3} hops/request",
+        "strategy {}: {} replicas, predicted {:.3} hops/request ({threads} thread(s))",
         strategy.name(),
         plan.placement.replica_count(),
         plan.predicted_mean_hops(&scenario.problem)
@@ -406,6 +426,25 @@ mod tests {
         assert!(parse_scenario(&["--retry-penalty-ms", "-1"])
             .unwrap_err()
             .contains("--retry-penalty-ms"));
+    }
+
+    #[test]
+    fn threads_flag_configures_pool() {
+        let a = Args::parse(
+            ["--threads", "0"].iter().map(|s| s.to_string()),
+            &["threads"],
+        )
+        .unwrap();
+        assert!(configure_threads(&a).unwrap_err().contains("--threads"));
+        let a = Args::parse(
+            ["--threads", "3"].iter().map(|s| s.to_string()),
+            &["threads"],
+        )
+        .unwrap();
+        assert_eq!(configure_threads(&a).unwrap(), 3);
+        // Without the flag the pool is left as-is.
+        let a = Args::parse(std::iter::empty(), &["threads"]).unwrap();
+        assert_eq!(configure_threads(&a).unwrap(), 3);
     }
 
     #[test]

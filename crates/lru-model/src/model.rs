@@ -3,6 +3,16 @@
 use cdn_workload::ZipfLike;
 use std::collections::BinaryHeap;
 
+/// `1 − (1 − p)^K` for `p ∈ [0, 1]`, `K > 0`, evaluated as
+/// `−expm1(K·ln_1p(−p))`: one log/exp pair instead of `powf`, and
+/// better-conditioned where the Zipf tail lives (`p → 0` would round
+/// inside the naive `1 − p`). The endpoints fall out exactly: `p = 0`
+/// gives 0 and `p = 1` gives `−expm1(−∞) = 1`.
+#[inline]
+fn residency(p: f64, k: f64) -> f64 {
+    -(k * (-p).ln_1p()).exp_m1()
+}
+
 /// The analytical LRU model for one population of sites that all share a
 /// Zipf(θ) internal object popularity over `L` objects — the paper's setup.
 ///
@@ -149,8 +159,7 @@ impl LruModel {
         if k <= 0.0 {
             return 0.0;
         }
-        let p = p_obj.clamp(0.0, 1.0);
-        1.0 - (1.0 - p).powf(k)
+        residency(p_obj.clamp(0.0, 1.0), k)
     }
 
     /// Equation (1): the hit ratio a site with popularity `p_site` (at this
@@ -162,10 +171,20 @@ impl LruModel {
             return 0.0;
         }
         let mut h = 0.0;
-        // Hot loop (memo-table fills): iterate the precomputed pmf directly.
+        // Hot loop (memo-table fills): iterate the precomputed pmf directly,
+        // with `residency` replacing the old per-entry `powf`.
         for &pmf in self.zipf.pmf_slice() {
             let p = (p_site * pmf).clamp(0.0, 1.0);
-            h += (1.0 - (1.0 - p).powf(k)) * pmf;
+            // Tail cut-off. The pmf is non-increasing, so from here on every
+            // term obeys 1 − (1−p)^K ≤ K·p/(1−p) ≤ 2·K·p (valid for any
+            // K > 0 once p < ½), and the whole remaining tail sums to at
+            // most Σ 2K·p_site·pmf² ≤ 2K·p_site·pmf·Σpmf ≤ 2K·p_site·pmf
+            // < 1e-14 — two orders inside the 1e-12 accuracy the regression
+            // test asserts against the naive sum.
+            if p < 0.5 && 2.0 * k * p < 1e-14 {
+                break;
+            }
+            h += residency(p, k) * pmf;
         }
         h.min(1.0)
     }
@@ -367,6 +386,55 @@ mod tests {
         assert_eq!(m.buffer_objects(10_050, 100.0), 100);
         assert_eq!(m.buffer_objects(0, 100.0), 0);
         assert_eq!(m.buffer_objects(100, 0.0), 0);
+    }
+
+    #[test]
+    fn site_hit_ratio_matches_naive_powf_sum() {
+        // The optimised path (expm1/ln_1p + tail cut-off) must agree with
+        // the literal Equation (1) powf sum to 1e-12 across the whole
+        // operating envelope: Zipf skews spanning the paper's range, site
+        // popularities from negligible to total, and eviction horizons
+        // from one request to effectively infinite.
+        fn naive(m: &LruModel, p_site: f64, k: f64) -> f64 {
+            if k <= 0.0 || p_site <= 0.0 {
+                return 0.0;
+            }
+            let mut h = 0.0;
+            for &pmf in m.zipf().pmf_slice() {
+                let p = (p_site * pmf).clamp(0.0, 1.0);
+                h += (1.0 - (1.0 - p).powf(k)) * pmf;
+            }
+            h.min(1.0)
+        }
+        for &theta in &[0.6, 0.8, 1.0, 1.2] {
+            for &l in &[50usize, 500] {
+                let m = LruModel::new(l, theta);
+                for &p_site in &[1e-6, 1e-4, 0.01, 0.1, 0.5, 1.0] {
+                    // 1e-12 agreement is asserted up to K = 1e4. Beyond
+                    // that the *naive* sum is the inaccurate side: rounding
+                    // p into `1 − p` perturbs the recovered exponent by
+                    // ~K·2⁻⁵⁴, which powf amplifies past 1e-12 while the
+                    // ln_1p path is unaffected — so huge horizons get a
+                    // tolerance matching naive's own error bound instead.
+                    for &k in &[1.0, 10.0, 1e3, 1e4] {
+                        let fast = m.site_hit_ratio(p_site, k);
+                        let slow = naive(&m, p_site, k);
+                        assert!(
+                            (fast - slow).abs() < 1e-12,
+                            "theta={theta} L={l} p={p_site} k={k}: {fast} vs {slow}"
+                        );
+                    }
+                    for &k in &[1e5, 1e7] {
+                        let fast = m.site_hit_ratio(p_site, k);
+                        let slow = naive(&m, p_site, k);
+                        assert!(
+                            (fast - slow).abs() < k * 3e-16,
+                            "theta={theta} L={l} p={p_site} k={k}: {fast} vs {slow}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -151,6 +151,20 @@ impl ShrinkMemo {
         }
     }
 
+    /// Canonical buffer size of a bucket: the geometric grid point the
+    /// bucket rounds around. `S` is always evaluated here rather than at
+    /// whichever candidate's exact buffer size reaches the bucket first,
+    /// making the cached value a pure function of its key — without this
+    /// the memo's contents (and hence placements) would depend on scan
+    /// scheduling once the scan runs on several threads.
+    fn representative(bucket: u32) -> usize {
+        if bucket == 0 {
+            0
+        } else {
+            (f64::from(bucket - 1) * 0.005f64.ln_1p()).exp().round() as usize
+        }
+    }
+
     fn invalidate(&mut self, server: usize) {
         self.cur_w[server] = None;
         self.s[server].get_mut().clear();
@@ -180,8 +194,9 @@ impl ShrinkMemo {
         if let Some(&s) = self.s[i].lock().get(&bucket) {
             return s;
         }
+        let rep = Self::representative(bucket);
         let s = weighted_hit_sum(problem, placement, i, |k| {
-            adjusted_hit(problem, oracle, i, k, new_buf)
+            adjusted_hit(problem, oracle, i, k, rep)
         });
         self.s[i].lock().insert(bucket, s);
         s
@@ -497,6 +512,25 @@ mod tests {
         assert_eq!(a.benefits, b.benefits);
         for i in 0..4 {
             assert_eq!(a.placement.sites_at(i), b.placement.sites_at(i));
+        }
+        // Thread-count invariance: the candidate scan and the ShrinkMemo
+        // fills must yield bit-identical outcomes at 1 and 4 threads.
+        let pool = |n| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .unwrap()
+        };
+        let one = pool(1).install(|| run(&p));
+        let four = pool(4).install(|| run(&p));
+        let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&one.benefits), bits(&four.benefits));
+        assert_eq!(bits(&a.benefits), bits(&one.benefits));
+        assert_eq!(one.final_cost.to_bits(), four.final_cost.to_bits());
+        assert_eq!(one.initial_cost.to_bits(), four.initial_cost.to_bits());
+        for i in 0..4 {
+            assert_eq!(one.placement.sites_at(i), four.placement.sites_at(i));
+            assert_eq!(bits(&one.hit_ratios[i]), bits(&four.hit_ratios[i]));
         }
     }
 

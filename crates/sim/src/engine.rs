@@ -282,8 +282,8 @@ where
         .faults
         .map(|f| f.retry_penalty_ms)
         .unwrap_or_default();
-    let mut histogram = LatencyHistogram::new(config.bin_ms, config.n_bins);
-    let mut failover_histogram = LatencyHistogram::new(config.bin_ms, config.n_bins);
+    // The histograms live directly in the report: the two bin vectors are
+    // the only heap state this loop needs, allocated once per server.
     let mut report = ServerReport {
         server: plan.server,
         histogram: LatencyHistogram::new(config.bin_ms, config.n_bins),
@@ -341,9 +341,9 @@ where
         // exact +0.0, keeping fault-free latencies bit-identical.
         let latency = config.hop_delay_ms * (1.0 + routed.hops as f64)
             + retry_penalty_ms * routed.dead_skipped as f64;
-        histogram.record(latency);
+        report.histogram.record(latency);
         if routed.dead_skipped > 0 {
-            failover_histogram.record(latency);
+            report.failover_histogram.record(latency);
         }
         match routed.resolution {
             Resolution::Replica => {
@@ -373,8 +373,6 @@ where
             Resolution::Failed => unreachable!("failed requests handled above"),
         }
     }
-    report.histogram = histogram;
-    report.failover_histogram = failover_histogram;
     report
 }
 

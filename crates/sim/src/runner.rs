@@ -80,6 +80,15 @@ where
         FaultSchedule::generate(&f, problem.n_servers(), horizon)
     });
 
+    // Mean (unweighted) object size, for pre-sizing the default caches to
+    // their expected resident count instead of growing through warm-up.
+    let total_objects: usize = catalog.sites.iter().map(|s| s.object_sizes.len()).sum();
+    let mean_object_bytes = if total_objects == 0 {
+        0.0
+    } else {
+        catalog.total_bytes() as f64 / total_objects as f64
+    };
+
     let plans = ServerPlan::all_from_placement(problem, placement);
     let reports: Vec<ServerReport> = plans
         .par_iter()
@@ -87,7 +96,14 @@ where
             let warmup = (lengths[plan.server] as f64 * config.warmup_fraction) as u64;
             let cache: Box<dyn Cache> = match make_cache {
                 Some(f) => f(plan.cache_bytes),
-                None => Box::new(LruCache::new(plan.cache_bytes)),
+                None => {
+                    let expected = if mean_object_bytes > 0.0 {
+                        (plan.cache_bytes as f64 / mean_object_bytes).ceil() as usize
+                    } else {
+                        0
+                    };
+                    Box::new(LruCache::with_expected_objects(plan.cache_bytes, expected))
+                }
             };
             simulate_server_faulted(
                 plan,
@@ -399,6 +415,18 @@ mod tests {
         assert_eq!(a.mean_latency_ms, b.mean_latency_ms);
         assert_eq!(a.cache_hits, b.cache_hits);
         assert_eq!(a.cost_hops_identity(), b.cost_hops_identity());
+        // Thread-count invariance: the per-server fan-out must produce
+        // bit-identical reports on one thread and on several.
+        let pool = |n| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .unwrap()
+        };
+        let one = pool(1).install(|| simulate_system(&problem, &pl, &catalog, &trace, &cfg, None));
+        let four = pool(4).install(|| simulate_system(&problem, &pl, &catalog, &trace, &cfg, None));
+        assert_reports_identical(&a, &one);
+        assert_reports_identical(&one, &four);
     }
 
     impl SimReport {
@@ -482,6 +510,14 @@ mod tests {
             "faults never fired"
         );
         assert_reports_identical(&a, &b);
+        // The precomputed fault schedule keeps multi-threaded runs
+        // bit-identical too.
+        let four = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(|| simulate_system(&problem, &pl, &catalog, &trace, &cfg, None));
+        assert_reports_identical(&a, &four);
     }
 
     #[test]

@@ -202,6 +202,33 @@ mod tests {
     }
 
     #[test]
+    fn distance_matrix_is_thread_count_invariant() {
+        // All-pairs rows must be laid out identically whether the
+        // per-source searches run on one thread or several — ordered
+        // collect is what guarantees the row-major concatenation.
+        let mut b = GraphBuilder::new(300);
+        for i in 1..300 {
+            b.add_edge((i - 1) as NodeId, i as NodeId);
+        }
+        for i in (0..280).step_by(17) {
+            b.add_edge(i as NodeId, (i + 20) as NodeId);
+        }
+        let g = b.build();
+        let hosts: Vec<NodeId> = (0..300).step_by(9).collect();
+        let pool = |n| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .unwrap()
+        };
+        let one = pool(1).install(|| DistanceMatrix::compute(&g, &hosts));
+        let four = pool(4).install(|| DistanceMatrix::compute(&g, &hosts));
+        for h in 0..hosts.len() {
+            assert_eq!(one.row(h), four.row(h), "host row {h}");
+        }
+    }
+
+    #[test]
     fn self_distance_is_zero() {
         let g = path_graph(4);
         let m = DistanceMatrix::compute(&g, &[2]);

@@ -1,169 +1,502 @@
-//! Offline stand-in for `rayon`: the same combinator surface this workspace
-//! uses (`par_iter`, `into_par_iter`, `map`, `filter_map`, `flat_map_iter`,
-//! `collect`, `reduce`, `reduce_with`), executed **sequentially** on the
-//! calling thread.
+//! Offline stand-in for `rayon`: the same combinator surface this
+//! workspace uses (`par_iter`, `into_par_iter`, `map`, `filter_map`,
+//! `flat_map_iter`, `collect`, `reduce`, `reduce_with`), executed on a
+//! **real multi-threaded executor** built from `std::thread::scope` —
+//! no dependencies, so the workspace stays hermetic.
 //!
-//! The workspace requires every parallel region to be order-independent and
-//! deterministic (see the `deterministic_end_to_end` tests), so sequential
-//! execution is always a legal schedule — results are bit-identical to a
-//! one-thread rayon pool. Swap the real rayon back in by repointing the
-//! workspace dependency; no call site changes.
+//! # Execution model
+//!
+//! A parallel iterator is a materialised `Vec` of input items plus a
+//! composed per-item operation (map/filter/… fused into one monomorphised
+//! pipeline, like rayon's consumer chain). A terminal method splits the
+//! input into contiguous chunks, has scoped worker threads claim chunks
+//! from a shared counter, and combines the per-chunk results **in chunk
+//! order** on the calling thread.
+//!
+//! # Determinism
+//!
+//! Multi-threaded output is bit-identical to the 1-thread schedule:
+//!
+//! * the chunk layout is a pure function of the input *length* — never of
+//!   the thread count or of which worker ran what — so the combine tree
+//!   has the same shape at any `RAYON_NUM_THREADS`;
+//! * `collect` concatenates chunk outputs in input-index order;
+//! * `reduce`/`reduce_with`/`sum` fold each chunk left-to-right and then
+//!   fold the chunk accumulators left-to-right. As with real rayon the
+//!   operator must be associative (and `reduce`'s identity neutral) for
+//!   the result to equal a plain sequential fold; every reduction in this
+//!   workspace is either exact integer arithmetic or a selection with a
+//!   total order and deterministic tie-break, so this holds bit-exactly;
+//! * `max_by`/`min_by` keep `Iterator`'s tie rules (last / first winner).
+//!
+//! Panics in worker closures propagate to the caller with their original
+//! payload. Threads are resolved per region (see [`pool`]): a
+//! [`ThreadPool::install`] scope, then [`ThreadPoolBuilder::build_global`],
+//! then `RAYON_NUM_THREADS`, then the hardware. `1` restores the old
+//! sequential stub's behaviour exactly.
 
-/// A "parallel" iterator: a thin deterministic wrapper over a sequential
-/// [`Iterator`] exposing rayon's method signatures.
-pub struct ParIter<I> {
-    inner: I,
+use std::panic::resume_unwind;
+use std::sync::Mutex;
+
+mod pool;
+
+pub use pool::{current_num_threads, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
+
+/// Upper bound on chunks per region: enough for even work-stealing-free
+/// load balance at 10k+ items without drowning tiny inputs in overhead.
+/// Must stay a constant: chunk shape may depend only on input length.
+const MAX_CHUNKS: usize = 256;
+
+/// How many chunks a region of `len` items splits into. A pure function
+/// of `len` — this is what makes the combine tree thread-count-invariant.
+fn chunk_count(len: usize) -> usize {
+    len.min(MAX_CHUNKS)
 }
 
-impl<I: Iterator> ParIter<I> {
-    pub fn map<F, T>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+/// Split `items` into `k` contiguous chunks whose sizes differ by at most
+/// one (the first `len % k` chunks get the extra item). O(len) moves.
+fn split_chunks<T>(mut items: Vec<T>, k: usize) -> Vec<Vec<T>> {
+    let len = items.len();
+    debug_assert!(k >= 1 && k <= len);
+    let (base, extra) = (len / k, len % k);
+    let mut out: Vec<Vec<T>> = Vec::with_capacity(k);
+    for i in (0..k).rev() {
+        let start = i * base + extra.min(i);
+        out.push(items.split_off(start));
+    }
+    out.reverse();
+    out
+}
+
+/// Run `work` over every chunk of `items`, returning the per-chunk
+/// results in chunk (= input) order. Spawns `current_num_threads() - 1`
+/// scoped workers (the caller is the last worker); chunks are claimed
+/// from a shared queue, so scheduling is dynamic but the output layout
+/// is not. Worker panics are re-raised here with their original payload.
+fn execute_chunked<T, R, W>(items: Vec<T>, work: W) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    W: Fn(Vec<T>) -> R + Sync,
+{
+    let len = items.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let k = chunk_count(len);
+    let threads = current_num_threads().min(k);
+    let chunks = split_chunks(items, k);
+    if threads <= 1 {
+        return chunks.into_iter().map(work).collect();
+    }
+
+    let queue = Mutex::new(chunks.into_iter().enumerate());
+    let slots: Vec<Mutex<Option<R>>> = (0..k).map(|_| Mutex::new(None)).collect();
+    let worker = || loop {
+        // Take the lock only to claim a chunk; the work itself runs
+        // unlocked.
+        let claimed = queue.lock().unwrap().next();
+        match claimed {
+            Some((index, chunk)) => {
+                let result = work(chunk);
+                *slots[index].lock().unwrap() = Some(result);
+            }
+            None => break,
+        }
+    };
+    std::thread::scope(|scope| {
+        let worker = &worker;
+        let handles: Vec<_> = (1..threads).map(|_| scope.spawn(worker)).collect();
+        worker();
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                resume_unwind(payload);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("worker finished without storing its chunk result")
+        })
+        .collect()
+}
+
+/// One fused per-item stage: feed `item` through the pipeline, calling
+/// `sink` once per surviving output (zero or many times for
+/// filter/flat-map stages). Generic over the sink so the whole pipeline
+/// monomorphises into straight-line code, rayon-consumer style.
+pub trait ItemOp<In>: Sync {
+    type Out;
+
+    fn apply<S: FnMut(Self::Out)>(&self, item: In, sink: &mut S);
+}
+
+/// The no-op head of every pipeline.
+pub struct Identity;
+
+impl<T> ItemOp<T> for Identity {
+    type Out = T;
+
+    #[inline]
+    fn apply<S: FnMut(T)>(&self, item: T, sink: &mut S) {
+        sink(item);
+    }
+}
+
+pub struct MapOp<P, F> {
+    prev: P,
+    f: F,
+}
+
+impl<In, P, F, T> ItemOp<In> for MapOp<P, F>
+where
+    P: ItemOp<In>,
+    F: Fn(P::Out) -> T + Sync,
+{
+    type Out = T;
+
+    #[inline]
+    fn apply<S: FnMut(T)>(&self, item: In, sink: &mut S) {
+        self.prev.apply(item, &mut |x| sink((self.f)(x)));
+    }
+}
+
+pub struct FilterOp<P, F> {
+    prev: P,
+    f: F,
+}
+
+impl<In, P, F> ItemOp<In> for FilterOp<P, F>
+where
+    P: ItemOp<In>,
+    F: Fn(&P::Out) -> bool + Sync,
+{
+    type Out = P::Out;
+
+    #[inline]
+    fn apply<S: FnMut(P::Out)>(&self, item: In, sink: &mut S) {
+        self.prev.apply(item, &mut |x| {
+            if (self.f)(&x) {
+                sink(x);
+            }
+        });
+    }
+}
+
+pub struct FilterMapOp<P, F> {
+    prev: P,
+    f: F,
+}
+
+impl<In, P, F, T> ItemOp<In> for FilterMapOp<P, F>
+where
+    P: ItemOp<In>,
+    F: Fn(P::Out) -> Option<T> + Sync,
+{
+    type Out = T;
+
+    #[inline]
+    fn apply<S: FnMut(T)>(&self, item: In, sink: &mut S) {
+        self.prev.apply(item, &mut |x| {
+            if let Some(y) = (self.f)(x) {
+                sink(y);
+            }
+        });
+    }
+}
+
+pub struct FlatMapIterOp<P, F> {
+    prev: P,
+    f: F,
+}
+
+impl<In, P, F, U> ItemOp<In> for FlatMapIterOp<P, F>
+where
+    P: ItemOp<In>,
+    F: Fn(P::Out) -> U + Sync,
+    U: IntoIterator,
+{
+    type Out = U::Item;
+
+    #[inline]
+    fn apply<S: FnMut(U::Item)>(&self, item: In, sink: &mut S) {
+        self.prev.apply(item, &mut |x| {
+            for y in (self.f)(x) {
+                sink(y);
+            }
+        });
+    }
+}
+
+/// A parallel iterator: materialised input items plus the fused per-item
+/// pipeline applied by the terminal methods.
+pub struct ParIter<T, O = Identity> {
+    items: Vec<T>,
+    op: O,
+}
+
+impl<T, O> ParIter<T, O>
+where
+    T: Send,
+    O: ItemOp<T>,
+{
+    pub fn map<F, U>(self, f: F) -> ParIter<T, MapOp<O, F>>
     where
-        F: FnMut(I::Item) -> T,
+        F: Fn(O::Out) -> U + Sync,
     {
         ParIter {
-            inner: self.inner.map(f),
+            items: self.items,
+            op: MapOp { prev: self.op, f },
         }
     }
 
-    pub fn filter_map<F, T>(self, f: F) -> ParIter<std::iter::FilterMap<I, F>>
+    pub fn filter<F>(self, f: F) -> ParIter<T, FilterOp<O, F>>
     where
-        F: FnMut(I::Item) -> Option<T>,
+        F: Fn(&O::Out) -> bool + Sync,
     {
         ParIter {
-            inner: self.inner.filter_map(f),
+            items: self.items,
+            op: FilterOp { prev: self.op, f },
         }
     }
 
-    pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+    pub fn filter_map<F, U>(self, f: F) -> ParIter<T, FilterMapOp<O, F>>
     where
-        F: FnMut(&I::Item) -> bool,
+        F: Fn(O::Out) -> Option<U> + Sync,
     {
         ParIter {
-            inner: self.inner.filter(f),
+            items: self.items,
+            op: FilterMapOp { prev: self.op, f },
         }
     }
 
-    /// rayon's `flat_map_iter`: the inner iterators run sequentially even
-    /// under real rayon, so this is exactly `Iterator::flat_map`.
-    pub fn flat_map_iter<F, U>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    /// rayon's `flat_map_iter`: the inner iterators run sequentially
+    /// within their item even under real rayon.
+    pub fn flat_map_iter<F, U>(self, f: F) -> ParIter<T, FlatMapIterOp<O, F>>
     where
-        F: FnMut(I::Item) -> U,
+        F: Fn(O::Out) -> U + Sync,
         U: IntoIterator,
     {
         ParIter {
-            inner: self.inner.flat_map(f),
+            items: self.items,
+            op: FlatMapIterOp { prev: self.op, f },
         }
+    }
+
+    /// Evaluate one chunk through the pipeline, folding the outputs.
+    fn chunk_fold<A, Step>(chunk: Vec<T>, op: &O, seed: A, mut step: Step) -> A
+    where
+        Step: FnMut(A, O::Out) -> A,
+    {
+        let mut acc = Some(seed);
+        for item in chunk {
+            op.apply(item, &mut |out| {
+                let prev = acc.take().expect("accumulator always present");
+                acc = Some(step(prev, out));
+            });
+        }
+        acc.expect("accumulator always present")
     }
 
     pub fn for_each<F>(self, f: F)
     where
-        F: FnMut(I::Item),
+        F: Fn(O::Out) + Sync,
     {
-        self.inner.for_each(f)
+        let op = &self.op;
+        let f = &f;
+        execute_chunked(self.items, |chunk| {
+            Self::chunk_fold(chunk, op, (), |(), out| f(out))
+        });
     }
 
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.inner.collect()
+    pub fn collect<C: FromIterator<O::Out>>(self) -> C
+    where
+        O::Out: Send,
+    {
+        let op = &self.op;
+        let per_chunk = execute_chunked(self.items, |chunk| {
+            Self::chunk_fold(chunk, op, Vec::new(), |mut acc, out| {
+                acc.push(out);
+                acc
+            })
+        });
+        per_chunk.into_iter().flatten().collect()
     }
 
     pub fn count(self) -> usize {
-        self.inner.count()
+        let op = &self.op;
+        execute_chunked(self.items, |chunk| {
+            Self::chunk_fold(chunk, op, 0usize, |n, _| n + 1)
+        })
+        .into_iter()
+        .sum()
     }
 
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.inner.sum()
-    }
-
-    /// rayon's `reduce`: fold with an identity-producing closure.
-    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+    pub fn sum<S>(self) -> S
     where
-        ID: Fn() -> I::Item,
-        F: Fn(I::Item, I::Item) -> I::Item,
+        O::Out: Send,
+        S: std::iter::Sum<O::Out> + std::iter::Sum<S> + Send,
     {
-        self.inner.fold(identity(), op)
+        let op = &self.op;
+        execute_chunked(self.items, |chunk| {
+            Self::chunk_fold(chunk, op, Vec::new(), |mut acc, out| {
+                acc.push(out);
+                acc
+            })
+            .into_iter()
+            .sum::<S>()
+        })
+        .into_iter()
+        .sum()
     }
 
-    /// rayon's `reduce_with`: `None` on an empty iterator.
-    pub fn reduce_with<F>(self, op: F) -> Option<I::Item>
+    /// rayon's `reduce`. `identity()` must be a neutral element and `op`
+    /// associative (rayon's own contract): each chunk folds from a fresh
+    /// identity, and the chunk results fold left-to-right from another.
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> O::Out
     where
-        F: Fn(I::Item, I::Item) -> I::Item,
+        O::Out: Send,
+        ID: Fn() -> O::Out + Sync,
+        F: Fn(O::Out, O::Out) -> O::Out + Sync,
     {
-        self.inner.reduce(op)
+        let pipeline = &self.op;
+        let identity = &identity;
+        let op = &op;
+        execute_chunked(self.items, |chunk| {
+            Self::chunk_fold(chunk, pipeline, identity(), op)
+        })
+        .into_iter()
+        .fold(identity(), op)
     }
 
-    pub fn max_by<F>(self, compare: F) -> Option<I::Item>
+    /// rayon's `reduce_with`: `None` on an empty pipeline output. Same
+    /// associativity requirement and fixed combine shape as [`reduce`].
+    ///
+    /// [`reduce`]: Self::reduce
+    pub fn reduce_with<F>(self, op: F) -> Option<O::Out>
     where
-        F: Fn(&I::Item, &I::Item) -> std::cmp::Ordering,
+        O::Out: Send,
+        F: Fn(O::Out, O::Out) -> O::Out + Sync,
     {
-        self.inner.max_by(compare)
+        let pipeline = &self.op;
+        let op = &op;
+        execute_chunked(self.items, |chunk| {
+            Self::chunk_fold(chunk, pipeline, None, |acc, out| match acc {
+                None => Some(out),
+                Some(prev) => Some(op(prev, out)),
+            })
+        })
+        .into_iter()
+        .flatten()
+        .reduce(op)
     }
 
-    pub fn min_by<F>(self, compare: F) -> Option<I::Item>
+    /// `Iterator::max_by` tie semantics: the *last* maximal element wins.
+    pub fn max_by<F>(self, compare: F) -> Option<O::Out>
     where
-        F: Fn(&I::Item, &I::Item) -> std::cmp::Ordering,
+        O::Out: Send,
+        F: Fn(&O::Out, &O::Out) -> std::cmp::Ordering + Sync,
     {
-        self.inner.min_by(compare)
+        use std::cmp::Ordering::Greater;
+        self.reduce_with(|a, b| if compare(&a, &b) == Greater { a } else { b })
+    }
+
+    /// `Iterator::min_by` tie semantics: the *first* minimal element wins.
+    pub fn min_by<F>(self, compare: F) -> Option<O::Out>
+    where
+        O::Out: Send,
+        F: Fn(&O::Out, &O::Out) -> std::cmp::Ordering + Sync,
+    {
+        use std::cmp::Ordering::Greater;
+        self.reduce_with(|a, b| if compare(&a, &b) == Greater { b } else { a })
     }
 }
 
-/// Owned conversion (`Range`, `Vec`, …).
-pub trait IntoParallelIterator: IntoIterator + Sized {
-    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+/// Owned conversion (`Range`, `Vec`, …). The input is materialised here;
+/// every region in this workspace is over a small index space or a
+/// per-server plan list, so this is cheap relative to the work fanned out.
+pub trait IntoParallelIterator: IntoIterator + Sized
+where
+    Self::Item: Send,
+{
+    fn into_par_iter(self) -> ParIter<Self::Item> {
         ParIter {
-            inner: self.into_iter(),
+            items: self.into_iter().collect(),
+            op: Identity,
         }
     }
 }
 
-impl<T: IntoIterator> IntoParallelIterator for T {}
+impl<T: IntoIterator> IntoParallelIterator for T where T::Item: Send {}
 
 /// Shared-reference conversion (`&[T]`, `&Vec<T>`).
 pub trait IntoParallelRefIterator<'a> {
-    type Iter: Iterator;
+    type Item: Send;
 
-    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
 }
 
 impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
 where
     &'a C: IntoIterator,
+    <&'a C as IntoIterator>::Item: Send,
 {
-    type Iter = <&'a C as IntoIterator>::IntoIter;
+    type Item = <&'a C as IntoIterator>::Item;
 
-    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+    fn par_iter(&'a self) -> ParIter<Self::Item> {
         ParIter {
-            inner: self.into_iter(),
+            items: self.into_iter().collect(),
+            op: Identity,
         }
     }
 }
 
 /// Mutable-reference conversion (`&mut [T]`, `&mut Vec<T>`).
 pub trait IntoParallelRefMutIterator<'a> {
-    type Iter: Iterator;
+    type Item: Send;
 
-    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter>;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
 }
 
 impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
 where
     &'a mut C: IntoIterator,
+    <&'a mut C as IntoIterator>::Item: Send,
 {
-    type Iter = <&'a mut C as IntoIterator>::IntoIter;
+    type Item = <&'a mut C as IntoIterator>::Item;
 
-    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item> {
         ParIter {
-            inner: self.into_iter(),
+            items: self.into_iter().collect(),
+            op: Identity,
         }
     }
 }
 
-/// Sequential stand-in for `rayon::join`.
+/// rayon's `join`: run both closures, `b` on a scoped thread when more
+/// than one thread is configured. Panics from either side propagate.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    if current_num_threads() > 1 {
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(b);
+            let ra = a();
+            match handle.join() {
+                Ok(rb) => (ra, rb),
+                Err(payload) => resume_unwind(payload),
+            }
+        })
+    } else {
+        (a(), b())
+    }
 }
 
 pub mod prelude {
@@ -175,6 +508,11 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{chunk_count, split_chunks, ThreadPool, ThreadPoolBuilder};
+
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
 
     #[test]
     fn map_collect_matches_sequential() {
@@ -210,5 +548,183 @@ mod tests {
         let mut v = vec![1, 2, 3];
         v.par_iter_mut().for_each(|x| *x += 1);
         assert_eq!(v, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input_all_terminals() {
+        pool(4).install(|| {
+            let v: Vec<u64> = Vec::new();
+            let collected: Vec<u64> = v.par_iter().map(|&x| x + 1).collect();
+            assert!(collected.is_empty());
+            assert_eq!(v.par_iter().count(), 0);
+            assert_eq!(v.par_iter().map(|&x| x).sum::<u64>(), 0);
+            assert_eq!(v.par_iter().map(|&x| x).reduce(|| 7, |a, b| a + b), 7);
+            assert_eq!(v.par_iter().map(|&x| x).reduce_with(|a, b| a + b), None);
+            assert_eq!(v.par_iter().max_by(|a, b| a.cmp(b)), None);
+        });
+    }
+
+    #[test]
+    fn single_item_all_terminals() {
+        pool(4).install(|| {
+            let v = [41u64];
+            let collected: Vec<u64> = v.par_iter().map(|&x| x + 1).collect();
+            assert_eq!(collected, vec![42]);
+            assert_eq!(v.par_iter().map(|&x| x).reduce(|| 0, |a, b| a + b), 41);
+            assert_eq!(v.par_iter().map(|&x| x).reduce_with(|a, b| a + b), Some(41));
+        });
+    }
+
+    #[test]
+    fn input_larger_than_thread_count() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let expected: Vec<u64> = input.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8] {
+            let out: Vec<u64> =
+                pool(threads).install(|| input.par_iter().map(|&x| x * 3 + 1).collect());
+            assert_eq!(out, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn collect_preserves_input_index_order() {
+        // Stress ordering: many items, uneven per-item work so chunks
+        // finish out of order, several thread counts.
+        let input: Vec<usize> = (0..5000).collect();
+        for threads in [2, 4, 7] {
+            let out: Vec<usize> = pool(threads).install(|| {
+                input
+                    .par_iter()
+                    .map(|&x| {
+                        if x % 97 == 0 {
+                            std::thread::yield_now();
+                        }
+                        x
+                    })
+                    .collect()
+            });
+            assert_eq!(out, input, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn panic_propagates_with_payload() {
+        let result = std::panic::catch_unwind(|| {
+            pool(4).install(|| {
+                (0..1000usize).into_par_iter().for_each(|x| {
+                    if x == 617 {
+                        panic!("worker exploded on {x}");
+                    }
+                });
+            });
+        });
+        let payload = result.expect_err("worker panic must reach the caller");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            message.contains("worker exploded on 617"),
+            "original payload must survive: {message:?}"
+        );
+    }
+
+    #[test]
+    fn reduce_tree_is_thread_count_invariant() {
+        // Floating-point addition is not associative, so bit-identical
+        // results across thread counts prove the combine tree has a fixed
+        // shape (chunking by length only), not merely that the maths is
+        // commutative.
+        let input: Vec<f64> = (1..=1537).map(|i| 1.0 / i as f64).collect();
+        let reference = pool(1).install(|| {
+            input
+                .par_iter()
+                .map(|&x| x)
+                .reduce(|| 0.0, |a, b| a + b)
+                .to_bits()
+        });
+        for threads in [2, 3, 4, 8] {
+            let bits = pool(threads).install(|| {
+                input
+                    .par_iter()
+                    .map(|&x| x)
+                    .reduce(|| 0.0, |a, b| a + b)
+                    .to_bits()
+            });
+            assert_eq!(bits, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn reduce_matches_sequential_fold_for_associative_ops() {
+        let input: Vec<u64> = (0..4097).collect();
+        let sequential = input.iter().fold(0u64, |a, &b| a ^ (b * 2654435761));
+        let parallel = pool(8).install(|| {
+            input
+                .par_iter()
+                .map(|&b| b * 2654435761)
+                .reduce(|| 0, |a, b| a ^ b)
+        });
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn one_thread_matches_many_threads_bitwise() {
+        // The RAYON_NUM_THREADS=1 equivalence guarantee, exercised via the
+        // same override mechanism the env var feeds.
+        let input: Vec<u64> = (0..3001).collect();
+        let run = |p: &ThreadPool| -> (Vec<u64>, usize, u64) {
+            p.install(|| {
+                let mapped: Vec<u64> = input.par_iter().map(|&x| x.wrapping_mul(31)).collect();
+                let count = input.par_iter().filter(|&&x| x % 3 == 0).count();
+                let total: u64 = input.par_iter().map(|&x| x).sum();
+                (mapped, count, total)
+            })
+        };
+        assert_eq!(run(&pool(1)), run(&pool(8)));
+    }
+
+    #[test]
+    fn max_by_min_by_keep_iterator_tie_semantics() {
+        // Keys collide; Iterator::max_by returns the last maximum and
+        // Iterator::min_by the first minimum.
+        let input: Vec<(u32, usize)> = (0..1000).map(|i| (i as u32 % 5, i)).collect();
+        let key = |t: &(u32, usize)| t.0;
+        let expected_max = input.iter().copied().max_by_key(key).unwrap();
+        let expected_min = input.iter().copied().min_by_key(key).unwrap();
+        for threads in [1, 4] {
+            let max =
+                pool(threads).install(|| input.par_iter().map(|&t| t).max_by(|a, b| a.0.cmp(&b.0)));
+            let min =
+                pool(threads).install(|| input.par_iter().map(|&t| t).min_by(|a, b| a.0.cmp(&b.0)));
+            assert_eq!(max, Some(expected_max), "threads = {threads}");
+            assert_eq!(min, Some(expected_min), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn join_runs_both_and_propagates_panics() {
+        let (a, b) = pool(4).install(|| super::join(|| 6 * 7, || "ok"));
+        assert_eq!((a, b), (42, "ok"));
+        let result = std::panic::catch_unwind(|| {
+            pool(4).install(|| super::join(|| 1, || panic!("right side")))
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn chunk_layout_is_a_pure_function_of_length() {
+        for len in [1usize, 2, 255, 256, 257, 1000, 10_000] {
+            let k = chunk_count(len);
+            assert!(k >= 1 && k <= len.min(super::MAX_CHUNKS));
+            let chunks = split_chunks((0..len).collect(), k);
+            assert_eq!(chunks.len(), k);
+            let sizes: Vec<usize> = chunks.iter().map(Vec::len).collect();
+            assert!(sizes.iter().all(|&s| s > 0));
+            assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+            let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, (0..len).collect::<Vec<_>>(), "len = {len}");
+        }
     }
 }

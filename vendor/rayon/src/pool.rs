@@ -1,0 +1,195 @@
+//! Thread-count configuration: a minimal `ThreadPoolBuilder` /
+//! `ThreadPool` surface over the subset of rayon's global-pool API this
+//! workspace uses.
+//!
+//! There is no persistent pool of parked threads: each parallel region
+//! spawns scoped workers (see the crate root). What this module owns is
+//! the *number* of workers a region may use, resolved in priority order:
+//!
+//! 1. a [`ThreadPool::install`] scope active on the calling thread,
+//! 2. the global setting from [`ThreadPoolBuilder::build_global`],
+//! 3. the `RAYON_NUM_THREADS` environment variable (read once),
+//! 4. [`std::thread::available_parallelism`].
+//!
+//! Divergence from real rayon: `build_global` may be called more than
+//! once and simply overwrites the setting (real rayon errors). The bench
+//! binaries rely on this to time 1-thread vs N-thread configurations in
+//! one process.
+
+use std::cell::Cell;
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// 0 means "unset"; any positive value wins over the environment.
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`] on this
+    /// thread. 0 means "no install scope active".
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Parse a `RAYON_NUM_THREADS`-style value: a positive integer. Anything
+/// else (empty, zero, garbage) is ignored, falling through to hardware
+/// parallelism — matching rayon's lenient treatment.
+pub(crate) fn parse_env_threads(raw: Option<&str>) -> Option<usize> {
+    raw?.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| parse_env_threads(std::env::var("RAYON_NUM_THREADS").ok().as_deref()))
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn default_threads() -> usize {
+    env_threads().unwrap_or_else(hardware_threads)
+}
+
+/// The number of threads the next parallel region on this thread will use.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(Cell::get);
+    if installed > 0 {
+        return installed;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    default_threads()
+}
+
+/// A fixed thread-count handle. Unlike real rayon there are no dedicated
+/// pool threads; `install` just pins the worker count for regions run
+/// inside it, which is all the workspace needs (and is exactly the knob
+/// the determinism regression tests turn).
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `op` with this pool's thread count, restoring the previous
+    /// setting afterwards (panic-safe, so a panicking scenario inside a
+    /// test cannot leak its thread count into the next test).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(INSTALLED_THREADS.with(|c| c.replace(self.threads)));
+        op()
+    }
+}
+
+/// Builder for [`ThreadPool`] and the global setting.
+#[derive(Debug, Default, Clone)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type kept for API compatibility; construction cannot currently
+/// fail.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// 0 (the default) means "resolve from the environment / hardware".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    fn resolved(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            default_threads()
+        }
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.resolved(),
+        })
+    }
+
+    /// Set the process-wide thread count. Overwrites any previous setting
+    /// (see the module docs for why this diverges from real rayon).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.resolved(), Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing_accepts_only_positive_integers() {
+        assert_eq!(parse_env_threads(Some("4")), Some(4));
+        assert_eq!(parse_env_threads(Some(" 8 ")), Some(8));
+        assert_eq!(parse_env_threads(Some("0")), None);
+        assert_eq!(parse_env_threads(Some("")), None);
+        assert_eq!(parse_env_threads(Some("lots")), None);
+        assert_eq!(parse_env_threads(None), None);
+    }
+
+    #[test]
+    fn install_overrides_and_restores() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let before = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn install_restores_after_panic() {
+        let pool = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        let before = current_num_threads();
+        let result = std::panic::catch_unwind(|| pool.install(|| panic!("boom")));
+        assert!(result.is_err());
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn nested_installs_shadow() {
+        let outer = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        outer.install(|| {
+            assert_eq!(current_num_threads(), 2);
+            inner.install(|| assert_eq!(current_num_threads(), 7));
+            assert_eq!(current_num_threads(), 2);
+        });
+    }
+}
