@@ -10,16 +10,18 @@
 //! guarantee.
 //!
 //! ```text
-//! cargo run -p cdn-bench --release --bin ablation_consistency [--quick]
+//! cargo run -p cdn-bench --release --bin ablation_consistency -- \
+//!     [--quick] [--threads <n>] [--trace-out <path>] [--metrics-out <path>]
 //! ```
 
-use cdn_bench::harness::{banner, write_csv, Scale};
+use cdn_bench::harness::{banner, write_csv, BenchArgs};
 use cdn_core::{Scenario, Strategy};
 use cdn_sim::ConsistencyMode;
 use cdn_workload::LambdaMode;
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = BenchArgs::parse("ablation_consistency");
+    let scale = args.scale;
     banner(
         "Ablation H: strong vs weak consistency (lambda = 10%)",
         scale,
@@ -84,4 +86,5 @@ fn main() {
         "consistency,replication_ms,caching_ms,hybrid_ms",
         &rows,
     );
+    args.finish("ablation_consistency");
 }

@@ -9,16 +9,18 @@
 //! caching is "inherently dynamic".
 //!
 //! ```text
-//! cargo run -p cdn-bench --release --bin ablation_drift [--quick]
+//! cargo run -p cdn-bench --release --bin ablation_drift -- \
+//!     [--quick] [--threads <n>] [--trace-out <path>] [--metrics-out <path>]
 //! ```
 
-use cdn_bench::harness::{banner, write_csv, Scale};
+use cdn_bench::harness::{banner, write_csv, BenchArgs};
 use cdn_core::{Scenario, Strategy};
 use cdn_sim::simulate_system_streams;
 use cdn_workload::{DriftConfig, Drifted, LambdaMode};
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = BenchArgs::parse("ablation_drift");
+    let scale = args.scale;
     banner("Ablation E: popularity drift vs delivery mechanism", scale);
     let config = scale.config(0.05, 0.0, LambdaMode::Uncacheable);
     let scenario = Scenario::generate(&config);
@@ -93,4 +95,5 @@ fn main() {
         "drift,period_requests,replication_ms,caching_ms,hybrid_ms",
         &rows,
     );
+    args.finish("ablation_drift");
 }

@@ -10,10 +10,11 @@
 //! tail latency is reported alongside availability.
 //!
 //! ```text
-//! cargo run -p cdn-bench --release --bin ablation_failures [--quick]
+//! cargo run -p cdn-bench --release --bin ablation_failures -- \
+//!     [--quick] [--threads <n>] [--trace-out <path>] [--metrics-out <path>]
 //! ```
 
-use cdn_bench::harness::{banner, write_csv, Scale};
+use cdn_bench::harness::{banner, write_csv, BenchArgs};
 use cdn_core::{Scenario, Strategy};
 use cdn_sim::{FaultParams, SimReport};
 use cdn_workload::LambdaMode;
@@ -65,7 +66,8 @@ fn intensities(seed: u64) -> Vec<Intensity> {
 }
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = BenchArgs::parse("ablation_failures");
+    let scale = args.scale;
     banner("Ablation I: availability under failures", scale);
     let config = scale.config(0.05, 0.0, LambdaMode::Uncacheable);
     let scenario = Scenario::generate(&config);
@@ -152,4 +154,5 @@ fn main() {
         "intensity,strategy,availability,failed,failover_ratio,mean_ms,degraded_p95_ms",
         &rows,
     );
+    args.finish("ablation_failures");
 }

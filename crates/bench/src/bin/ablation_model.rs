@@ -9,16 +9,18 @@
 //!    anything? (The paper claims it "produced the same result".)
 //!
 //! ```text
-//! cargo run -p cdn-bench --release --bin ablation_model [--quick]
+//! cargo run -p cdn-bench --release --bin ablation_model -- \
+//!     [--quick] [--threads <n>] [--trace-out <path>] [--metrics-out <path>]
 //! ```
 
-use cdn_bench::harness::{banner, write_csv, Scale};
+use cdn_bench::harness::{banner, write_csv, BenchArgs, Scale};
 use cdn_core::lru_model::validation::monte_carlo_hit_ratio;
 use cdn_core::lru_model::{CheModel, LruModel};
 use cdn_core::workload::ZipfLike;
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = BenchArgs::parse("ablation_model");
+    let scale = args.scale;
     banner("Ablation C: hit-ratio model accuracy", scale);
 
     let (l, requests) = match scale {
@@ -101,4 +103,5 @@ fn main() {
         "buffer,h_fixed,h_exact",
         &rows2,
     );
+    args.finish("ablation_model");
 }

@@ -6,16 +6,18 @@
 //! cache space: LRU, delayed-LRU, LFU, FIFO, CLOCK.
 //!
 //! ```text
-//! cargo run -p cdn-bench --release --bin ablation_policy [--quick]
+//! cargo run -p cdn-bench --release --bin ablation_policy -- \
+//!     [--quick] [--threads <n>] [--trace-out <path>] [--metrics-out <path>]
 //! ```
 
-use cdn_bench::harness::{banner, write_csv, Scale};
+use cdn_bench::harness::{banner, write_csv, BenchArgs};
 use cdn_core::cache;
 use cdn_core::{Scenario, Strategy};
 use cdn_workload::LambdaMode;
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = BenchArgs::parse("ablation_policy");
+    let scale = args.scale;
     banner(
         "Ablation D: replacement policy inside the hybrid scheme",
         scale,
@@ -64,4 +66,5 @@ fn main() {
         "policy,mean_latency_ms,p95_ms,local_ratio,cache_hit_ratio",
         &rows,
     );
+    args.finish("ablation_policy");
 }

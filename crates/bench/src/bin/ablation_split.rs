@@ -5,15 +5,17 @@
 //! point.
 //!
 //! ```text
-//! cargo run -p cdn-bench --release --bin ablation_split [--quick]
+//! cargo run -p cdn-bench --release --bin ablation_split -- \
+//!     [--quick] [--threads <n>] [--trace-out <path>] [--metrics-out <path>]
 //! ```
 
-use cdn_bench::harness::{banner, run_strategies, write_csv, Scale};
+use cdn_bench::harness::{banner, run_strategies, write_csv, BenchArgs};
 use cdn_core::{Scenario, Strategy};
 use cdn_workload::LambdaMode;
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = BenchArgs::parse("ablation_split");
+    let scale = args.scale;
     banner(
         "Ablation B: cache-fraction sweep vs the hybrid optimum",
         scale,
@@ -69,4 +71,5 @@ fn main() {
         "strategy,mean_latency_ms,mean_cost_hops,replicas",
         &rows,
     );
+    args.finish("ablation_split");
 }

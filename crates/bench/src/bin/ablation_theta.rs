@@ -7,15 +7,17 @@
 //! hybrid against the two fixed splits and report who wins.
 //!
 //! ```text
-//! cargo run -p cdn-bench --release --bin ablation_theta [--quick]
+//! cargo run -p cdn-bench --release --bin ablation_theta -- \
+//!     [--quick] [--threads <n>] [--trace-out <path>] [--metrics-out <path>]
 //! ```
 
-use cdn_bench::harness::{banner, run_strategies, write_csv, Scale};
+use cdn_bench::harness::{banner, run_strategies, write_csv, BenchArgs};
 use cdn_core::{Scenario, Strategy};
 use cdn_workload::LambdaMode;
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = BenchArgs::parse("ablation_theta");
+    let scale = args.scale;
     banner("Ablation A: Zipf-theta sensitivity", scale);
     let strategies = [
         Strategy::Hybrid,
@@ -70,4 +72,5 @@ fn main() {
         "theta,hybrid_ms,adhoc20_ms,adhoc80_ms,hybrid_replicas",
         &rows,
     );
+    args.finish("ablation_theta");
 }

@@ -7,10 +7,11 @@
 //! paths) — to check which conclusions survive the topology choice.
 //!
 //! ```text
-//! cargo run -p cdn-bench --release --bin ablation_topology [--quick]
+//! cargo run -p cdn-bench --release --bin ablation_topology -- \
+//!     [--quick] [--threads <n>] [--trace-out <path>] [--metrics-out <path>]
 //! ```
 
-use cdn_bench::harness::{banner, scenario_on_graph, write_csv, Scale};
+use cdn_bench::harness::{banner, scenario_on_graph, write_csv, BenchArgs, Scale};
 use cdn_placement::{greedy_global, hybrid::hybrid_greedy_paper, HybridConfig, Placement};
 use cdn_sim::simulate_system;
 use cdn_topology::gen::flat;
@@ -28,7 +29,8 @@ fn flat_random(n: usize, extra_prob: f64, seed: u64) -> Graph {
 }
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = BenchArgs::parse("ablation_topology");
+    let scale = args.scale;
     banner("Ablation F: topology families", scale);
     let cfg = scale.config(0.05, 0.0, LambdaMode::Uncacheable);
     let n_nodes = match scale {
@@ -128,4 +130,5 @@ fn main() {
         "topology,diameter,replication_ms,caching_ms,hybrid_ms,hybrid_gain_pc",
         &rows,
     );
+    args.finish("ablation_topology");
 }

@@ -9,10 +9,11 @@
 //! should glide from replica-heavy to cache-heavy as writes grow.
 //!
 //! ```text
-//! cargo run -p cdn-bench --release --bin ablation_updates [--quick]
+//! cargo run -p cdn-bench --release --bin ablation_updates -- \
+//!     [--quick] [--threads <n>] [--trace-out <path>] [--metrics-out <path>]
 //! ```
 
-use cdn_bench::harness::{banner, write_csv, Scale};
+use cdn_bench::harness::{banner, write_csv, BenchArgs};
 use cdn_core::Scenario;
 use cdn_placement::{
     greedy_global, hybrid::hybrid_greedy_paper, mean_hops_per_request, total_cost, HybridConfig,
@@ -20,7 +21,8 @@ use cdn_placement::{
 use cdn_workload::LambdaMode;
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = BenchArgs::parse("ablation_updates");
+    let scale = args.scale;
     banner(
         "Ablation G: update (write) intensity vs replica count",
         scale,
@@ -74,4 +76,5 @@ fn main() {
         "write_read_ratio,updates_per_site,hybrid_replicas,hybrid_hops,greedy_replicas,greedy_hops",
         &rows,
     );
+    args.finish("ablation_updates");
 }

@@ -4,48 +4,54 @@
 //! threads (default: all available; override with `--threads <n>`),
 //! recording per-phase wall-clock — topology build, placement,
 //! simulation — and asserting the two runs produce bit-identical
-//! results. Emits `BENCH_parallel.json` under the results directory.
+//! results *and* bit-identical deterministic work counters (series terms
+//! evaluated, placement candidates scanned, cache events, ...). Emits
+//! `BENCH_parallel.json` under the results directory with the
+//! deterministic counters in a `"work"` section and everything
+//! machine-dependent quarantined under `"wall_clock"` — the perf gate
+//! (`perf_gate`) compares the two sections with different strictness.
 //!
-//! Usage: `bench_parallel [--quick] [--threads <n>]`
+//! Usage: `bench_parallel [--quick] [--threads <n>]
+//!                        [--trace-out <path>] [--metrics-out <path>]`
 
-use cdn_bench::harness::{banner, write_json, PhaseTimings, Scale};
+use cdn_bench::harness::{banner, write_json, BenchArgs, PhaseTimings, Scale};
 use cdn_core::{PlanResult, Scenario, Strategy};
 use cdn_sim::SimReport;
+use cdn_telemetry as telemetry;
 use cdn_workload::LambdaMode;
 use std::fmt::Write as _;
 
-/// Parse `--threads <n>` from process args.
-fn arg_threads() -> Option<usize> {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == "--threads" {
-            return args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0);
-        }
-    }
-    None
-}
-
-/// One full scenario pass on a pool of `threads` threads, timing each phase.
-fn run_at(threads: usize, scale: Scale) -> (PhaseTimings, PlanResult, SimReport) {
+/// One full scenario pass on a pool of `threads` threads, timing each
+/// phase and capturing the deterministic work counters it accumulated.
+fn run_at(
+    threads: usize,
+    scale: Scale,
+) -> (PhaseTimings, PlanResult, SimReport, Vec<(String, u64)>) {
+    // Fresh counters per run so the 1-thread and N-thread tallies are
+    // directly comparable (handles cached elsewhere stay valid — values
+    // are zeroed in place).
+    telemetry::reset_metrics();
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()
         .expect("build thread pool");
-    pool.install(|| {
+    let (timings, plan, report) = pool.install(|| {
         let mut timings = PhaseTimings::new(threads);
         let config = scale.config(0.05, 0.0, LambdaMode::Uncacheable);
         let scenario = timings.time("topology", || Scenario::generate(&config));
         let plan = timings.time("placement", || scenario.plan(Strategy::Hybrid));
         let report = timings.time("simulation", || scenario.simulate(&plan));
         (timings, plan, report)
-    })
+    });
+    let work = telemetry::registry().counter_values();
+    (timings, plan, report, work)
 }
 
 /// Bitwise equality of the fields that summarise a run; any scheduling
 /// nondeterminism would show up here first.
 fn reports_identical(
-    a: &(PhaseTimings, PlanResult, SimReport),
-    b: &(PhaseTimings, PlanResult, SimReport),
+    a: &(PhaseTimings, PlanResult, SimReport, Vec<(String, u64)>),
+    b: &(PhaseTimings, PlanResult, SimReport, Vec<(String, u64)>),
 ) -> bool {
     let (pa, ra) = (&a.1, &a.2);
     let (pb, rb) = (&b.1, &b.2);
@@ -62,10 +68,12 @@ fn reports_identical(
 }
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = BenchArgs::parse("bench_parallel");
+    let scale = args.scale;
     banner("bench_parallel: per-phase wall-clock, 1 thread vs N", scale);
 
-    let n_threads = arg_threads()
+    let n_threads = args
+        .threads
         .unwrap_or_else(rayon::current_num_threads)
         .max(1);
 
@@ -75,6 +83,7 @@ fn main() {
     let multi = run_at(n_threads, scale);
 
     let identical = reports_identical(&base, &multi);
+    let work_identical = base.3 == multi.3;
     let speedup = base.0.total_seconds() / multi.0.total_seconds().max(1e-12);
 
     for (t, lbl) in [(&base.0, "1 thread"), (&multi.0, "N threads")] {
@@ -84,8 +93,29 @@ fn main() {
         }
     }
     println!("  speedup (total): {speedup:.2}x at {n_threads} thread(s)");
-    println!("  bit-identical reports: {identical}");
+    println!("  bit-identical reports:       {identical}");
+    println!("  bit-identical work counters: {work_identical}");
+    if !work_identical {
+        // Show exactly which counter drifted — that is the debugging lead.
+        let names: std::collections::BTreeSet<&str> = base
+            .3
+            .iter()
+            .chain(multi.3.iter())
+            .map(|(n, _)| n.as_str())
+            .collect();
+        for name in names {
+            let get = |w: &[(String, u64)]| w.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+            let (a, b) = (get(&base.3), get(&multi.3));
+            if a != b {
+                println!("      {name}: 1-thread {a:?} vs N-thread {b:?}");
+            }
+        }
+    }
 
+    // `"work"` holds only deterministic counters — pure functions of the
+    // scenario parameters, identical across machines and thread counts.
+    // Everything timing-related lives under `"wall_clock"`, which the perf
+    // gate treats with a wide tolerance band instead of exact equality.
     let mut json = String::from("{\n");
     let _ = writeln!(
         json,
@@ -96,21 +126,35 @@ fn main() {
             "paper"
         }
     );
-    let _ = writeln!(json, "  \"baseline_threads\": 1,");
-    let _ = writeln!(json, "  \"parallel_threads\": {n_threads},");
+    let _ = writeln!(json, "  \"work\": {{");
+    for (idx, (name, value)) in base.3.iter().enumerate() {
+        let comma = if idx + 1 < base.3.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{name}\": {value}{comma}");
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"work_identical\": {work_identical},");
+    let _ = writeln!(json, "  \"bit_identical\": {identical},");
+    let _ = writeln!(json, "  \"wall_clock\": {{");
+    let _ = writeln!(json, "    \"baseline_threads\": 1,");
+    let _ = writeln!(json, "    \"parallel_threads\": {n_threads},");
     let _ = writeln!(
         json,
-        "  \"runs\": [{}, {}],",
+        "    \"runs\": [{}, {}],",
         base.0.to_json(),
         multi.0.to_json()
     );
-    let _ = writeln!(json, "  \"speedup_total\": {speedup:.4},");
-    let _ = writeln!(json, "  \"bit_identical\": {identical}");
+    let _ = writeln!(json, "    \"speedup_total\": {speedup:.4}");
+    let _ = writeln!(json, "  }}");
     json.push_str("}\n");
     write_json("BENCH_parallel.json", &json);
+    args.finish("bench_parallel");
 
     assert!(
         identical,
         "multi-threaded run diverged from single-threaded run"
+    );
+    assert!(
+        work_identical,
+        "deterministic work counters diverged between thread counts"
     );
 }

@@ -8,17 +8,19 @@
 //! approximately 40% on average, and the pure caching by 15% roughly."
 //!
 //! ```text
-//! cargo run -p cdn-bench --release --bin fig3 [--quick]
+//! cargo run -p cdn-bench --release --bin fig3 -- \
+//!     [--quick] [--threads <n>] [--trace-out <path>] [--metrics-out <path>]
 //! ```
 
 use cdn_bench::harness::{
-    assert_sane, banner, improvement_pct, run_strategies, summary_block, write_cdf_csvs, Scale,
+    assert_sane, banner, improvement_pct, run_strategies, summary_block, write_cdf_csvs, BenchArgs,
 };
 use cdn_core::{Scenario, Strategy};
 use cdn_workload::LambdaMode;
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = BenchArgs::parse("fig3");
+    let scale = args.scale;
     banner("Figure 3: CDFs, all objects cacheable (lambda = 0)", scale);
     let strategies = [Strategy::Replication, Strategy::Caching, Strategy::Hybrid];
 
@@ -40,4 +42,5 @@ fn main() {
         }
         write_cdf_csvs(&format!("fig3{panel}"), &results);
     }
+    args.finish("fig3");
 }

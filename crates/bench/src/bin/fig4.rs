@@ -7,17 +7,19 @@
 //! to ~30% while its edge over caching grows to ~20%.
 //!
 //! ```text
-//! cargo run -p cdn-bench --release --bin fig4 [--quick]
+//! cargo run -p cdn-bench --release --bin fig4 -- \
+//!     [--quick] [--threads <n>] [--trace-out <path>] [--metrics-out <path>]
 //! ```
 
 use cdn_bench::harness::{
-    assert_sane, banner, improvement_pct, run_strategies, summary_block, write_cdf_csvs, Scale,
+    assert_sane, banner, improvement_pct, run_strategies, summary_block, write_cdf_csvs, BenchArgs,
 };
 use cdn_core::{Scenario, Strategy};
 use cdn_workload::LambdaMode;
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = BenchArgs::parse("fig4");
+    let scale = args.scale;
     banner(
         "Figure 4: CDFs with 10% expired requests, strong consistency",
         scale,
@@ -42,4 +44,5 @@ fn main() {
         }
         write_cdf_csvs(&format!("fig4{panel}"), &results);
     }
+    args.finish("fig4");
 }

@@ -7,17 +7,19 @@
 //! splits — 40%, 60% — are covered by `ablation_split`.)
 //!
 //! ```text
-//! cargo run -p cdn-bench --release --bin fig5 [--quick]
+//! cargo run -p cdn-bench --release --bin fig5 -- \
+//!     [--quick] [--threads <n>] [--trace-out <path>] [--metrics-out <path>]
 //! ```
 
 use cdn_bench::harness::{
-    assert_sane, banner, improvement_pct, run_strategies, summary_block, write_cdf_csvs, Scale,
+    assert_sane, banner, improvement_pct, run_strategies, summary_block, write_cdf_csvs, BenchArgs,
 };
 use cdn_core::{Scenario, Strategy};
 use cdn_workload::LambdaMode;
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = BenchArgs::parse("fig5");
+    let scale = args.scale;
     banner("Figure 5: hybrid vs ad-hoc fixed splits", scale);
     let strategies = [
         Strategy::Hybrid,
@@ -58,4 +60,5 @@ fn main() {
         }
         write_cdf_csvs(&format!("fig5{panel}"), &results);
     }
+    args.finish("fig5");
 }

@@ -8,15 +8,17 @@
 //! less than 7%."
 //!
 //! ```text
-//! cargo run -p cdn-bench --release --bin fig6 [--quick]
+//! cargo run -p cdn-bench --release --bin fig6 -- \
+//!     [--quick] [--threads <n>] [--trace-out <path>] [--metrics-out <path>]
 //! ```
 
-use cdn_bench::harness::{banner, write_csv, Scale};
+use cdn_bench::harness::{banner, write_csv, BenchArgs};
 use cdn_core::{Scenario, Strategy};
 use cdn_workload::LambdaMode;
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = BenchArgs::parse("fig6");
+    let scale = args.scale;
     banner("Figure 6: predicted vs actual cost per request", scale);
 
     println!(
@@ -59,4 +61,5 @@ fn main() {
         "capacity_pc,uncacheable_pc,actual_hops,predicted_hops,error_pc",
         &rows,
     );
+    args.finish("fig6");
 }

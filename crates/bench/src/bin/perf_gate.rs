@@ -1,0 +1,230 @@
+//! CI perf-regression gate over `BENCH_parallel.json`.
+//!
+//! Compares a freshly generated benchmark file against a committed
+//! baseline with two very different strictness levels:
+//!
+//! * the `"work"` section holds deterministic work counters (series terms
+//!   evaluated, placement candidates scanned, cache events, ...) that are
+//!   pure functions of the scenario parameters — these must match the
+//!   baseline **exactly**, including the key set; a drifted counter means
+//!   the algorithm now does different work, which is either a perf
+//!   regression or an unacknowledged behaviour change (fix it, or commit
+//!   a new baseline deliberately);
+//! * the `"wall_clock"` section is machine-dependent — per-phase times of
+//!   the single-threaded run only have to stay within a 3x band of the
+//!   baseline, wide enough for noisy shared CI runners but tight enough
+//!   to catch order-of-magnitude blowups.
+//!
+//! Prints a readable delta table and exits non-zero on any violation.
+//!
+//! Usage: `perf_gate --baseline <path> --current <path>`
+
+use cdn_telemetry::json::{parse, Json};
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+/// Wall-clock tolerance band: current/baseline must stay in [1/3, 3].
+const WALL_CLOCK_BAND: f64 = 3.0;
+/// Phases faster than this on both sides are skipped — at quick scale a
+/// phase runs in milliseconds, where the band would only measure machine
+/// speed differences, not regressions. A genuine blowup still trips the
+/// gate: the regressed side crosses the floor and the ratio check fires.
+const MIN_COMPARABLE_SECONDS: f64 = 0.050;
+
+fn usage() -> String {
+    "usage: perf_gate --baseline <path> --current <path>\n\
+     \n\
+     \x20 --baseline <path>  committed BENCH_parallel.json to gate against\n\
+     \x20 --current <path>   freshly generated BENCH_parallel.json\n\
+     \x20 --help             print this message\n"
+        .into()
+}
+
+fn parse_args() -> Result<(String, String), String> {
+    let mut baseline = None;
+    let mut current = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => baseline = Some(it.next().ok_or("--baseline needs a path")?),
+            "--current" => current = Some(it.next().ok_or("--current needs a path")?),
+            "--help" | "-h" => {
+                print!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unrecognised argument `{other}`")),
+        }
+    }
+    match (baseline, current) {
+        (Some(b), Some(c)) => Ok((b, c)),
+        _ => Err("both --baseline and --current are required".into()),
+    }
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    parse(&body).map_err(|e| format!("parse {path}: {e}"))
+}
+
+/// Compare the deterministic `"work"` counters; returns failure lines.
+fn check_work(baseline: &Json, current: &Json, table: &mut Vec<String>) -> Vec<String> {
+    let mut failures = Vec::new();
+    let empty = std::collections::BTreeMap::new();
+    let base = baseline
+        .get("work")
+        .and_then(Json::as_obj)
+        .unwrap_or(&empty);
+    let cur = current.get("work").and_then(Json::as_obj).unwrap_or(&empty);
+    if base.is_empty() {
+        failures.push("baseline has no \"work\" section".into());
+    }
+    let names: BTreeSet<&String> = base.keys().chain(cur.keys()).collect();
+    for name in names {
+        let b = base.get(name.as_str()).and_then(Json::as_u64);
+        let c = cur.get(name.as_str()).and_then(Json::as_u64);
+        let (status, failed) = match (b, c) {
+            (Some(b), Some(c)) if b == c => ("ok", false),
+            (Some(_), Some(_)) => ("DRIFT", true),
+            (None, Some(_)) => ("EXTRA", true),
+            (Some(_), None) => ("MISSING", true),
+            (None, None) => ("INVALID", true),
+        };
+        let fmt = |v: Option<u64>| v.map_or("-".into(), |v| v.to_string());
+        table.push(format!(
+            "  {:<32} {:>14} {:>14}  {}",
+            name,
+            fmt(b),
+            fmt(c),
+            status
+        ));
+        if failed {
+            failures.push(format!("work counter `{name}`: {} vs {}", fmt(b), fmt(c)));
+        }
+    }
+    failures
+}
+
+/// Single-thread per-phase seconds: `wall_clock.runs[0].phases`.
+fn baseline_run_phases(doc: &Json) -> Vec<(String, f64)> {
+    doc.get("wall_clock")
+        .and_then(|w| w.get("runs"))
+        .and_then(Json::as_arr)
+        .and_then(|runs| runs.first())
+        .and_then(|run| run.get("phases"))
+        .and_then(Json::as_obj)
+        .map(|phases| {
+            phases
+                .iter()
+                .filter_map(|(k, v)| v.as_f64().map(|s| (k.clone(), s)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Compare single-thread wall-clock phases within the band.
+fn check_wall_clock(baseline: &Json, current: &Json, table: &mut Vec<String>) -> Vec<String> {
+    let mut failures = Vec::new();
+    let base = baseline_run_phases(baseline);
+    let cur = baseline_run_phases(current);
+    if base.is_empty() {
+        failures.push("baseline has no wall_clock.runs[0].phases".into());
+    }
+    for (name, b) in &base {
+        let Some((_, c)) = cur.iter().find(|(n, _)| n == name) else {
+            failures.push(format!("wall-clock phase `{name}` missing from current"));
+            continue;
+        };
+        if *b < MIN_COMPARABLE_SECONDS && *c < MIN_COMPARABLE_SECONDS {
+            table.push(format!(
+                "  {:<32} {:>13.3}s {:>13.3}s  skip (below noise floor)",
+                name, b, c
+            ));
+            continue;
+        }
+        let ratio = c / b.max(1e-9);
+        let ok = (1.0 / WALL_CLOCK_BAND..=WALL_CLOCK_BAND).contains(&ratio);
+        table.push(format!(
+            "  {:<32} {:>13.3}s {:>13.3}s  {:.2}x {}",
+            name,
+            b,
+            c,
+            ratio,
+            if ok { "ok" } else { "OUT OF BAND" }
+        ));
+        if !ok {
+            failures.push(format!(
+                "wall-clock phase `{name}`: {ratio:.2}x baseline (band is \
+                 {:.2}x..{WALL_CLOCK_BAND:.0}x)",
+                1.0 / WALL_CLOCK_BAND
+            ));
+        }
+    }
+    failures
+}
+
+/// The current run must itself report internal determinism.
+fn check_flags(current: &Json) -> Vec<String> {
+    ["bit_identical", "work_identical"]
+        .iter()
+        .filter(|key| !matches!(current.get(key), Some(Json::Bool(true))))
+        .map(|key| format!("current run does not report `{key}: true`"))
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let (baseline_path, current_path) = match parse_args() {
+        Ok(paths) => paths,
+        Err(msg) => {
+            eprintln!("perf_gate: {msg}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let (baseline, current) = match (load(&baseline_path), load(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("perf_gate: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failures = Vec::new();
+    let (sa, sb) = (
+        baseline.get("scale").and_then(Json::as_str),
+        current.get("scale").and_then(Json::as_str),
+    );
+    if sa != sb {
+        failures.push(format!("scale mismatch: {sa:?} vs {sb:?}"));
+    }
+
+    println!("perf gate: {current_path} vs baseline {baseline_path}\n");
+    println!(
+        "  {:<32} {:>14} {:>14}  deterministic work (exact)",
+        "counter", "baseline", "current"
+    );
+    let mut work_table = Vec::new();
+    failures.extend(check_work(&baseline, &current, &mut work_table));
+    work_table.iter().for_each(|l| println!("{l}"));
+
+    println!(
+        "\n  {:<32} {:>14} {:>14}  single-thread wall-clock ({}x band)",
+        "phase", "baseline", "current", WALL_CLOCK_BAND
+    );
+    let mut wall_table = Vec::new();
+    failures.extend(check_wall_clock(&baseline, &current, &mut wall_table));
+    wall_table.iter().for_each(|l| println!("{l}"));
+
+    failures.extend(check_flags(&current));
+
+    if failures.is_empty() {
+        println!("\nperf gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("\nperf gate: FAIL");
+        for f in &failures {
+            println!("  - {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,8 +1,10 @@
-//! Shared experiment plumbing: scale selection, CSV output, timing, and the
-//! standard per-figure runner.
+//! Shared experiment plumbing: scale selection, argument parsing, CSV
+//! output, observability wiring, timing, and the standard per-figure
+//! runner.
 
 use cdn_core::{Scenario, ScenarioConfig, Strategy};
 use cdn_sim::SimReport;
+use cdn_telemetry as telemetry;
 use cdn_workload::LambdaMode;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -18,15 +20,6 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parse from process args: `--quick` selects the reduced scale.
-    pub fn from_args() -> Self {
-        if std::env::args().any(|a| a == "--quick") {
-            Scale::Quick
-        } else {
-            Scale::Paper
-        }
-    }
-
     /// The scenario configuration for this scale at the given capacity/λ.
     pub fn config(self, capacity: f64, lambda: f64, mode: LambdaMode) -> ScenarioConfig {
         match self {
@@ -38,6 +31,156 @@ impl Scale {
                 cfg.lambda_mode = mode;
                 cfg
             }
+        }
+    }
+}
+
+/// Parsed command line shared by every bench binary.
+///
+/// Every binary accepts the same flag set; anything else is rejected with
+/// a usage message and exit code 2 (previously unknown flags were silently
+/// ignored, so a typo like `--qiuck` ran the full paper scale).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    pub scale: Scale,
+    /// Rayon pool size override (`--threads <n>`).
+    pub threads: Option<usize>,
+    /// Write the deterministic JSONL event trace here (`--trace-out`).
+    pub trace_out: Option<PathBuf>,
+    /// Write an extra metrics snapshot here (`--metrics-out`), in addition
+    /// to the `results/<bin>_metrics.json` every binary emits.
+    pub metrics_out: Option<PathBuf>,
+}
+
+/// Why [`BenchArgs::parse_from`] refused a command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// `--help` was passed: print usage, exit 0.
+    Help,
+    /// Bad flag or missing value: print message + usage, exit 2.
+    Bad(String),
+}
+
+/// Usage text for the shared bench flag set.
+pub fn usage(bin: &str) -> String {
+    format!(
+        "usage: {bin} [--quick] [--threads <n>] [--trace-out <path>] [--metrics-out <path>]\n\
+         \n\
+         \x20 --quick               reduced smoke-test scale instead of the paper scale\n\
+         \x20 --threads <n>         rayon thread-pool size (default: all cores)\n\
+         \x20 --trace-out <path>    write the deterministic JSONL event trace to <path>\n\
+         \x20 --metrics-out <path>  write the metrics snapshot JSON to <path>\n\
+         \x20 --help                print this message\n"
+    )
+}
+
+impl BenchArgs {
+    /// Parse an argument list (without the program name). Pure — no
+    /// process exit, no global state — so tests can exercise every branch.
+    pub fn parse_from<I>(args: I) -> Result<Self, ArgError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut out = BenchArgs {
+            scale: Scale::Paper,
+            threads: None,
+            trace_out: None,
+            metrics_out: None,
+        };
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => out.scale = Scale::Quick,
+                "--help" | "-h" => return Err(ArgError::Help),
+                "--threads" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError::Bad("--threads needs a value".into()))?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| ArgError::Bad(format!("--threads: bad value `{v}`")))?;
+                    if n == 0 {
+                        return Err(ArgError::Bad("--threads must be at least 1".into()));
+                    }
+                    out.threads = Some(n);
+                }
+                "--trace-out" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError::Bad("--trace-out needs a path".into()))?;
+                    out.trace_out = Some(PathBuf::from(v));
+                }
+                "--metrics-out" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError::Bad("--metrics-out needs a path".into()))?;
+                    out.metrics_out = Some(PathBuf::from(v));
+                }
+                other => {
+                    return Err(ArgError::Bad(format!("unrecognised argument `{other}`")));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parse the process command line, set up observability, and return.
+    /// Unknown flags print the usage message and exit with status 2.
+    pub fn parse(bin: &str) -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(args) => {
+                args.apply(bin);
+                args
+            }
+            Err(ArgError::Help) => {
+                print!("{}", usage(bin));
+                std::process::exit(0);
+            }
+            Err(ArgError::Bad(msg)) => {
+                eprintln!("{bin}: {msg}\n\n{}", usage(bin));
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Configure the process for this run: size the global rayon pool,
+    /// reset the metrics registry, enable telemetry counters (they are
+    /// deterministic and cheap, so bench binaries always record them), and
+    /// install a trace when one was requested.
+    fn apply(&self, bin: &str) {
+        if let Some(n) = self.threads {
+            // Ignore "already built": tests and nested harnesses may have
+            // initialised the global pool first.
+            let _ = rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build_global();
+        }
+        telemetry::reset_metrics();
+        telemetry::set_enabled(true);
+        if self.trace_out.is_some() {
+            telemetry::install_trace();
+        }
+        let _ = bin;
+    }
+
+    /// Flush observability outputs. Every binary writes
+    /// `results/<bin>_metrics.json`; `--metrics-out` / `--trace-out` get
+    /// extra copies at the requested paths. Wall-clock never enters these
+    /// files — the snapshot holds only deterministic counters, gauges, and
+    /// histograms, so it is byte-comparable across machines and thread
+    /// counts.
+    pub fn finish(&self, bin: &str) {
+        let snapshot = telemetry::registry().snapshot_json();
+        write_json(&format!("{bin}_metrics.json"), &snapshot);
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, &snapshot)
+                .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+            println!("  wrote {}", path.display());
+        }
+        if let Some(path) = &self.trace_out {
+            let jsonl = telemetry::drain_trace().unwrap_or_default();
+            std::fs::write(path, jsonl).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+            println!("  wrote {}", path.display());
         }
     }
 }
@@ -360,6 +503,67 @@ mod tests {
             }
         }
         assert_eq!(problem.grand_total(), catalog.total_requests());
+    }
+
+    fn parse(args: &[&str]) -> Result<BenchArgs, ArgError> {
+        BenchArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn empty_args_select_paper_scale() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.scale, Scale::Paper);
+        assert_eq!(a.threads, None);
+        assert_eq!(a.trace_out, None);
+        assert_eq!(a.metrics_out, None);
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let a = parse(&[
+            "--quick",
+            "--threads",
+            "4",
+            "--trace-out",
+            "/tmp/t.jsonl",
+            "--metrics-out",
+            "/tmp/m.json",
+        ])
+        .unwrap();
+        assert_eq!(a.scale, Scale::Quick);
+        assert_eq!(a.threads, Some(4));
+        assert_eq!(a.trace_out.as_deref(), Some(Path::new("/tmp/t.jsonl")));
+        assert_eq!(a.metrics_out.as_deref(), Some(Path::new("/tmp/m.json")));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_not_ignored() {
+        // The old `Scale::from_args` scanned only for `--quick`, so a typo
+        // silently ran the full paper scale. Now it is a hard error.
+        match parse(&["--qiuck"]) {
+            Err(ArgError::Bad(msg)) => assert!(msg.contains("--qiuck"), "{msg}"),
+            other => panic!("expected Bad, got {other:?}"),
+        }
+        assert!(matches!(parse(&["extra"]), Err(ArgError::Bad(_))));
+    }
+
+    #[test]
+    fn missing_or_bad_values_are_rejected() {
+        assert!(matches!(parse(&["--threads"]), Err(ArgError::Bad(_))));
+        assert!(matches!(
+            parse(&["--threads", "zero"]),
+            Err(ArgError::Bad(_))
+        ));
+        assert!(matches!(parse(&["--threads", "0"]), Err(ArgError::Bad(_))));
+        assert!(matches!(parse(&["--trace-out"]), Err(ArgError::Bad(_))));
+        assert!(matches!(parse(&["--metrics-out"]), Err(ArgError::Bad(_))));
+    }
+
+    #[test]
+    fn help_is_distinguished_from_errors() {
+        assert_eq!(parse(&["--help"]), Err(ArgError::Help));
+        assert_eq!(parse(&["-h"]), Err(ArgError::Help));
+        assert!(usage("fig3").contains("--trace-out"));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::args::Args;
 use cdn_core::{compare_strategies, Scenario, ScenarioConfig, Strategy};
+use cdn_telemetry as telemetry;
 use cdn_topology::metrics::compute_metrics;
 use cdn_topology::{export, TransitStubConfig, TransitStubTopology};
 use cdn_workload::{
@@ -26,6 +27,11 @@ FAULT OPTIONS (enable fault injection / failover routing in the simulator):
   --origin-outage F     long-run fraction of time origins are down, [0, 1)
   --retry-penalty-ms MS latency per dead holder skipped (default 200)
 
+OBSERVABILITY (compare and plan; deterministic — no timestamps, identical
+bytes at any --threads value):
+  --trace-out FILE      write the JSONL span/event trace to FILE
+  --metrics-out FILE    write the counters/gauges/histograms snapshot to FILE
+
 STRATEGIES (for --strategy):
   hybrid | replication | caching | popularity | greedy-local | backtrack
   | hybrid-che | random:<seed> | adhoc:<cache-fraction>";
@@ -42,7 +48,49 @@ pub const SCENARIO_KEYS: &[&str] = &[
     "mttr",
     "origin-outage",
     "retry-penalty-ms",
+    "trace-out",
+    "metrics-out",
 ];
+
+/// Observability outputs requested on the command line. Constructing it
+/// (via [`Observability::setup`]) switches the telemetry layer on when any
+/// output is wanted; [`Observability::flush`] writes the files after the
+/// command's work is done.
+struct Observability {
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+}
+
+impl Observability {
+    fn setup(a: &Args) -> Self {
+        let obs = Self {
+            trace_out: a.get("trace-out").map(str::to_string),
+            metrics_out: a.get("metrics-out").map(str::to_string),
+        };
+        if obs.trace_out.is_some() || obs.metrics_out.is_some() {
+            telemetry::reset_metrics();
+            telemetry::set_enabled(true);
+            if obs.trace_out.is_some() {
+                telemetry::install_trace();
+            }
+        }
+        obs
+    }
+
+    fn flush(&self) -> Result<(), String> {
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, telemetry::registry().snapshot_json())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote metrics snapshot to {path}");
+        }
+        if let Some(path) = &self.trace_out {
+            let jsonl = telemetry::drain_trace().unwrap_or_default();
+            std::fs::write(path, jsonl).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote event trace to {path}");
+        }
+        Ok(())
+    }
+}
 
 /// Apply `--threads N` (configure the global rayon pool before any parallel
 /// region runs) and return the effective worker count. Results are
@@ -175,6 +223,7 @@ fn parse_strategy(spec: &str) -> Result<Strategy, String> {
 pub fn compare(a: &Args) -> Result<(), String> {
     let cfg = scenario_config(a)?;
     let threads = configure_threads(a)?;
+    let obs = Observability::setup(a);
     println!(
         "scenario: {} servers, {} sites, capacity {:.1}%, lambda {:.0}%, seed {}, {threads} thread(s)",
         cfg.hosts.n_servers,
@@ -207,13 +256,14 @@ pub fn compare(a: &Args) -> Result<(), String> {
     if let Some(gain) = cmp.improvement(Strategy::Hybrid, Strategy::Caching) {
         println!("hybrid vs caching:     {:+.1}%", gain * 100.0);
     }
-    Ok(())
+    obs.flush()
 }
 
 pub fn plan(a: &Args) -> Result<(), String> {
     let cfg = scenario_config(a)?;
     let strategy = parse_strategy(a.get("strategy").unwrap_or("hybrid"))?;
     let threads = configure_threads(a)?;
+    let obs = Observability::setup(a);
     let scenario = Scenario::generate(&cfg);
     let plan = scenario.plan(strategy);
     println!(
@@ -236,7 +286,7 @@ pub fn plan(a: &Args) -> Result<(), String> {
             plan.placement.free_bytes(i) as f64 / 1e6,
         );
     }
-    Ok(())
+    obs.flush()
 }
 
 pub fn topology(a: &Args) -> Result<(), String> {
@@ -445,6 +495,34 @@ mod tests {
         // Without the flag the pool is left as-is.
         let a = Args::parse(std::iter::empty(), &["threads"]).unwrap();
         assert_eq!(configure_threads(&a).unwrap(), 3);
+    }
+
+    #[test]
+    fn observability_keys_accepted_and_flushed() {
+        let dir = std::env::temp_dir().join("cdn-cli-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.jsonl");
+        let metrics = dir.join("metrics.json");
+        let a = Args::parse(
+            [
+                "--trace-out",
+                trace.to_str().unwrap(),
+                "--metrics-out",
+                metrics.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+            SCENARIO_KEYS,
+        )
+        .unwrap();
+        let obs = Observability::setup(&a);
+        assert!(telemetry::enabled());
+        assert!(telemetry::trace_installed());
+        obs.flush().unwrap();
+        let snapshot = std::fs::read_to_string(&metrics).unwrap();
+        assert!(snapshot.contains("\"counters\""));
+        assert!(trace.exists());
+        telemetry::uninstall_trace();
     }
 
     #[test]

@@ -1,7 +1,31 @@
 //! Equations (1) and (2) of the paper.
 
+use cdn_telemetry as telemetry;
 use cdn_workload::ZipfLike;
 use std::collections::BinaryHeap;
+use std::sync::{Arc, OnceLock};
+
+/// Cached registry handles for the Eq. (1) hot loop. Handles survive
+/// `telemetry::reset_metrics()` (values are zeroed in place), so caching
+/// them once per process is safe and keeps the instrumented path at one
+/// relaxed atomic add per evaluation.
+struct SeriesCounters {
+    terms: Arc<telemetry::Counter>,
+    cutoffs: Arc<telemetry::Counter>,
+    evals: Arc<telemetry::Counter>,
+}
+
+fn series_counters() -> &'static SeriesCounters {
+    static COUNTERS: OnceLock<SeriesCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let reg = telemetry::registry();
+        SeriesCounters {
+            terms: reg.counter("lru_model.series_terms"),
+            cutoffs: reg.counter("lru_model.tail_cutoffs"),
+            evals: reg.counter("lru_model.evaluations"),
+        }
+    })
+}
 
 /// `1 − (1 − p)^K` for `p ∈ [0, 1]`, `K > 0`, evaluated as
 /// `−expm1(K·ln_1p(−p))`: one log/exp pair instead of `powf`, and
@@ -171,6 +195,8 @@ impl LruModel {
             return 0.0;
         }
         let mut h = 0.0;
+        let mut terms: u64 = 0;
+        let mut cut = false;
         // Hot loop (memo-table fills): iterate the precomputed pmf directly,
         // with `residency` replacing the old per-entry `powf`.
         for &pmf in self.zipf.pmf_slice() {
@@ -182,9 +208,22 @@ impl LruModel {
             // < 1e-14 — two orders inside the 1e-12 accuracy the regression
             // test asserts against the naive sum.
             if p < 0.5 && 2.0 * k * p < 1e-14 {
+                cut = true;
                 break;
             }
+            terms += 1;
             h += residency(p, k) * pmf;
+        }
+        // Work accounting: locally tallied, flushed as commutative atomic
+        // adds — totals are exact for any thread schedule, and, because the
+        // memo layers above are compute-once, a pure function of the run.
+        if telemetry::enabled() {
+            let c = series_counters();
+            c.evals.inc();
+            c.terms.add(terms);
+            if cut {
+                c.cutoffs.inc();
+            }
         }
         h.min(1.0)
     }

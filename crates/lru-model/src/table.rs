@@ -104,6 +104,13 @@ impl HitRatioTable {
     }
 
     /// Quantised, memoised `h(p, K)`.
+    ///
+    /// Fills are compute-once: the write lock is held across the model
+    /// evaluation, so two workers racing on the same cell never both pay
+    /// for it. Besides avoiding duplicated work, this makes `fills` (and
+    /// the model's series-term counters underneath) a pure function of the
+    /// query set — independent of thread count and scheduling — which the
+    /// telemetry layer's determinism contract relies on.
     pub fn site_hit_ratio(&self, p: f64, k: f64) -> f64 {
         use std::sync::atomic::Ordering::Relaxed;
         let pi = (p.max(0.0) / self.p_step).round() as u64;
@@ -113,10 +120,15 @@ impl HitRatioTable {
             self.hits.fetch_add(1, Relaxed);
             return h;
         }
+        let mut cells = self.cells.write();
+        if let Some(&h) = cells.get(&key) {
+            self.hits.fetch_add(1, Relaxed);
+            return h;
+        }
         let p_q = pi as f64 * self.p_step;
         let h = self.model.site_hit_ratio(p_q, k_q);
         self.fills.fetch_add(1, Relaxed);
-        self.cells.write().insert(key, h);
+        cells.insert(key, h);
         h
     }
 

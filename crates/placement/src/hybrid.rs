@@ -22,7 +22,9 @@ use crate::oracle::{HitRatioOracle, PaperOracle};
 use crate::problem::PlacementProblem;
 use crate::solution::Placement;
 use cdn_lru_model::LruModel;
+use cdn_telemetry::{self as telemetry, Value};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Tunables of the hybrid run.
 #[derive(Debug, Clone, Copy)]
@@ -191,14 +193,20 @@ impl ShrinkMemo {
         new_buf: usize,
     ) -> f64 {
         let bucket = Self::bucket(new_buf);
-        if let Some(&s) = self.s[i].lock().get(&bucket) {
+        // Compute-once: hold the per-server lock across the evaluation so
+        // racing workers never both fill the same bucket. The value would
+        // be identical either way (the representative is canonical), but
+        // the *amount* of oracle work must be schedule-independent for the
+        // telemetry work counters to be bit-identical across thread counts.
+        let mut cells = self.s[i].lock();
+        if let Some(&s) = cells.get(&bucket) {
             return s;
         }
         let rep = Self::representative(bucket);
         let s = weighted_hit_sum(problem, placement, i, |k| {
             adjusted_hit(problem, oracle, i, k, rep)
         });
-        self.s[i].lock().insert(bucket, s);
+        cells.insert(bucket, s);
         s
     }
 }
@@ -312,14 +320,44 @@ pub fn hybrid_greedy(
     let mut benefits = Vec::new();
     let mut memo = ShrinkMemo::new(n);
 
+    // Telemetry: the candidate scan runs on the pool, so the per-scan
+    // tally is a commutative atomic add; everything trace-visible is
+    // emitted from this (sequential) loop, keeping the stream independent
+    // of the thread schedule.
+    let obs = telemetry::enabled();
+    let span = if obs {
+        telemetry::with_trace(|t| t.enter("placement.hybrid"))
+    } else {
+        None
+    };
+    if obs {
+        telemetry::registry()
+            .gauge("placement.initial_cost")
+            .set(initial_cost);
+        telemetry::with_trace(|t| {
+            t.event(
+                "placement.start",
+                vec![
+                    ("servers", Value::from(n)),
+                    ("sites", Value::from(m)),
+                    ("initial_cost", Value::from(initial_cost)),
+                ],
+            );
+        });
+    }
+
     while placement.replica_count() < config.max_replicas {
         memo.refresh_w(problem, &placement, &hits);
+        let scanned = AtomicU64::new(0);
         let best = (0..n * m)
             .into_par_iter()
             .filter_map(|flat| {
                 let (i, j) = (flat / m, flat % m);
                 if !placement.fits(problem, i, j) {
                     return None;
+                }
+                if obs {
+                    scanned.fetch_add(1, Ordering::Relaxed);
                 }
                 let benefit = evaluate_candidate(
                     problem,
@@ -342,6 +380,12 @@ pub fn hybrid_greedy(
                 }
             });
 
+        if obs {
+            telemetry::registry()
+                .counter("placement.candidates_evaluated")
+                .add(scanned.load(Ordering::Relaxed));
+            telemetry::registry().counter("placement.iterations").inc();
+        }
         let Some(Candidate { benefit, flat }) = best else {
             break;
         };
@@ -349,6 +393,25 @@ pub fn hybrid_greedy(
         let improved = placement.add_replica(problem, i, j);
         cost -= benefit;
         benefits.push(benefit);
+        if obs {
+            telemetry::registry()
+                .counter("placement.replicas_placed")
+                .inc();
+            let capacity_remaining: u64 = (0..n).map(|s| placement.free_bytes(s)).sum();
+            telemetry::with_trace(|t| {
+                t.event(
+                    "placement.iter",
+                    vec![
+                        ("iter", Value::from(benefits.len())),
+                        ("candidates", Value::U64(scanned.load(Ordering::Relaxed))),
+                        ("server", Value::from(i)),
+                        ("site", Value::from(j)),
+                        ("benefit", Value::from(benefit)),
+                        ("capacity_remaining", Value::U64(capacity_remaining)),
+                    ],
+                );
+            });
+        }
         // Lines 22–23: refresh server i's hit ratios for its smaller cache,
         // and drop every memo whose inputs changed: the replicator (new
         // buffer + replica set) and every server whose nearest distance to
@@ -365,6 +428,23 @@ pub fn hybrid_greedy(
     // report the exactly recomputed value (read cost plus any update-
     // propagation cost of the placed replicas).
     let final_cost = crate::cost::total_cost(problem, &placement, |i, j| hits[i][j]);
+    if obs {
+        telemetry::registry()
+            .gauge("placement.final_cost")
+            .set(final_cost);
+        telemetry::with_trace(|t| {
+            t.event(
+                "placement.done",
+                vec![
+                    ("replicas", Value::from(placement.replica_count())),
+                    ("final_cost", Value::from(final_cost)),
+                ],
+            );
+        });
+        if let Some(id) = span {
+            telemetry::with_trace(|t| t.exit(id));
+        }
+    }
     debug_assert!(
         (final_cost - cost).abs() <= 0.05 * initial_cost.max(1.0),
         "tracked cost {cost} drifted from exact {final_cost}"

@@ -94,13 +94,17 @@ impl CheOracle {
     }
 
     fn characteristic_time(&self, server: usize, b: usize) -> f64 {
-        if let Some(&t) = self.memo.lock().get(&(server, b)) {
+        // Compute-once: hold the lock across the solve so racing workers
+        // never both pay O(M·L) for the same cell, and so the amount of
+        // model work is deterministic for any thread schedule.
+        let mut memo = self.memo.lock();
+        if let Some(&t) = memo.get(&(server, b)) {
             return t;
         }
         let t = self
             .model
             .characteristic_time(&self.per_server_pops[server], b);
-        self.memo.lock().insert((server, b), t);
+        memo.insert((server, b), t);
         t
     }
 }

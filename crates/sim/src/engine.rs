@@ -3,8 +3,33 @@
 use crate::fault::FaultSchedule;
 use crate::metrics::LatencyHistogram;
 use crate::plan::{ConsistencyMode, ServerPlan, SimConfig};
-use cdn_cache::{Cache, ObjectKey};
+use cdn_cache::{Cache, CacheStats, ObjectKey};
+use cdn_telemetry as telemetry;
 use cdn_workload::{Flavor, Request};
+
+/// Per-site tallies over one server's *measured* requests, gathered only
+/// when telemetry is enabled. Everything here is deterministic: the
+/// request stream, routing, and fault schedule are all seed-derived.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SiteObs {
+    /// Served locally (replica hit or fresh cache hit).
+    pub local_hits: u64,
+    /// Travelled to a holder with no dead copies skipped.
+    pub remote_fetches: u64,
+    /// Travelled to a holder after skipping at least one dead copy.
+    pub failovers: u64,
+    /// No live copy existed anywhere.
+    pub failed: u64,
+}
+
+/// Deterministic per-server observability: per-site tallies plus a
+/// whole-stream (warm-up included) snapshot of the cache's own counters —
+/// the eviction/insertion/rejection totals the trace reports.
+#[derive(Debug, Clone)]
+pub struct EngineObs {
+    pub per_site: Vec<SiteObs>,
+    pub cache: CacheStats,
+}
 
 /// Per-server simulation outcome.
 #[derive(Debug)]
@@ -36,6 +61,8 @@ pub struct ServerReport {
     /// much as request-weighted.
     pub total_bytes: u64,
     pub origin_bytes: u64,
+    /// Telemetry tallies; `None` when telemetry is disabled.
+    pub obs: Option<EngineObs>,
 }
 
 /// How a single request was resolved (exposed for fine-grained tests).
@@ -300,7 +327,12 @@ where
         failover_histogram: LatencyHistogram::new(config.bin_ms, config.n_bins),
         total_bytes: 0,
         origin_bytes: 0,
+        obs: None,
     };
+    // Per-site tallies: local to this server's loop, so plain (non-atomic)
+    // counts; gated once per run on the global telemetry flag.
+    let mut site_obs: Option<Vec<SiteObs>> =
+        telemetry::enabled().then(|| vec![SiteObs::default(); plan.replicated.len()]);
 
     for req in requests {
         let bytes = object_bytes(req.site, req.object);
@@ -330,6 +362,15 @@ where
             continue;
         }
         report.measured_requests += 1;
+        if let Some(obs) = site_obs.as_mut() {
+            let o = &mut obs[req.site as usize];
+            match routed.resolution {
+                Resolution::Failed => o.failed += 1,
+                Resolution::Replica | Resolution::CacheHit => o.local_hits += 1,
+                _ if routed.dead_skipped > 0 => o.failovers += 1,
+                _ => o.remote_fetches += 1,
+            }
+        }
         if routed.resolution == Resolution::Failed {
             // Nothing was delivered: no bytes, no hops, no latency sample.
             report.failed_requests += 1;
@@ -373,6 +414,10 @@ where
             Resolution::Failed => unreachable!("failed requests handled above"),
         }
     }
+    report.obs = site_obs.map(|per_site| EngineObs {
+        per_site,
+        cache: *cache.stats(),
+    });
     report
 }
 

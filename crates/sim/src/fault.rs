@@ -195,6 +195,23 @@ impl FaultSchedule {
         in_windows(&self.origin_down, tick)
     }
 
+    /// Down-windows of CDN server `server`, as sorted half-open
+    /// `[start, end)` tick intervals — the crash/recovery events the
+    /// telemetry layer reports.
+    pub fn server_windows(&self, server: usize) -> &[(u64, u64)] {
+        &self.down[server]
+    }
+
+    /// Origin outage windows (same format as [`Self::server_windows`]).
+    pub fn origin_windows(&self) -> &[(u64, u64)] {
+        &self.origin_down
+    }
+
+    /// Number of servers this schedule covers.
+    pub fn n_servers(&self) -> usize {
+        self.down.len()
+    }
+
     /// Ticks server `server` spends down within `[0, horizon)` — the
     /// schedule-side availability ground truth for tests and reports.
     pub fn down_ticks(&self, server: usize, horizon: u64) -> u64 {

@@ -128,7 +128,12 @@ impl LatencyHistogram {
             return 0.0;
         }
         let idx = (ms / self.bin_ms).floor() as usize;
-        let acc: u64 = self.counts.iter().take(idx + 1).sum();
+        let mut acc: u64 = self.counts.iter().take(idx + 1).sum();
+        // Overflow samples lie somewhere in [bin range end, max]; they are
+        // certainly at-or-below `ms` once `ms` reaches the recorded max.
+        if idx >= self.counts.len() && ms >= self.max_ms {
+            acc += self.overflow;
+        }
         acc as f64 / self.n as f64
     }
 }
@@ -329,6 +334,62 @@ mod tests {
         assert!((h.fraction_at_or_below(10.0) - 0.5).abs() < 1e-12);
         assert!((h.fraction_at_or_below(9.0) - 0.0).abs() < 1e-12);
         assert!((h.fraction_at_or_below(25.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_bin_accounting() {
+        // 10 one-ms bins cover [0, 10); half the samples land past the end.
+        let mut h = LatencyHistogram::new(1.0, 10);
+        for v in [2.0, 4.0, 50.0, 500.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), 500.0);
+        // Below the bin range end, only binned samples count.
+        assert!((h.fraction_at_or_below(9.0) - 0.5).abs() < 1e-12);
+        // Between the range end and the max the overflow location is
+        // unknown — the conservative answer still excludes it.
+        assert!((h.fraction_at_or_below(100.0) - 0.5).abs() < 1e-12);
+        // At or past the recorded max, every sample is accounted for.
+        assert!((h.fraction_at_or_below(500.0) - 1.0).abs() < 1e-12);
+        assert!((h.fraction_at_or_below(1e9) - 1.0).abs() < 1e-12);
+        // The top quantile comes from the overflow's recorded max.
+        assert_eq!(h.percentile(1.0), 500.0);
+        assert!((h.mean() - (2.0 + 4.0 + 50.0 + 500.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_with_overflow_is_monotone_and_ends_at_one() {
+        let mut h = LatencyHistogram::new(2.0, 8);
+        for v in [1.0, 3.0, 5.0, 15.9, 40.0, 77.0] {
+            h.record(v);
+        }
+        let cdf = h.cdf();
+        for w in cdf.windows(2) {
+            assert!(w[0].0 < w[1].0, "x must be strictly increasing: {cdf:?}");
+            assert!(w[0].1 <= w[1].1, "y must be non-decreasing: {cdf:?}");
+        }
+        let &(last_x, last_y) = cdf.last().unwrap();
+        assert_eq!(last_y, 1.0, "CDF must end at exactly 1.0");
+        assert_eq!(last_x, 77.0, "final point sits at the recorded max");
+        // The pre-overflow prefix accounts for the four binned samples.
+        assert!(cdf
+            .iter()
+            .any(|&(x, y)| x == 16.0 && (y - 4.0 / 6.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn zero_request_histogram_is_well_defined() {
+        let h = LatencyHistogram::new(1.0, 16);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert!(h.cdf().is_empty());
+        assert_eq!(h.percentile(0.0), 0.0);
+        assert_eq!(h.percentile(0.5), 0.0);
+        assert_eq!(h.percentile(1.0), 0.0);
+        assert_eq!(h.fraction_at_or_below(0.0), 0.0);
+        assert_eq!(h.fraction_at_or_below(1e6), 0.0);
     }
 
     #[test]

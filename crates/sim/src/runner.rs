@@ -2,12 +2,13 @@
 //! (servers are fully independent — separate caches, separate streams),
 //! merged into a single [`SimReport`].
 
-use crate::engine::{simulate_server_faulted, ServerReport};
+use crate::engine::{simulate_server_faulted, ServerReport, SiteObs};
 use crate::fault::FaultSchedule;
 use crate::metrics::{LatencyHistogram, SimReport};
 use crate::plan::{ServerPlan, SimConfig};
 use cdn_cache::{Cache, LruCache};
 use cdn_placement::{Placement, PlacementProblem};
+use cdn_telemetry::{self as telemetry, TraceBuffer, Value};
 use cdn_workload::{Request, SiteCatalog, TraceSpec};
 use rayon::prelude::*;
 
@@ -90,7 +91,10 @@ where
     };
 
     let plans = ServerPlan::all_from_placement(problem, placement);
-    let reports: Vec<ServerReport> = plans
+    // Each worker records its server's trace into a detached buffer; the
+    // ordered collect below means buffers are merged in server order, so
+    // the trace stream never depends on which worker finished first.
+    let collected: Vec<(ServerReport, Option<TraceBuffer>)> = plans
         .par_iter()
         .map(|plan| {
             let warmup = (lengths[plan.server] as f64 * config.warmup_fraction) as u64;
@@ -105,7 +109,7 @@ where
                     Box::new(LruCache::with_expected_objects(plan.cache_bytes, expected))
                 }
             };
-            simulate_server_faulted(
+            let report = simulate_server_faulted(
                 plan,
                 config,
                 streams(plan.server),
@@ -113,11 +117,148 @@ where
                 |site, object| catalog.sites[site as usize].object_sizes[object as usize],
                 cache,
                 schedule.as_ref(),
-            )
+            );
+            let buffer = telemetry::trace_installed().then(|| server_trace_buffer(&report));
+            (report, buffer)
         })
         .collect();
+    let mut reports = Vec::with_capacity(collected.len());
+    let mut buffers = Vec::with_capacity(collected.len());
+    for (r, b) in collected {
+        reports.push(r);
+        buffers.push(b);
+    }
+    emit_observability(&reports, buffers, schedule.as_ref());
 
     merge_reports(reports, config)
+}
+
+/// Build one server's trace contribution (runs inside the parallel map).
+fn server_trace_buffer(report: &ServerReport) -> TraceBuffer {
+    let mut buf = TraceBuffer::new();
+    let span = buf.enter("sim.server");
+    let mut fields = vec![
+        ("server", Value::from(report.server)),
+        ("total", Value::U64(report.total_requests)),
+        ("measured", Value::U64(report.measured_requests)),
+        ("local", Value::U64(report.local_requests)),
+        ("cache_hits", Value::U64(report.cache_hits)),
+        ("replica_hits", Value::U64(report.replica_hits)),
+        ("origin_fetches", Value::U64(report.origin_fetches)),
+        ("peer_fetches", Value::U64(report.peer_fetches)),
+        ("failover_fetches", Value::U64(report.failover_fetches)),
+        ("failed", Value::U64(report.failed_requests)),
+        ("histogram_fills", Value::U64(report.histogram.count())),
+    ];
+    if let Some(obs) = &report.obs {
+        fields.push(("cache_evictions", Value::U64(obs.cache.evictions)));
+        fields.push(("cache_insertions", Value::U64(obs.cache.insertions)));
+        fields.push(("cache_rejections", Value::U64(obs.cache.rejections)));
+    }
+    buf.event("sim.server", fields);
+    if let Some(obs) = &report.obs {
+        let quiet = SiteObs::default();
+        for (site, o) in obs.per_site.iter().enumerate() {
+            if *o == quiet {
+                continue;
+            }
+            buf.event(
+                "sim.site",
+                vec![
+                    ("site", Value::from(site)),
+                    ("local_hits", Value::U64(o.local_hits)),
+                    ("remote_fetches", Value::U64(o.remote_fetches)),
+                    ("failovers", Value::U64(o.failovers)),
+                    ("failed", Value::U64(o.failed)),
+                ],
+            );
+        }
+    }
+    buf.exit(span);
+    buf
+}
+
+/// Flush counters and the (fixed-order) trace after the parallel fan-out.
+fn emit_observability(
+    reports: &[ServerReport],
+    buffers: Vec<Option<TraceBuffer>>,
+    schedule: Option<&FaultSchedule>,
+) {
+    if !telemetry::enabled() {
+        return;
+    }
+    let reg = telemetry::registry();
+    let sum = |f: fn(&ServerReport) -> u64| reports.iter().map(f).sum::<u64>();
+    reg.counter("sim.requests_total")
+        .add(sum(|r| r.total_requests));
+    reg.counter("sim.requests_measured")
+        .add(sum(|r| r.measured_requests));
+    reg.counter("sim.local_requests")
+        .add(sum(|r| r.local_requests));
+    reg.counter("sim.cache_hits").add(sum(|r| r.cache_hits));
+    reg.counter("sim.replica_hits").add(sum(|r| r.replica_hits));
+    reg.counter("sim.origin_fetches")
+        .add(sum(|r| r.origin_fetches));
+    reg.counter("sim.peer_fetches").add(sum(|r| r.peer_fetches));
+    reg.counter("sim.failover_fetches")
+        .add(sum(|r| r.failover_fetches));
+    reg.counter("sim.failed_requests")
+        .add(sum(|r| r.failed_requests));
+    reg.counter("sim.histogram_fills")
+        .add(sum(|r| r.histogram.count() + r.failover_histogram.count()));
+    let cache_sum = |f: fn(&cdn_cache::CacheStats) -> u64| {
+        reports
+            .iter()
+            .filter_map(|r| r.obs.as_ref().map(|o| f(&o.cache)))
+            .sum::<u64>()
+    };
+    reg.counter("sim.cache_evictions")
+        .add(cache_sum(|c| c.evictions));
+    reg.counter("sim.cache_insertions")
+        .add(cache_sum(|c| c.insertions));
+    reg.counter("sim.cache_rejections")
+        .add(cache_sum(|c| c.rejections));
+    // Per-server mean latency distribution — filled sequentially here, so
+    // the fixed-shape bins accumulate in a deterministic order too.
+    let latency_hist = reg.histogram("sim.server_mean_latency_ms", 5.0, 400);
+    for r in reports {
+        latency_hist.record(r.histogram.mean());
+    }
+    if let Some(s) = schedule {
+        let server_windows: usize = (0..s.n_servers()).map(|i| s.server_windows(i).len()).sum();
+        reg.counter("fault.server_down_windows")
+            .add(server_windows as u64);
+        reg.counter("fault.origin_down_windows")
+            .add(s.origin_windows().len() as u64);
+    }
+
+    telemetry::with_trace(|t| {
+        let span = t.enter("sim.system");
+        if let Some(s) = schedule {
+            for server in 0..s.n_servers() {
+                for &(start, end) in s.server_windows(server) {
+                    t.event(
+                        "fault.server_down",
+                        vec![
+                            ("server", Value::from(server)),
+                            ("start", Value::U64(start)),
+                            ("end", Value::U64(end)),
+                        ],
+                    );
+                }
+            }
+            for &(start, end) in s.origin_windows() {
+                t.event(
+                    "fault.origin_down",
+                    vec![("start", Value::U64(start)), ("end", Value::U64(end))],
+                );
+            }
+        }
+        for buf in buffers.into_iter().flatten() {
+            t.merge(buf);
+        }
+        t.exit(span);
+    });
 }
 
 fn merge_reports(reports: Vec<ServerReport>, config: &SimConfig) -> SimReport {

@@ -1,0 +1,106 @@
+//! Structured field values attached to trace events.
+
+use crate::json::escape_into;
+use std::fmt::Write as _;
+
+/// A field value on a trace event.
+///
+/// `F64` values are rendered with Rust's shortest-round-trip `Display`
+/// formatting, which is deterministic for a given bit pattern. Non-finite
+/// floats are rendered as quoted strings (`"NaN"`, `"inf"`, `"-inf"`) so the
+/// output stays valid JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl Value {
+    pub(crate) fn render_into(&self, out: &mut String) {
+        match self {
+            Value::U64(x) => {
+                let _ = write!(out, "{x}");
+            }
+            Value::I64(x) => {
+                let _ = write!(out, "{x}");
+            }
+            Value::F64(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    let _ = write!(out, "\"{x}\"");
+                }
+            }
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Str(s) => escape_into(out, s),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(x: u64) -> Self {
+        Value::U64(x)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(x: usize) -> Self {
+        Value::U64(x as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(x: i64) -> Self {
+        Value::I64(x)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::F64(x)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(x: bool) -> Self {
+        Value::Bool(x)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(x: &str) -> Self {
+        Value::Str(x.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render(v: Value) -> String {
+        let mut s = String::new();
+        v.render_into(&mut s);
+        s
+    }
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(render(Value::U64(42)), "42");
+        assert_eq!(render(Value::I64(-7)), "-7");
+        assert_eq!(render(Value::Bool(true)), "true");
+        assert_eq!(render(Value::F64(0.25)), "0.25");
+        assert_eq!(render(Value::Str("a\"b".into())), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn non_finite_floats_are_quoted() {
+        assert_eq!(render(Value::F64(f64::NAN)), "\"NaN\"");
+        assert_eq!(render(Value::F64(f64::INFINITY)), "\"inf\"");
+        assert_eq!(render(Value::F64(f64::NEG_INFINITY)), "\"-inf\"");
+    }
+}

@@ -1,0 +1,343 @@
+//! Process-wide metrics registry: counters, gauges, histograms.
+//!
+//! Counters are add-only `AtomicU64`s — parallel increments commute, so
+//! totals are exact for any thread schedule. Gauges hold an `f64` (bit-cast
+//! into an `AtomicU64`) and must only be set from sequential code. Histogram
+//! fills are atomic per-bin adds, also commutative.
+//!
+//! `Registry::reset` zeroes metrics **in place**: instrument handles
+//! (`Arc<Counter>` etc.) cached by instrumentation sites stay wired to the
+//! registry across resets, which the bench harness relies on when comparing
+//! work counters between back-to-back runs.
+
+use crate::json::escape_into;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Monotonic add-only counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Last-write-wins `f64` gauge. Set only from sequential code; an unset
+/// gauge (NaN sentinel) is omitted from snapshots.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    fn new() -> Self {
+        Gauge(AtomicU64::new(f64::NAN.to_bits()))
+    }
+
+    /// Record a value. NaN is treated as "unset" and ignored.
+    pub fn set(&self, v: f64) {
+        if !v.is_nan() {
+            self.0.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> Option<f64> {
+        let v = f64::from_bits(self.0.load(Ordering::Relaxed));
+        if v.is_nan() {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    fn reset(&self) {
+        self.0.store(f64::NAN.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Fixed-shape histogram with uniform bins and an overflow bucket.
+///
+/// The shape (bin width, bin count) is fixed at registration so that
+/// parallel fills are plain commutative atomic adds.
+#[derive(Debug)]
+pub struct Histogram {
+    bin_width: f64,
+    bins: Vec<AtomicU64>,
+    overflow: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bin_width: f64, n_bins: usize) -> Self {
+        assert!(bin_width > 0.0, "histogram bin width must be positive");
+        assert!(n_bins > 0, "histogram must have at least one bin");
+        Histogram {
+            bin_width,
+            bins: (0..n_bins).map(|_| AtomicU64::new(0)).collect(),
+            overflow: AtomicU64::new(0),
+        }
+    }
+
+    pub fn record(&self, v: f64) {
+        let idx = (v / self.bin_width) as usize;
+        match self.bins.get(idx) {
+            Some(bin) => bin.fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    pub fn count(&self) -> u64 {
+        self.bins
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum::<u64>()
+            + self.overflow.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        for b in &self.bins {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.overflow.store(0, Ordering::Relaxed);
+    }
+
+    fn render_into(&self, out: &mut String) {
+        let counts: Vec<u64> = self
+            .bins
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        // Trim trailing empty bins to keep snapshots small; the shape is
+        // recoverable from registration, and trimming is deterministic.
+        let last = counts.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+        let _ = write!(out, "{{\"bin_width\": {}, \"counts\": [", self.bin_width);
+        for (i, c) in counts[..last].iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{c}");
+        }
+        let _ = write!(
+            out,
+            "], \"overflow\": {}, \"count\": {}}}",
+            self.overflow.load(Ordering::Relaxed),
+            self.count()
+        );
+    }
+}
+
+type Shelf<T> = Mutex<BTreeMap<String, Arc<T>>>;
+
+fn lock<T>(shelf: &Shelf<T>) -> MutexGuard<'_, BTreeMap<String, Arc<T>>> {
+    shelf.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The metrics registry. Usually accessed through `telemetry::registry()`.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Shelf<Counter>,
+    gauges: Shelf<Gauge>,
+    histograms: Shelf<Histogram>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or register the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        lock(&self.counters)
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Get or register the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        lock(&self.gauges)
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Gauge::new()))
+            .clone()
+    }
+
+    /// Get or register a histogram. The shape is fixed by the first
+    /// registration; later callers receive the existing instrument.
+    pub fn histogram(&self, name: &str, bin_width: f64, n_bins: usize) -> Arc<Histogram> {
+        lock(&self.histograms)
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new(bin_width, n_bins)))
+            .clone()
+    }
+
+    /// Zero every instrument in place (handles stay valid).
+    pub fn reset(&self) {
+        for c in lock(&self.counters).values() {
+            c.reset();
+        }
+        for g in lock(&self.gauges).values() {
+            g.reset();
+        }
+        for h in lock(&self.histograms).values() {
+            h.reset();
+        }
+    }
+
+    /// Sorted `(name, value)` pairs for every registered counter.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        lock(&self.counters)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Deterministic pretty-printed JSON snapshot of the whole registry.
+    ///
+    /// Keys are BTreeMap-ordered, floats use shortest-round-trip
+    /// formatting, and nothing time- or thread-derived is included, so two
+    /// runs doing the same work produce byte-identical snapshots.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"counters\": {");
+        {
+            let counters = lock(&self.counters);
+            for (i, (name, c)) in counters.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                out.push_str("    ");
+                escape_into(&mut out, name);
+                let _ = write!(out, ": {}", c.get());
+            }
+            if !counters.is_empty() {
+                out.push_str("\n  ");
+            }
+        }
+        out.push_str("},\n  \"gauges\": {");
+        {
+            let gauges = lock(&self.gauges);
+            let set: Vec<(&String, f64)> = gauges
+                .iter()
+                .filter_map(|(k, g)| g.get().map(|v| (k, v)))
+                .collect();
+            for (i, (name, v)) in set.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                out.push_str("    ");
+                escape_into(&mut out, name);
+                let _ = write!(out, ": {v}");
+            }
+            if !set.is_empty() {
+                out.push_str("\n  ");
+            }
+        }
+        out.push_str("},\n  \"histograms\": {");
+        {
+            let histograms = lock(&self.histograms);
+            for (i, (name, h)) in histograms.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                out.push_str("    ");
+                escape_into(&mut out, name);
+                out.push_str(": ");
+                h.render_into(&mut out);
+            }
+            if !histograms.is_empty() {
+                out.push_str("\n  ");
+            }
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn counter_is_shared_by_name() {
+        let reg = Registry::new();
+        reg.counter("a").add(2);
+        reg.counter("a").add(3);
+        assert_eq!(reg.counter("a").get(), 5);
+        assert_eq!(reg.counter_values(), vec![("a".to_string(), 5)]);
+    }
+
+    #[test]
+    fn gauge_unset_until_first_set_and_ignores_nan() {
+        let reg = Registry::new();
+        let g = reg.gauge("g");
+        assert_eq!(g.get(), None);
+        g.set(f64::NAN);
+        assert_eq!(g.get(), None);
+        g.set(1.5);
+        assert_eq!(g.get(), Some(1.5));
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let reg = Registry::new();
+        let h = reg.histogram("h", 10.0, 3);
+        h.record(0.0);
+        h.record(9.9);
+        h.record(15.0);
+        h.record(500.0); // overflow
+        assert_eq!(h.count(), 4);
+        let snap = reg.snapshot_json();
+        let doc = json::parse(&snap).expect("snapshot parses");
+        let hist = doc.get("histograms").unwrap().get("h").unwrap();
+        assert_eq!(hist.get("overflow").unwrap().as_u64(), Some(1));
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(4));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_parseable() {
+        let reg = Registry::new();
+        reg.counter("z.last").add(1);
+        reg.counter("a.first").add(2);
+        reg.gauge("mid").set(0.5);
+        let snap = reg.snapshot_json();
+        assert!(snap.find("a.first").unwrap() < snap.find("z.last").unwrap());
+        let doc = json::parse(&snap).expect("snapshot parses");
+        assert_eq!(
+            doc.get("counters")
+                .unwrap()
+                .get("a.first")
+                .unwrap()
+                .as_u64(),
+            Some(2)
+        );
+        assert_eq!(
+            doc.get("gauges").unwrap().get("mid").unwrap().as_f64(),
+            Some(0.5)
+        );
+    }
+
+    #[test]
+    fn reset_zeroes_everything_in_place() {
+        let reg = Registry::new();
+        let c = reg.counter("c");
+        let g = reg.gauge("g");
+        let h = reg.histogram("h", 1.0, 2);
+        c.add(4);
+        g.set(2.0);
+        h.record(0.5);
+        reg.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), None);
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Telemetry determinism across thread counts: with the same seed, the
+//! JSONL event trace and the metrics snapshot must be **byte-identical**
+//! whether the pipeline runs on one rayon worker or many. This is the
+//! in-process counterpart of the CI step that diffs `--trace-out` /
+//! `--metrics-out` files between `RAYON_NUM_THREADS=1` and `=4` runs.
+//!
+//! Everything runs inside one `#[test]` because the telemetry layer is
+//! process-global (enabled flag, registry, installed trace) — parallel
+//! test functions would race on it.
+
+use cdn_core::{Scenario, ScenarioConfig, Strategy};
+use cdn_telemetry as telemetry;
+
+/// Full pipeline pass on a dedicated pool, returning (trace, metrics).
+fn run_with_threads(threads: usize) -> (String, String) {
+    telemetry::reset_metrics();
+    telemetry::install_trace();
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("build pool");
+    pool.install(|| {
+        let scenario = Scenario::generate(&ScenarioConfig::small());
+        let plan = scenario.plan(Strategy::Hybrid);
+        let _report = scenario.simulate(&plan);
+    });
+    let trace = telemetry::drain_trace().expect("trace installed");
+    let metrics = telemetry::registry().snapshot_json();
+    telemetry::uninstall_trace();
+    (trace, metrics)
+}
+
+#[test]
+fn trace_and_metrics_bytes_are_thread_count_invariant() {
+    let (trace_1, metrics_1) = run_with_threads(1);
+    let (trace_4, metrics_4) = run_with_threads(4);
+
+    // The streams must be non-trivial before identical means anything.
+    assert!(
+        trace_1.lines().count() > 10,
+        "trace suspiciously short:\n{trace_1}"
+    );
+    for needle in ["placement.hybrid", "sim.system", "sim.server"] {
+        assert!(trace_1.contains(needle), "trace lacks `{needle}`");
+    }
+    for needle in [
+        "lru_model.series_terms",
+        "placement.candidates_evaluated",
+        "sim.cache_hits",
+        "sim.requests_total",
+    ] {
+        assert!(metrics_1.contains(needle), "metrics lack `{needle}`");
+    }
+
+    assert_eq!(
+        trace_1, trace_4,
+        "JSONL trace bytes differ between 1 and 4 threads"
+    );
+    assert_eq!(
+        metrics_1, metrics_4,
+        "metrics snapshot bytes differ between 1 and 4 threads"
+    );
+
+    // Every line must be valid JSON with strictly increasing `seq`.
+    let mut prev_seq = 0u64;
+    for line in trace_1.lines() {
+        let doc = telemetry::json::parse(line).expect("valid JSONL line");
+        let seq = doc
+            .get("seq")
+            .and_then(telemetry::json::Json::as_u64)
+            .expect("seq field");
+        assert!(seq > prev_seq || prev_seq == 0, "seq not increasing");
+        prev_seq = seq;
+    }
+
+    // And a re-run at the same thread count is reproducible outright.
+    let (trace_1b, metrics_1b) = run_with_threads(1);
+    assert_eq!(trace_1, trace_1b);
+    assert_eq!(metrics_1, metrics_1b);
+}
