@@ -14,8 +14,8 @@
 //!     [--quick] [--threads <n>] [--trace-out <path>] [--metrics-out <path>]
 //! ```
 
-use cdn_bench::harness::{banner, write_csv, BenchArgs};
-use cdn_core::{Scenario, Strategy};
+use cdn_bench::harness::{banner, generate_scenario, write_csv, BenchArgs};
+use cdn_core::Strategy;
 use cdn_sim::ConsistencyMode;
 use cdn_workload::LambdaMode;
 
@@ -26,8 +26,8 @@ fn main() {
         "Ablation H: strong vs weak consistency (lambda = 10%)",
         scale,
     );
-    let config = scale.config(0.05, 0.10, LambdaMode::Expired);
-    let scenario = Scenario::generate(&config);
+    let config = args.config(0.05, 0.10, LambdaMode::Expired);
+    let scenario = generate_scenario(&config);
 
     let plans: Vec<_> = [Strategy::Replication, Strategy::Caching, Strategy::Hybrid]
         .iter()

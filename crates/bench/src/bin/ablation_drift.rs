@@ -13,8 +13,8 @@
 //!     [--quick] [--threads <n>] [--trace-out <path>] [--metrics-out <path>]
 //! ```
 
-use cdn_bench::harness::{banner, write_csv, BenchArgs};
-use cdn_core::{Scenario, Strategy};
+use cdn_bench::harness::{banner, generate_scenario, write_csv, BenchArgs};
+use cdn_core::Strategy;
 use cdn_sim::simulate_system_streams;
 use cdn_workload::{DriftConfig, Drifted, LambdaMode};
 
@@ -22,8 +22,8 @@ fn main() {
     let args = BenchArgs::parse("ablation_drift");
     let scale = args.scale;
     banner("Ablation E: popularity drift vs delivery mechanism", scale);
-    let config = scale.config(0.05, 0.0, LambdaMode::Uncacheable);
-    let scenario = Scenario::generate(&config);
+    let config = args.config(0.05, 0.0, LambdaMode::Uncacheable);
+    let scenario = generate_scenario(&config);
     let l = scenario.catalog.object_zipf.n() as u32;
     let lengths: Vec<u64> = (0..scenario.trace.n_servers())
         .map(|i| scenario.trace.len_for_server(i))

@@ -14,8 +14,8 @@
 //!     [--quick] [--threads <n>] [--trace-out <path>] [--metrics-out <path>]
 //! ```
 
-use cdn_bench::harness::{banner, write_csv, BenchArgs};
-use cdn_core::{Scenario, Strategy};
+use cdn_bench::harness::{banner, generate_scenario, write_csv, BenchArgs};
+use cdn_core::Strategy;
 use cdn_sim::{FaultParams, SimReport};
 use cdn_workload::LambdaMode;
 
@@ -69,8 +69,8 @@ fn main() {
     let args = BenchArgs::parse("ablation_failures");
     let scale = args.scale;
     banner("Ablation I: availability under failures", scale);
-    let config = scale.config(0.05, 0.0, LambdaMode::Uncacheable);
-    let scenario = Scenario::generate(&config);
+    let config = args.config(0.05, 0.0, LambdaMode::Uncacheable);
+    let scenario = generate_scenario(&config);
 
     let strategies = [Strategy::Replication, Strategy::Caching, Strategy::Hybrid];
     let plans: Vec<_> = strategies.iter().map(|&s| (s, scenario.plan(s))).collect();

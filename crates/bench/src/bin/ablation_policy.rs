@@ -10,9 +10,9 @@
 //!     [--quick] [--threads <n>] [--trace-out <path>] [--metrics-out <path>]
 //! ```
 
-use cdn_bench::harness::{banner, write_csv, BenchArgs};
+use cdn_bench::harness::{banner, generate_scenario, write_csv, BenchArgs};
 use cdn_core::cache;
-use cdn_core::{Scenario, Strategy};
+use cdn_core::Strategy;
 use cdn_workload::LambdaMode;
 
 fn main() {
@@ -22,8 +22,8 @@ fn main() {
         "Ablation D: replacement policy inside the hybrid scheme",
         scale,
     );
-    let config = scale.config(0.05, 0.0, LambdaMode::Uncacheable);
-    let scenario = Scenario::generate(&config);
+    let config = args.config(0.05, 0.0, LambdaMode::Uncacheable);
+    let scenario = generate_scenario(&config);
     let plan = scenario.plan(Strategy::Hybrid);
     println!(
         "  hybrid placement fixed: {} replicas\n",

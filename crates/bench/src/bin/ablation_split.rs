@@ -9,8 +9,8 @@
 //!     [--quick] [--threads <n>] [--trace-out <path>] [--metrics-out <path>]
 //! ```
 
-use cdn_bench::harness::{banner, run_strategies, write_csv, BenchArgs};
-use cdn_core::{Scenario, Strategy};
+use cdn_bench::harness::{banner, generate_scenario, run_strategies, write_csv, BenchArgs};
+use cdn_core::Strategy;
 use cdn_workload::LambdaMode;
 
 fn main() {
@@ -20,8 +20,8 @@ fn main() {
         "Ablation B: cache-fraction sweep vs the hybrid optimum",
         scale,
     );
-    let config = scale.config(0.05, 0.0, LambdaMode::Uncacheable);
-    let scenario = Scenario::generate(&config);
+    let config = args.config(0.05, 0.0, LambdaMode::Uncacheable);
+    let scenario = generate_scenario(&config);
 
     let mut strategies = vec![Strategy::Replication];
     for fraction in [0.2, 0.4, 0.6, 0.8] {

@@ -11,8 +11,8 @@
 //!     [--quick] [--threads <n>] [--trace-out <path>] [--metrics-out <path>]
 //! ```
 
-use cdn_bench::harness::{banner, run_strategies, write_csv, BenchArgs};
-use cdn_core::{Scenario, Strategy};
+use cdn_bench::harness::{banner, generate_scenario, run_strategies, write_csv, BenchArgs};
+use cdn_core::Strategy;
 use cdn_workload::LambdaMode;
 
 fn main() {
@@ -35,9 +35,9 @@ fn main() {
         "theta", "hybrid_ms", "adhoc20_ms", "adhoc80_ms", "hybrid replicas"
     );
     for theta in [0.6, 0.8, 1.0, 1.2] {
-        let mut config = scale.config(0.05, 0.0, LambdaMode::Uncacheable);
+        let mut config = args.config(0.05, 0.0, LambdaMode::Uncacheable);
         config.workload.theta = theta;
-        let scenario = Scenario::generate(&config);
+        let scenario = generate_scenario(&config);
         let results = run_strategies(&scenario, &strategies);
         let ms = |s: Strategy| {
             results

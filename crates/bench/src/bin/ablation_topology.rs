@@ -32,7 +32,7 @@ fn main() {
     let args = BenchArgs::parse("ablation_topology");
     let scale = args.scale;
     banner("Ablation F: topology families", scale);
-    let cfg = scale.config(0.05, 0.0, LambdaMode::Uncacheable);
+    let cfg = args.config(0.05, 0.0, LambdaMode::Uncacheable);
     let n_nodes = match scale {
         Scale::Paper => 1560,
         Scale::Quick => 120,

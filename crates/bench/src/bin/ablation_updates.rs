@@ -13,8 +13,7 @@
 //!     [--quick] [--threads <n>] [--trace-out <path>] [--metrics-out <path>]
 //! ```
 
-use cdn_bench::harness::{banner, write_csv, BenchArgs};
-use cdn_core::Scenario;
+use cdn_bench::harness::{banner, generate_scenario, write_csv, BenchArgs};
 use cdn_placement::{
     greedy_global, hybrid::hybrid_greedy_paper, mean_hops_per_request, total_cost, HybridConfig,
 };
@@ -27,8 +26,8 @@ fn main() {
         "Ablation G: update (write) intensity vs replica count",
         scale,
     );
-    let config = scale.config(0.05, 0.0, LambdaMode::Uncacheable);
-    let scenario = Scenario::generate(&config);
+    let config = args.config(0.05, 0.0, LambdaMode::Uncacheable);
+    let scenario = generate_scenario(&config);
 
     // Express update intensity as a write:read ratio against each site's
     // mean per-server demand.

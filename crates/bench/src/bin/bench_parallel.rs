@@ -12,10 +12,11 @@
 //! (`perf_gate`) compares the two sections with different strictness.
 //!
 //! Usage: `bench_parallel [--quick] [--threads <n>]
-//!                        [--trace-out <path>] [--metrics-out <path>]`
+//!                        [--trace-out <path>] [--metrics-out <path>]
+//!                        [--profile-out <path>] [--sample-every <n>] [--quiet]`
 
-use cdn_bench::harness::{banner, write_json, BenchArgs, PhaseTimings, Scale};
-use cdn_core::{PlanResult, Scenario, Strategy};
+use cdn_bench::harness::{banner, progress, write_json, BenchArgs, PhaseTimings, Scale};
+use cdn_core::{PlanResult, Scenario, ScenarioConfig, Strategy};
 use cdn_sim::SimReport;
 use cdn_telemetry as telemetry;
 use cdn_workload::LambdaMode;
@@ -25,7 +26,7 @@ use std::fmt::Write as _;
 /// phase and capturing the deterministic work counters it accumulated.
 fn run_at(
     threads: usize,
-    scale: Scale,
+    config: &ScenarioConfig,
 ) -> (PhaseTimings, PlanResult, SimReport, Vec<(String, u64)>) {
     // Fresh counters per run so the 1-thread and N-thread tallies are
     // directly comparable (handles cached elsewhere stay valid — values
@@ -37,8 +38,7 @@ fn run_at(
         .expect("build thread pool");
     let (timings, plan, report) = pool.install(|| {
         let mut timings = PhaseTimings::new(threads);
-        let config = scale.config(0.05, 0.0, LambdaMode::Uncacheable);
-        let scenario = timings.time("topology", || Scenario::generate(&config));
+        let scenario = timings.time("topology", || Scenario::generate(config));
         let plan = timings.time("placement", || scenario.plan(Strategy::Hybrid));
         let report = timings.time("simulation", || scenario.simulate(&plan));
         (timings, plan, report)
@@ -77,10 +77,13 @@ fn main() {
         .unwrap_or_else(rayon::current_num_threads)
         .max(1);
 
+    let config = args.config(0.05, 0.0, LambdaMode::Uncacheable);
     println!("  run 1/2: 1 thread");
-    let base = run_at(1, scale);
+    progress("run 1/2: 1 thread");
+    let base = run_at(1, &config);
     println!("  run 2/2: {n_threads} thread(s)");
-    let multi = run_at(n_threads, scale);
+    progress(&format!("run 2/2: {n_threads} thread(s)"));
+    let multi = run_at(n_threads, &config);
 
     let identical = reports_identical(&base, &multi);
     let work_identical = base.3 == multi.3;

@@ -13,9 +13,10 @@
 //! ```
 
 use cdn_bench::harness::{
-    assert_sane, banner, improvement_pct, run_strategies, summary_block, write_cdf_csvs, BenchArgs,
+    assert_sane, banner, generate_scenario, improvement_pct, run_strategies, summary_block,
+    write_cdf_csvs, BenchArgs,
 };
-use cdn_core::{Scenario, Strategy};
+use cdn_core::Strategy;
 use cdn_workload::LambdaMode;
 
 fn main() {
@@ -29,8 +30,8 @@ fn main() {
             "\n-- Figure 3({panel}): capacity {:.0}% --",
             capacity * 100.0
         );
-        let config = scale.config(capacity, 0.0, LambdaMode::Uncacheable);
-        let scenario = Scenario::generate(&config);
+        let config = args.config(capacity, 0.0, LambdaMode::Uncacheable);
+        let scenario = generate_scenario(&config);
         let results = run_strategies(&scenario, &strategies);
         assert_sane(&results);
         println!("\n{}", summary_block(&results));

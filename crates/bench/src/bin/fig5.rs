@@ -12,9 +12,10 @@
 //! ```
 
 use cdn_bench::harness::{
-    assert_sane, banner, improvement_pct, run_strategies, summary_block, write_cdf_csvs, BenchArgs,
+    assert_sane, banner, generate_scenario, improvement_pct, run_strategies, summary_block,
+    write_cdf_csvs, BenchArgs,
 };
-use cdn_core::{Scenario, Strategy};
+use cdn_core::Strategy;
 use cdn_workload::LambdaMode;
 
 fn main() {
@@ -39,8 +40,8 @@ fn main() {
             "\n-- Figure 5({panel}): capacity 5%, lambda = {:.0}% --",
             lambda * 100.0
         );
-        let config = scale.config(0.05, lambda, mode);
-        let scenario = Scenario::generate(&config);
+        let config = args.config(0.05, lambda, mode);
+        let scenario = generate_scenario(&config);
         let results = run_strategies(&scenario, &strategies);
         assert_sane(&results);
         println!("\n{}", summary_block(&results));

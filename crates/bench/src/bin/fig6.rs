@@ -12,8 +12,8 @@
 //!     [--quick] [--threads <n>] [--trace-out <path>] [--metrics-out <path>]
 //! ```
 
-use cdn_bench::harness::{banner, write_csv, BenchArgs};
-use cdn_core::{Scenario, Strategy};
+use cdn_bench::harness::{banner, generate_scenario, write_csv, BenchArgs};
+use cdn_core::Strategy;
 use cdn_workload::LambdaMode;
 
 fn main() {
@@ -35,8 +35,8 @@ fn main() {
         (0.10, 0.10),
         (0.20, 0.10),
     ] {
-        let config = scale.config(capacity, lambda, LambdaMode::Uncacheable);
-        let scenario = Scenario::generate(&config);
+        let config = args.config(capacity, lambda, LambdaMode::Uncacheable);
+        let scenario = generate_scenario(&config);
         let plan = scenario.plan(Strategy::Hybrid);
         let predicted = plan.predicted_mean_hops(&scenario.problem);
         let report = scenario.simulate(&plan);

@@ -8,6 +8,8 @@ use cdn_telemetry as telemetry;
 use cdn_workload::LambdaMode;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
 /// Experiment scale. `Paper` is the reconstructed evaluation setup
@@ -50,6 +52,15 @@ pub struct BenchArgs {
     /// Write an extra metrics snapshot here (`--metrics-out`), in addition
     /// to the `results/<bin>_metrics.json` every binary emits.
     pub metrics_out: Option<PathBuf>,
+    /// Write the wall-clock Chrome trace profile here (`--profile-out`).
+    /// Timed data lives strictly in this file — enabling it never changes
+    /// a byte of the deterministic outputs.
+    pub profile_out: Option<PathBuf>,
+    /// Sample every Nth simulated request into `results/<bin>_samples.jsonl`
+    /// (`--sample-every <n>`). Deterministic: keyed on stream index.
+    pub sample_every: Option<u64>,
+    /// Suppress the stderr progress heartbeats (`--quiet`).
+    pub quiet: bool,
 }
 
 /// Why [`BenchArgs::parse_from`] refused a command line.
@@ -65,11 +76,16 @@ pub enum ArgError {
 pub fn usage(bin: &str) -> String {
     format!(
         "usage: {bin} [--quick] [--threads <n>] [--trace-out <path>] [--metrics-out <path>]\n\
+         \x20          [--profile-out <path>] [--sample-every <n>] [--quiet]\n\
          \n\
          \x20 --quick               reduced smoke-test scale instead of the paper scale\n\
          \x20 --threads <n>         rayon thread-pool size (default: all cores)\n\
          \x20 --trace-out <path>    write the deterministic JSONL event trace to <path>\n\
          \x20 --metrics-out <path>  write the metrics snapshot JSON to <path>\n\
+         \x20 --profile-out <path>  write a wall-clock Chrome trace profile to <path>\n\
+         \x20                       (load in chrome://tracing or Perfetto)\n\
+         \x20 --sample-every <n>    sample every Nth request into <bin>_samples.jsonl\n\
+         \x20 --quiet               suppress stderr progress heartbeats\n\
          \x20 --help                print this message\n"
     )
 }
@@ -86,11 +102,33 @@ impl BenchArgs {
             threads: None,
             trace_out: None,
             metrics_out: None,
+            profile_out: None,
+            sample_every: None,
+            quiet: false,
         };
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--quick" => out.scale = Scale::Quick,
+                "--quiet" => out.quiet = true,
+                "--sample-every" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError::Bad("--sample-every needs a value".into()))?;
+                    let n: u64 = v
+                        .parse()
+                        .map_err(|_| ArgError::Bad(format!("--sample-every: bad value `{v}`")))?;
+                    if n == 0 {
+                        return Err(ArgError::Bad("--sample-every must be at least 1".into()));
+                    }
+                    out.sample_every = Some(n);
+                }
+                "--profile-out" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError::Bad("--profile-out needs a path".into()))?;
+                    out.profile_out = Some(PathBuf::from(v));
+                }
                 "--help" | "-h" => return Err(ArgError::Help),
                 "--threads" => {
                     let v = it
@@ -146,8 +184,10 @@ impl BenchArgs {
     /// Configure the process for this run: size the global rayon pool,
     /// reset the metrics registry, enable telemetry counters (they are
     /// deterministic and cheap, so bench binaries always record them), and
-    /// install a trace when one was requested.
+    /// install a trace/profiler when requested.
     fn apply(&self, bin: &str) {
+        start_instant(); // anchor the heartbeat clock at process setup
+        QUIET.store(self.quiet, Ordering::Relaxed);
         if let Some(n) = self.threads {
             // Ignore "already built": tests and nested harnesses may have
             // initialised the global pool first.
@@ -160,7 +200,18 @@ impl BenchArgs {
         if self.trace_out.is_some() {
             telemetry::install_trace();
         }
+        if self.profile_out.is_some() {
+            telemetry::profile::install();
+        }
         let _ = bin;
+    }
+
+    /// The scenario configuration for this run: [`Scale::config`] plus the
+    /// per-request sampler wired through to the simulator.
+    pub fn config(&self, capacity: f64, lambda: f64, mode: LambdaMode) -> ScenarioConfig {
+        let mut cfg = self.scale.config(capacity, lambda, mode);
+        cfg.sim.sample_every = self.sample_every;
+        cfg
     }
 
     /// Flush observability outputs. Every binary writes
@@ -168,20 +219,81 @@ impl BenchArgs {
     /// extra copies at the requested paths. Wall-clock never enters these
     /// files — the snapshot holds only deterministic counters, gauges, and
     /// histograms, so it is byte-comparable across machines and thread
-    /// counts.
+    /// counts. Wall-clock timings go **only** to `--profile-out`, and
+    /// sampled request paths to `results/<bin>_samples.jsonl` — separate
+    /// files, so the byte-diffed artifacts never see either.
     pub fn finish(&self, bin: &str) {
         let snapshot = telemetry::registry().snapshot_json();
         write_json(&format!("{bin}_metrics.json"), &snapshot);
         if let Some(path) = &self.metrics_out {
-            std::fs::write(path, &snapshot)
-                .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+            write_file_or_exit(path, &snapshot, "metrics snapshot");
             println!("  wrote {}", path.display());
         }
         if let Some(path) = &self.trace_out {
             let jsonl = telemetry::drain_trace().unwrap_or_default();
-            std::fs::write(path, jsonl).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+            write_file_or_exit(path, &jsonl, "event trace");
             println!("  wrote {}", path.display());
         }
+        let samples = {
+            let mut sink = lock_samples();
+            std::mem::take(&mut *sink)
+        };
+        if !samples.is_empty() {
+            write_json(&format!("{bin}_samples.jsonl"), &samples);
+        }
+        if let Some(path) = &self.profile_out {
+            let profile = telemetry::profile::drain_chrome_trace().unwrap_or_default();
+            write_file_or_exit(path, &profile, "wall-clock profile");
+            println!("  wrote {}", path.display());
+        }
+    }
+}
+
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// Wall-clock anchor for heartbeat lines, set once at argument parsing.
+fn start_instant() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+/// Emit a progress heartbeat to stderr (stdout stays reserved for
+/// results). Silenced by `--quiet`. Long paper-scale figures previously
+/// ran for minutes with no output at all.
+pub fn progress(msg: &str) {
+    if !QUIET.load(Ordering::Relaxed) {
+        eprintln!("[{:8.1}s] {msg}", start_instant().elapsed().as_secs_f64());
+    }
+}
+
+fn samples_sink() -> &'static Mutex<String> {
+    static SINK: OnceLock<Mutex<String>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(String::new()))
+}
+
+fn lock_samples() -> std::sync::MutexGuard<'static, String> {
+    samples_sink()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Append `report`'s sampled request paths (if any) to the process-wide
+/// sample sink, tagged with `run`; [`BenchArgs::finish`] writes the sink
+/// to `results/<bin>_samples.jsonl`.
+pub fn record_samples(run: &str, report: &SimReport) {
+    if report.samples.is_empty() {
+        return;
+    }
+    let mut sink = lock_samples();
+    cdn_sim::render_samples_jsonl(run, report, &mut sink);
+}
+
+/// Write `body` to `path`, exiting with a contextful message on failure
+/// (e.g. a bad `--metrics-out` directory) instead of a panic backtrace.
+fn write_file_or_exit(path: &Path, body: &str, what: &str) {
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("error: writing {what} to {}: {e}", path.display());
+        std::process::exit(1);
     }
 }
 
@@ -189,7 +301,10 @@ impl BenchArgs {
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var("CDN_RESULTS_DIR").unwrap_or_else(|_| "results".into());
     let path = PathBuf::from(dir);
-    std::fs::create_dir_all(&path).expect("create results dir");
+    if let Err(e) = std::fs::create_dir_all(&path) {
+        eprintln!("error: creating results dir {}: {e}", path.display());
+        std::process::exit(1);
+    }
     path
 }
 
@@ -204,7 +319,7 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
         body.push_str(r);
         body.push('\n');
     }
-    std::fs::write(&path, body).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    write_file_or_exit(&path, &body, "result CSV");
     println!("  wrote {}", path.display());
     path
 }
@@ -213,7 +328,7 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
 /// the path on stdout — machine-readable sibling of [`write_csv`].
 pub fn write_json(name: &str, body: &str) -> PathBuf {
     let path = results_dir().join(name);
-    std::fs::write(&path, body).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    write_file_or_exit(&path, body, "result file");
     println!("  wrote {}", path.display());
     path
 }
@@ -293,17 +408,44 @@ pub struct StrategyResult {
     pub sim_seconds: f64,
 }
 
+/// [`Scenario::generate`] with a heartbeat, so multi-scenario figures
+/// show progress between panels as well as between strategies.
+pub fn generate_scenario(config: &ScenarioConfig) -> Scenario {
+    progress(&format!(
+        "generating scenario (N={} M={} capacity {:.0}%)",
+        config.hosts.n_servers,
+        config.workload.m_sites,
+        100.0 * config.capacity_fraction
+    ));
+    Scenario::generate(config)
+}
+
+/// Monotonic label for each [`run_strategies`] batch, so samples from
+/// repeated batches (e.g. one per capacity point) stay distinguishable in
+/// `results/<bin>_samples.jsonl`.
+static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+
 /// Plan + simulate each strategy against a scenario, logging progress.
 pub fn run_strategies(scenario: &Scenario, strategies: &[Strategy]) -> Vec<StrategyResult> {
+    let run = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
     strategies
         .iter()
         .map(|&strategy| {
+            progress(&format!("planning {}", strategy.name()));
             let t0 = Instant::now();
-            let plan = scenario.plan(strategy);
+            let plan = {
+                let _prof = telemetry::profile::span(&format!("plan:{}", strategy.name()));
+                scenario.plan(strategy)
+            };
             let plan_seconds = t0.elapsed().as_secs_f64();
+            progress(&format!("simulating {}", strategy.name()));
             let t1 = Instant::now();
-            let report = scenario.simulate(&plan);
+            let report = {
+                let _prof = telemetry::profile::span(&format!("sim:{}", strategy.name()));
+                scenario.simulate(&plan)
+            };
             let sim_seconds = t1.elapsed().as_secs_f64();
+            record_samples(&format!("r{run}:{}", strategy.name()), &report);
             println!(
                 "  {:<16} plan {:>6.1}s  sim {:>6.1}s  mean {:>8.2} ms  local {:>5.1}%  replicas {}",
                 strategy.name(),
@@ -516,6 +658,9 @@ mod tests {
         assert_eq!(a.threads, None);
         assert_eq!(a.trace_out, None);
         assert_eq!(a.metrics_out, None);
+        assert_eq!(a.profile_out, None);
+        assert_eq!(a.sample_every, None);
+        assert!(!a.quiet);
     }
 
     #[test]
@@ -528,12 +673,40 @@ mod tests {
             "/tmp/t.jsonl",
             "--metrics-out",
             "/tmp/m.json",
+            "--profile-out",
+            "/tmp/p.json",
+            "--sample-every",
+            "1000",
+            "--quiet",
         ])
         .unwrap();
         assert_eq!(a.scale, Scale::Quick);
         assert_eq!(a.threads, Some(4));
         assert_eq!(a.trace_out.as_deref(), Some(Path::new("/tmp/t.jsonl")));
         assert_eq!(a.metrics_out.as_deref(), Some(Path::new("/tmp/m.json")));
+        assert_eq!(a.profile_out.as_deref(), Some(Path::new("/tmp/p.json")));
+        assert_eq!(a.sample_every, Some(1000));
+        assert!(a.quiet);
+    }
+
+    #[test]
+    fn config_injects_sampler() {
+        let mut a = parse(&["--quick"]).unwrap();
+        assert_eq!(
+            a.config(0.1, 0.0, LambdaMode::Uncacheable).sim.sample_every,
+            None
+        );
+        a.sample_every = Some(64);
+        let cfg = a.config(0.1, 0.0, LambdaMode::Uncacheable);
+        assert_eq!(cfg.sim.sample_every, Some(64));
+        // The sampler rides along without touching the scale parameters.
+        assert_eq!(
+            cfg.hosts.n_servers,
+            Scale::Quick
+                .config(0.1, 0.0, LambdaMode::Uncacheable)
+                .hosts
+                .n_servers
+        );
     }
 
     #[test]
@@ -557,6 +730,16 @@ mod tests {
         assert!(matches!(parse(&["--threads", "0"]), Err(ArgError::Bad(_))));
         assert!(matches!(parse(&["--trace-out"]), Err(ArgError::Bad(_))));
         assert!(matches!(parse(&["--metrics-out"]), Err(ArgError::Bad(_))));
+        assert!(matches!(parse(&["--profile-out"]), Err(ArgError::Bad(_))));
+        assert!(matches!(parse(&["--sample-every"]), Err(ArgError::Bad(_))));
+        assert!(matches!(
+            parse(&["--sample-every", "many"]),
+            Err(ArgError::Bad(_))
+        ));
+        assert!(matches!(
+            parse(&["--sample-every", "0"]),
+            Err(ArgError::Bad(_))
+        ));
     }
 
     #[test]

@@ -19,6 +19,8 @@ USAGE:
                       [--threads N] [fault options]
   hybrid-cdn topology [--scale small|paper] [--seed N] [--dot FILE] [--csv FILE]
   hybrid-cdn workload [--theta 1.0] [--sites 15] [--objects 200] [--seed N]
+  hybrid-cdn report   [--metrics FILE] [--profile FILE] [--samples FILE]
+                      [--trace FILE] [--top N]
   hybrid-cdn help
 
 FAULT OPTIONS (enable fault injection / failover routing in the simulator):
@@ -31,6 +33,15 @@ OBSERVABILITY (compare and plan; deterministic — no timestamps, identical
 bytes at any --threads value):
   --trace-out FILE      write the JSONL span/event trace to FILE
   --metrics-out FILE    write the counters/gauges/histograms snapshot to FILE
+  --sample-every N      sample every Nth request per server stream
+  --samples-out FILE    write sampled request paths (JSONL) to FILE
+  --profile-out FILE    write a WALL-CLOCK Chrome trace profile to FILE
+                        (load in chrome://tracing or Perfetto; timed data
+                        lives only here — the files above stay byte-identical)
+
+`hybrid-cdn report` renders these artifacts: a latency-attribution table
+plus percentile ladder from --metrics, per-phase self-time from --profile,
+cause mix and slowest requests from --samples, span tallies from --trace.
 
 STRATEGIES (for --strategy):
   hybrid | replication | caching | popularity | greedy-local | backtrack
@@ -50,6 +61,9 @@ pub const SCENARIO_KEYS: &[&str] = &[
     "retry-penalty-ms",
     "trace-out",
     "metrics-out",
+    "profile-out",
+    "sample-every",
+    "samples-out",
 ];
 
 /// Observability outputs requested on the command line. Constructing it
@@ -59,6 +73,13 @@ pub const SCENARIO_KEYS: &[&str] = &[
 struct Observability {
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    /// Wall-clock profile destination — strictly separate from the
+    /// deterministic outputs above, which stay byte-identical whether or
+    /// not profiling is on.
+    profile_out: Option<String>,
+    samples_out: Option<String>,
+    /// Rendered sampled-request JSONL, accumulated via [`Self::record_samples`].
+    samples: String,
 }
 
 impl Observability {
@@ -66,6 +87,9 @@ impl Observability {
         let obs = Self {
             trace_out: a.get("trace-out").map(str::to_string),
             metrics_out: a.get("metrics-out").map(str::to_string),
+            profile_out: a.get("profile-out").map(str::to_string),
+            samples_out: a.get("samples-out").map(str::to_string),
+            samples: String::new(),
         };
         if obs.trace_out.is_some() || obs.metrics_out.is_some() {
             telemetry::reset_metrics();
@@ -74,7 +98,17 @@ impl Observability {
                 telemetry::install_trace();
             }
         }
+        if obs.profile_out.is_some() {
+            telemetry::profile::install();
+        }
         obs
+    }
+
+    /// Buffer one simulation's sampled request paths under `run`.
+    fn record_samples(&mut self, run: &str, report: &cdn_core::sim::SimReport) {
+        if self.samples_out.is_some() && !report.samples.is_empty() {
+            cdn_core::sim::render_samples_jsonl(run, report, &mut self.samples);
+        }
     }
 
     fn flush(&self) -> Result<(), String> {
@@ -87,6 +121,15 @@ impl Observability {
             let jsonl = telemetry::drain_trace().unwrap_or_default();
             std::fs::write(path, jsonl).map_err(|e| format!("writing {path}: {e}"))?;
             println!("wrote event trace to {path}");
+        }
+        if let Some(path) = &self.samples_out {
+            std::fs::write(path, &self.samples).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote sampled requests to {path}");
+        }
+        if let Some(path) = &self.profile_out {
+            let profile = telemetry::profile::drain_chrome_trace().unwrap_or_default();
+            std::fs::write(path, profile).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote wall-clock profile to {path} (chrome://tracing, Perfetto)");
         }
         Ok(())
     }
@@ -191,6 +234,13 @@ fn scenario_config(a: &Args) -> Result<ScenarioConfig, String> {
         cfg.seed = a.get_u64("seed", cfg.seed)?;
     }
     cfg.sim.faults = fault_params(a, cfg.seed)?;
+    if a.has("sample-every") {
+        let n = a.get_u64("sample-every", 0)?;
+        if n == 0 {
+            return Err("--sample-every must be at least 1".into());
+        }
+        cfg.sim.sample_every = Some(n);
+    }
     Ok(cfg)
 }
 
@@ -246,6 +296,10 @@ pub fn compare(a: &Args) -> Result<(), String> {
         &scenario,
         &[Strategy::Replication, Strategy::Caching, Strategy::Hybrid],
     );
+    let mut obs = obs;
+    for row in &cmp.rows {
+        obs.record_samples(&row.strategy.name(), &row.report);
+    }
     println!("\n{}", cmp.summary_table());
     if cfg.sim.faults.is_some() {
         println!("{}", cmp.fault_table());

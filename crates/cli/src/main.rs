@@ -7,10 +7,13 @@
 //!                     [--capacity ...] [--scale ...] [--seed N]
 //! hybrid-cdn topology [--scale small|paper] [--seed N] [--dot FILE] [--csv FILE]
 //! hybrid-cdn workload [--theta 1.0] [--sites N] [--objects L] [--seed N]
+//! hybrid-cdn report   [--metrics FILE] [--profile FILE] [--samples FILE]
+//!                     [--trace FILE] [--top N]
 //! ```
 
 mod args;
 mod commands;
+mod report;
 
 use args::Args;
 
@@ -33,6 +36,7 @@ fn main() {
         }
         "workload" => Args::parse(raw, &["theta", "sites", "objects", "seed"])
             .and_then(|a| commands::workload(&a)),
+        "report" => Args::parse(raw, report::REPORT_KEYS).and_then(|a| report::report(&a)),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())
@@ -51,7 +55,7 @@ mod tests {
     // this smoke test just keeps `main`'s dispatch table in sync with USAGE.
     #[test]
     fn usage_mentions_every_command() {
-        for cmd in ["compare", "plan", "topology", "workload"] {
+        for cmd in ["compare", "plan", "topology", "workload", "report"] {
             assert!(
                 crate::commands::USAGE.contains(cmd),
                 "{cmd} missing from USAGE"

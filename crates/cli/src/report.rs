@@ -1,0 +1,449 @@
+//! `hybrid-cdn report` — render the observability artifacts the bench
+//! harness and simulator emit (metrics snapshots, wall-clock profiles,
+//! sampled request paths, deterministic traces) as human-readable
+//! latency-attribution tables.
+//!
+//! Everything here is read-only post-processing: the command never runs a
+//! simulation, it only parses files produced by earlier runs.
+
+use crate::args::Args;
+use cdn_telemetry::json::{self, Json};
+use std::fmt::Write as _;
+
+/// The `--key`s accepted by `hybrid-cdn report`.
+pub const REPORT_KEYS: &[&str] = &["metrics", "profile", "samples", "trace", "top"];
+
+/// Fixed cause order — mirrors `cdn_sim::Cause::ALL` so tables line up
+/// with the simulator's own accounting.
+const CAUSES: &[&str] = &[
+    "replica_hit",
+    "cache_hit",
+    "remote_replica",
+    "origin_fetch",
+    "failover",
+    "failed",
+];
+
+pub fn report(a: &Args) -> Result<(), String> {
+    let top = a.get_u64("top", 10)? as usize;
+    if top == 0 {
+        return Err("--top must be at least 1".into());
+    }
+    let mut sections = Vec::new();
+    if let Some(path) = a.get("metrics") {
+        sections.push(metrics_section(&load_json(path)?, path)?);
+    }
+    if let Some(path) = a.get("profile") {
+        sections.push(profile_section(&load_json(path)?, path, top)?);
+    }
+    if let Some(path) = a.get("samples") {
+        sections.push(samples_section(&load_text(path)?, path, top)?);
+    }
+    if let Some(path) = a.get("trace") {
+        sections.push(trace_section(&load_text(path)?, path, top)?);
+    }
+    if sections.is_empty() {
+        return Err(
+            "report needs at least one input: --metrics, --profile, --samples, or --trace".into(),
+        );
+    }
+    print!("{}", sections.join("\n"));
+    Ok(())
+}
+
+fn load_text(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn load_json(path: &str) -> Result<Json, String> {
+    json::parse(&load_text(path)?).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// Latency attribution + percentile ladder from a metrics snapshot
+/// (`results/<bin>_metrics.json` or `--metrics-out`).
+fn metrics_section(doc: &Json, path: &str) -> Result<String, String> {
+    let counters = doc
+        .get("counters")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| format!("{path}: no \"counters\" object — not a metrics snapshot"))?;
+    let get = |name: &str| counters.get(name).and_then(Json::as_u64);
+    let mut out = String::new();
+    let _ = writeln!(out, "== latency attribution ({path}) ==");
+    if CAUSES
+        .iter()
+        .all(|c| get(&format!("sim.cause.{c}")).is_none())
+    {
+        let _ = writeln!(
+            out,
+            "  no sim.cause.* counters — the snapshot predates attribution or no simulation ran"
+        );
+    } else {
+        let total: u64 = CAUSES
+            .iter()
+            .filter_map(|c| get(&format!("sim.cause.{c}")))
+            .sum();
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>12} {:>8} {:>14} {:>10}",
+            "cause", "requests", "share", "latency_ms", "mean_ms"
+        );
+        for c in CAUSES {
+            let requests = get(&format!("sim.cause.{c}")).unwrap_or(0);
+            let ms = get(&format!("sim.cause.{c}_latency_us")).unwrap_or(0) as f64 / 1000.0;
+            let share = if total > 0 {
+                100.0 * requests as f64 / total as f64
+            } else {
+                0.0
+            };
+            let mean = if requests > 0 {
+                ms / requests as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {c:<16} {requests:>12} {share:>7.2}% {ms:>14.1} {mean:>10.3}"
+            );
+        }
+        let total_ms: f64 = CAUSES
+            .iter()
+            .filter_map(|c| get(&format!("sim.cause.{c}_latency_us")))
+            .sum::<u64>() as f64
+            / 1000.0;
+        let _ = writeln!(
+            out,
+            "  {:<16} {total:>12} {:>7.2}% {total_ms:>14.1}",
+            "total", 100.0
+        );
+        if let Some(us) = get("sim.cause.failover_surcharge_us") {
+            let _ = writeln!(
+                out,
+                "  retry penalty inside failover rows: {:.1} ms",
+                us as f64 / 1000.0
+            );
+        }
+        if let Some(measured) = get("sim.requests_measured") {
+            if measured == total {
+                let _ = writeln!(
+                    out,
+                    "  cross-check: causes sum to sim.requests_measured ({measured}) — OK"
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  cross-check: causes sum to {total} but sim.requests_measured is {measured} — MISMATCH"
+                );
+            }
+        }
+    }
+    if let Some(h) = doc
+        .get("histograms")
+        .and_then(|hs| hs.get("sim.latency_ms"))
+    {
+        let _ = write!(out, "{}", percentile_ladder(h));
+    }
+    Ok(out)
+}
+
+/// p50/p90/p95/p99 from the `sim.latency_ms` registry histogram
+/// (`{"bin_width": w, "counts": [...], "overflow": o, "count": n}`).
+fn percentile_ladder(h: &Json) -> String {
+    let mut out = String::new();
+    let (Some(bin_width), Some(counts)) = (
+        h.get("bin_width").and_then(Json::as_f64),
+        h.get("counts").and_then(Json::as_arr),
+    ) else {
+        return out;
+    };
+    let counts: Vec<u64> = counts.iter().filter_map(Json::as_u64).collect();
+    let overflow = h.get("overflow").and_then(Json::as_u64).unwrap_or(0);
+    let total: u64 = counts.iter().sum::<u64>() + overflow;
+    if total == 0 {
+        return out;
+    }
+    let _ = writeln!(out, "  request latency percentiles ({total} requests):");
+    let _ = write!(out, "   ");
+    for &(label, p) in &[("p50", 0.50), ("p90", 0.90), ("p95", 0.95), ("p99", 0.99)] {
+        // Rank of the requested percentile; the value is the upper edge of
+        // the bin the rank falls in (matches `LatencyHistogram::percentile`).
+        let rank = ((p * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        let mut rendered = String::from("overflow");
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                rendered = format!("{:.1} ms", (i as f64 + 1.0) * bin_width);
+                break;
+            }
+        }
+        let _ = write!(out, "  {label} {rendered}");
+    }
+    out.push('\n');
+    if overflow > 0 {
+        let _ = writeln!(
+            out,
+            "  {overflow} request(s) beyond the last histogram bin ({:.0} ms)",
+            bin_width * counts.len() as f64
+        );
+    }
+    out
+}
+
+/// Per-phase self-time table from a `--profile-out` Chrome trace (the
+/// `phaseSummary` key Perfetto ignores).
+fn profile_section(doc: &Json, path: &str, top: usize) -> Result<String, String> {
+    let phases = doc
+        .get("phaseSummary")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: no \"phaseSummary\" array — not a cdn profile"))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== wall-clock phases, top {top} by self time ({path}) =="
+    );
+    if phases.is_empty() {
+        let _ = writeln!(out, "  no spans recorded");
+        return Ok(out);
+    }
+    let _ = writeln!(
+        out,
+        "  {:<28} {:>8} {:>12} {:>12} {:>12}",
+        "phase", "count", "total_ms", "self_ms", "max_ms"
+    );
+    // `phaseSummary` is already ordered by self time, descending.
+    for p in phases.iter().take(top) {
+        let name = p.get("name").and_then(Json::as_str).unwrap_or("?");
+        let count = p.get("count").and_then(Json::as_u64).unwrap_or(0);
+        let us = |k: &str| p.get(k).and_then(Json::as_f64).unwrap_or(0.0) / 1000.0;
+        let _ = writeln!(
+            out,
+            "  {name:<28} {count:>8} {:>12.3} {:>12.3} {:>12.3}",
+            us("total_us"),
+            us("self_us"),
+            us("max_us")
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  (open {path} in chrome://tracing or https://ui.perfetto.dev for the timeline)"
+    );
+    Ok(out)
+}
+
+/// Cause mix and slowest requests from a `<bin>_samples.jsonl` file.
+fn samples_section(body: &str, path: &str, top: usize) -> Result<String, String> {
+    let mut by_cause: Vec<(String, u64, f64)> = Vec::new();
+    let mut slowest: Vec<(f64, String)> = Vec::new();
+    let mut n = 0u64;
+    for (lineno, line) in body.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let doc = json::parse(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let cause = doc
+            .get("cause")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}:{}: sample without a \"cause\"", lineno + 1))?;
+        let latency = doc.get("latency_ms").and_then(Json::as_f64).unwrap_or(0.0);
+        n += 1;
+        match by_cause.iter_mut().find(|(c, _, _)| c == cause) {
+            Some((_, count, ms)) => {
+                *count += 1;
+                *ms += latency;
+            }
+            None => by_cause.push((cause.to_string(), 1, latency)),
+        }
+        let brief = format!(
+            "{:>10.1} ms  {:<14} run {} server {} index {} hops {}",
+            latency,
+            cause,
+            doc.get("run").and_then(Json::as_str).unwrap_or("?"),
+            doc.get("server").and_then(Json::as_u64).unwrap_or(0),
+            doc.get("index").and_then(Json::as_u64).unwrap_or(0),
+            doc.get("hops").and_then(Json::as_u64).unwrap_or(0),
+        );
+        slowest.push((latency, brief));
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== sampled requests ({n} samples, {path}) ==");
+    if n == 0 {
+        let _ = writeln!(out, "  no samples — was --sample-every passed to the run?");
+        return Ok(out);
+    }
+    let _ = writeln!(
+        out,
+        "  {:<16} {:>10} {:>8} {:>10}",
+        "cause", "samples", "share", "mean_ms"
+    );
+    by_cause.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (cause, count, ms) in &by_cause {
+        let _ = writeln!(
+            out,
+            "  {cause:<16} {count:>10} {:>7.2}% {:>10.3}",
+            100.0 * *count as f64 / n as f64,
+            ms / *count as f64
+        );
+    }
+    let _ = writeln!(out, "  slowest {}:", top.min(slowest.len()));
+    slowest.sort_by(|a, b| b.0.total_cmp(&a.0));
+    for (_, brief) in slowest.iter().take(top) {
+        let _ = writeln!(out, "  {brief}");
+    }
+    Ok(out)
+}
+
+/// Span/event tallies from the deterministic JSONL trace.
+fn trace_section(body: &str, path: &str, top: usize) -> Result<String, String> {
+    let (mut enters, mut events, mut exits) = (0u64, 0u64, 0u64);
+    let mut names: Vec<(String, u64)> = Vec::new();
+    for (lineno, line) in body.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let doc = json::parse(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        match doc.get("type").and_then(Json::as_str) {
+            Some("enter") => enters += 1,
+            Some("event") => events += 1,
+            Some("exit") => exits += 1,
+            other => return Err(format!("{path}:{}: bad record type {other:?}", lineno + 1)),
+        }
+        if let Some(name) = doc.get("name").and_then(Json::as_str) {
+            match names.iter_mut().find(|(n, _)| n == name) {
+                Some((_, c)) => *c += 1,
+                None => names.push((name.to_string(), 1)),
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== deterministic trace ({path}) ==");
+    let _ = writeln!(
+        out,
+        "  {} records: {enters} span enters, {events} events, {exits} span exits",
+        enters + events + exits
+    );
+    names.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (name, count) in names.iter().take(top) {
+        let _ = writeln!(out, "  {name:<28} {count:>10}");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SNAPSHOT: &str = r#"{
+  "counters": {
+    "sim.cause.cache_hit": 30, "sim.cause.cache_hit_latency_us": 600000,
+    "sim.cause.failed": 0, "sim.cause.failed_latency_us": 0,
+    "sim.cause.failover": 10, "sim.cause.failover_latency_us": 2400000,
+    "sim.cause.failover_surcharge_us": 2000000,
+    "sim.cause.origin_fetch": 20, "sim.cause.origin_fetch_latency_us": 1600000,
+    "sim.cause.remote_replica": 0, "sim.cause.remote_replica_latency_us": 0,
+    "sim.cause.replica_hit": 40, "sim.cause.replica_hit_latency_us": 800000,
+    "sim.requests_measured": 100
+  },
+  "gauges": {},
+  "histograms": {
+    "sim.latency_ms": {"bin_width": 1.0, "counts": [0, 50, 0, 0, 40], "overflow": 10, "count": 100}
+  }
+}"#;
+
+    #[test]
+    fn metrics_section_attributes_and_cross_checks() {
+        let doc = json::parse(SNAPSHOT).unwrap();
+        let s = metrics_section(&doc, "m.json").unwrap();
+        assert!(s.contains("replica_hit"), "{s}");
+        assert!(s.contains("40.00%"), "replica share: {s}");
+        // Mean of the failover rows: 2400 ms over 10 requests.
+        assert!(s.contains("240.000"), "{s}");
+        assert!(
+            s.contains("causes sum to sim.requests_measured (100) — OK"),
+            "{s}"
+        );
+        // p50 falls in bin 1 (upper edge 2 ms), p95 in the overflow.
+        assert!(s.contains("p50 2.0 ms"), "{s}");
+        assert!(s.contains("p95 overflow"), "{s}");
+        assert!(s.contains("10 request(s) beyond"), "{s}");
+    }
+
+    #[test]
+    fn metrics_mismatch_is_flagged() {
+        let doc = json::parse(&SNAPSHOT.replace(
+            "\"sim.requests_measured\": 100",
+            "\"sim.requests_measured\": 99",
+        ))
+        .unwrap();
+        let s = metrics_section(&doc, "m.json").unwrap();
+        assert!(s.contains("MISMATCH"), "{s}");
+    }
+
+    #[test]
+    fn metrics_without_cause_counters_degrades_gracefully() {
+        let doc =
+            json::parse(r#"{"counters": {"sim.cache_hits": 3}, "gauges": {}, "histograms": {}}"#)
+                .unwrap();
+        let s = metrics_section(&doc, "m.json").unwrap();
+        assert!(s.contains("no sim.cause.* counters"), "{s}");
+        assert!(metrics_section(&json::parse("{}").unwrap(), "m.json").is_err());
+    }
+
+    #[test]
+    fn profile_section_reads_phase_summary() {
+        let profile = r#"{"traceEvents": [], "displayTimeUnit": "ms", "phaseSummary": [
+            {"name": "sim:hybrid", "count": 2, "total_us": 9000.0, "self_us": 8000.5, "max_us": 5000.0},
+            {"name": "plan:hybrid", "count": 2, "total_us": 4000.0, "self_us": 3000.0, "max_us": 2100.0}
+        ]}"#;
+        let doc = json::parse(profile).unwrap();
+        let s = profile_section(&doc, "p.json", 1).unwrap();
+        assert!(s.contains("sim:hybrid"), "{s}");
+        assert!(!s.contains("plan:hybrid"), "top 1 must truncate: {s}");
+        assert!(s.contains("8.001"), "self_us rendered as ms: {s}");
+        assert!(profile_section(&json::parse("{}").unwrap(), "p.json", 3).is_err());
+    }
+
+    #[test]
+    fn samples_section_tallies_and_ranks() {
+        let body = concat!(
+            r#"{"run":"r0:hybrid","server":0,"index":0,"cause":"replica_hit","hops":0,"latency_ms":20}"#,
+            "\n",
+            r#"{"run":"r0:hybrid","server":1,"index":7,"cause":"failover","hops":11,"latency_ms":440}"#,
+            "\n",
+            r#"{"run":"r0:hybrid","server":0,"index":14,"cause":"replica_hit","hops":0,"latency_ms":20}"#,
+            "\n",
+        );
+        let s = samples_section(body, "s.jsonl", 1).unwrap();
+        assert!(s.contains("3 samples"), "{s}");
+        assert!(s.contains("66.67%"), "replica_hit share: {s}");
+        assert!(
+            s.contains("server 1 index 7"),
+            "slowest is the failover: {s}"
+        );
+        assert!(samples_section("{\"no_cause\":1}\n", "s.jsonl", 1).is_err());
+        assert!(samples_section("not json\n", "s.jsonl", 1).is_err());
+    }
+
+    #[test]
+    fn trace_section_counts_record_types() {
+        let body = concat!(
+            r#"{"seq":0,"type":"enter","span":1,"parent":0,"name":"sim.system"}"#,
+            "\n",
+            r#"{"seq":1,"type":"event","span":1,"name":"sim.request"}"#,
+            "\n",
+            r#"{"seq":2,"type":"exit","span":1,"records":1}"#,
+            "\n",
+        );
+        let s = trace_section(body, "t.jsonl", 5).unwrap();
+        assert!(s.contains("1 span enters, 1 events, 1 span exits"), "{s}");
+        assert!(s.contains("sim.request"), "{s}");
+        assert!(trace_section("{\"type\":\"wat\"}\n", "t.jsonl", 5).is_err());
+    }
+
+    #[test]
+    fn report_requires_an_input() {
+        let a = Args::parse(std::iter::empty(), REPORT_KEYS).unwrap();
+        assert!(report(&a).unwrap_err().contains("at least one input"));
+        let a = Args::parse(["--top", "0"].iter().map(|s| s.to_string()), REPORT_KEYS).unwrap();
+        assert!(report(&a).unwrap_err().contains("--top"));
+    }
+}

@@ -145,6 +145,7 @@ pub struct Scenario {
 impl Scenario {
     /// Generate the whole instance deterministically from `config`.
     pub fn generate(config: &ScenarioConfig) -> Self {
+        let _prof = cdn_telemetry::profile::span("scenario.generate");
         config.validate();
         let topology = TransitStubTopology::generate(&config.topology, config.seed);
         let hosts = HostPlacement::place(
@@ -234,6 +235,7 @@ impl Scenario {
 
     /// Run a placement strategy against this scenario.
     pub fn plan(&self, strategy: Strategy) -> PlanResult {
+        let _prof = cdn_telemetry::profile::span("scenario.plan");
         strategy.run(&self.problem)
     }
 

@@ -1,7 +1,7 @@
 //! The per-server request loop.
 
 use crate::fault::FaultSchedule;
-use crate::metrics::LatencyHistogram;
+use crate::metrics::{Cause, CauseBreakdown, LatencyHistogram, RequestSample};
 use crate::plan::{ConsistencyMode, ServerPlan, SimConfig};
 use cdn_cache::{Cache, CacheStats, ObjectKey};
 use cdn_telemetry as telemetry;
@@ -63,6 +63,26 @@ pub struct ServerReport {
     pub origin_bytes: u64,
     /// Telemetry tallies; `None` when telemetry is disabled.
     pub obs: Option<EngineObs>,
+    /// Per-cause latency attribution over this server's measured requests
+    /// (always collected — a handful of adds per request).
+    pub cause: CauseBreakdown,
+    /// 1-in-N sampled request paths (empty unless
+    /// [`SimConfig::sample_every`] is set), in stream order.
+    pub samples: Vec<RequestSample>,
+}
+
+/// Attribution label for a routed request — mirrors exactly the disjoint
+/// bucket accounting below, so per-cause counts sum to report totals.
+#[inline]
+fn cause_of(routed: &Routed) -> Cause {
+    match routed.resolution {
+        Resolution::Failed => Cause::Failed,
+        Resolution::Replica => Cause::ReplicaHit,
+        Resolution::CacheHit => Cause::CacheHit,
+        _ if routed.dead_skipped > 0 => Cause::Failover,
+        _ if routed.from_origin => Cause::OriginFetch,
+        _ => Cause::RemoteReplica,
+    }
 }
 
 /// How a single request was resolved (exposed for fine-grained tests).
@@ -328,7 +348,10 @@ where
         total_bytes: 0,
         origin_bytes: 0,
         obs: None,
+        cause: CauseBreakdown::default(),
+        samples: Vec::new(),
     };
+    let sample_every = config.sample_every.unwrap_or(0);
     // Per-site tallies: local to this server's loop, so plain (non-atomic)
     // counts; gated once per run on the global telemetry flag.
     let mut site_obs: Option<Vec<SiteObs>> =
@@ -357,6 +380,7 @@ where
                 report.total_requests,
             ),
         };
+        let tick = report.total_requests;
         report.total_requests += 1;
         if report.total_requests <= warmup {
             continue;
@@ -371,17 +395,52 @@ where
                 _ => o.remote_fetches += 1,
             }
         }
-        if routed.resolution == Resolution::Failed {
+        let failed = routed.resolution == Resolution::Failed;
+        // With zero faults `dead_skipped` is 0 and the penalty term adds an
+        // exact +0.0, keeping fault-free latencies bit-identical. A failed
+        // request delivers nothing, so it is attributed zero latency.
+        let penalty_ms = if failed {
+            0.0
+        } else {
+            retry_penalty_ms * routed.dead_skipped as f64
+        };
+        let latency = if failed {
+            0.0
+        } else {
+            config.hop_delay_ms * (1.0 + routed.hops as f64)
+                + retry_penalty_ms * routed.dead_skipped as f64
+        };
+        let cause = cause_of(&routed);
+        report.cause.record(cause, latency);
+        if cause == Cause::Failover {
+            report.cause.failover_surcharge_ms += penalty_ms;
+        }
+        if sample_every > 0 && tick % sample_every == 0 {
+            report.samples.push(RequestSample {
+                server: plan.server,
+                index: tick,
+                site: req.site,
+                object: req.object,
+                flavor: req.flavor,
+                resolution: routed.resolution,
+                cause,
+                hops: routed.hops,
+                dead_skipped: routed.dead_skipped,
+                // `Routed::from_origin` is only meaningful for remote
+                // resolutions; mask it for local/failed ones.
+                from_origin: routed.from_origin
+                    && !matches!(cause, Cause::ReplicaHit | Cause::CacheHit | Cause::Failed),
+                latency_ms: latency,
+                penalty_ms,
+            });
+        }
+        if failed {
             // Nothing was delivered: no bytes, no hops, no latency sample.
             report.failed_requests += 1;
             continue;
         }
         report.cost_hops += routed.hops as u64;
         report.total_bytes += bytes;
-        // With zero faults `dead_skipped` is 0 and the penalty term adds an
-        // exact +0.0, keeping fault-free latencies bit-identical.
-        let latency = config.hop_delay_ms * (1.0 + routed.hops as f64)
-            + retry_penalty_ms * routed.dead_skipped as f64;
         report.histogram.record(latency);
         if routed.dead_skipped > 0 {
             report.failover_histogram.record(latency);

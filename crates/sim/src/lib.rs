@@ -35,6 +35,9 @@ pub mod runner;
 
 pub use engine::{resolve_faulted, simulate_server, simulate_server_faulted, Routed, ServerReport};
 pub use fault::{FaultParams, FaultSchedule};
-pub use metrics::{LatencyHistogram, SimReport};
+pub use metrics::{
+    render_samples_jsonl, Cause, CauseBreakdown, CauseLatency, LatencyHistogram, RequestSample,
+    SimReport,
+};
 pub use plan::{ConsistencyMode, Holder, ServerPlan, SimConfig};
 pub use runner::{simulate_system, simulate_system_streams};

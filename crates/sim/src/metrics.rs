@@ -1,5 +1,9 @@
 //! Latency and cost accounting.
 
+use crate::engine::Resolution;
+use cdn_workload::Flavor;
+use std::fmt::Write as _;
+
 /// Histogram of response times with fixed-width bins plus an overflow bin.
 /// The paper's CDF plots are exactly `cdf()` of this structure.
 #[derive(Debug, Clone)]
@@ -122,6 +126,21 @@ impl LatencyHistogram {
         out
     }
 
+    /// Bin width in ms.
+    pub fn bin_ms(&self) -> f64 {
+        self.bin_ms
+    }
+
+    /// Per-bin sample counts (bin `i` covers `[i*bin_ms, (i+1)*bin_ms)`).
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples past the last bin.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflow
+    }
+
     /// Fraction of samples at or below `ms`.
     pub fn fraction_at_or_below(&self, ms: f64) -> f64 {
         if self.n == 0 {
@@ -135,6 +154,204 @@ impl LatencyHistogram {
             acc += self.overflow;
         }
         acc as f64 / self.n as f64
+    }
+}
+
+/// Why a measured request cost what it did. Exactly one cause per
+/// request, mirroring the disjoint [`SimReport`] buckets: the per-cause
+/// request counts always sum to `measured_requests`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cause {
+    /// Served by a replica at the first-hop server (hop latency only).
+    ReplicaHit,
+    /// Served by the first-hop server's cache.
+    CacheHit,
+    /// Fetched from another CDN server's replica.
+    RemoteReplica,
+    /// Fetched from the primary (origin) site.
+    OriginFetch,
+    /// Completed only after skipping at least one dead holder; pays a
+    /// retry surcharge per skip on top of hop latency.
+    Failover,
+    /// No live copy anywhere — dropped, delivering nothing.
+    Failed,
+}
+
+impl Cause {
+    /// Every cause, in reporting order.
+    pub const ALL: [Cause; 6] = [
+        Cause::ReplicaHit,
+        Cause::CacheHit,
+        Cause::RemoteReplica,
+        Cause::OriginFetch,
+        Cause::Failover,
+        Cause::Failed,
+    ];
+
+    /// Stable snake_case label used in metrics counters and sample JSONL.
+    pub fn label(self) -> &'static str {
+        match self {
+            Cause::ReplicaHit => "replica_hit",
+            Cause::CacheHit => "cache_hit",
+            Cause::RemoteReplica => "remote_replica",
+            Cause::OriginFetch => "origin_fetch",
+            Cause::Failover => "failover",
+            Cause::Failed => "failed",
+        }
+    }
+}
+
+/// Requests attributed to one cause, with the total latency they paid.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CauseLatency {
+    pub requests: u64,
+    pub latency_ms: f64,
+}
+
+/// Per-cause latency attribution over every measured request — the
+/// "where is latency paid" rollup the sampled traces drill into.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CauseBreakdown {
+    pub replica_hit: CauseLatency,
+    pub cache_hit: CauseLatency,
+    pub remote_replica: CauseLatency,
+    pub origin_fetch: CauseLatency,
+    pub failover: CauseLatency,
+    pub failed: CauseLatency,
+    /// Retry-penalty ms paid by failover requests on top of hop latency
+    /// (already included in `failover.latency_ms`).
+    pub failover_surcharge_ms: f64,
+}
+
+impl CauseBreakdown {
+    pub fn get(&self, cause: Cause) -> CauseLatency {
+        match cause {
+            Cause::ReplicaHit => self.replica_hit,
+            Cause::CacheHit => self.cache_hit,
+            Cause::RemoteReplica => self.remote_replica,
+            Cause::OriginFetch => self.origin_fetch,
+            Cause::Failover => self.failover,
+            Cause::Failed => self.failed,
+        }
+    }
+
+    fn slot(&mut self, cause: Cause) -> &mut CauseLatency {
+        match cause {
+            Cause::ReplicaHit => &mut self.replica_hit,
+            Cause::CacheHit => &mut self.cache_hit,
+            Cause::RemoteReplica => &mut self.remote_replica,
+            Cause::OriginFetch => &mut self.origin_fetch,
+            Cause::Failover => &mut self.failover,
+            Cause::Failed => &mut self.failed,
+        }
+    }
+
+    /// Attribute one request's latency to `cause`.
+    pub fn record(&mut self, cause: Cause, latency_ms: f64) {
+        let slot = self.slot(cause);
+        slot.requests += 1;
+        slot.latency_ms += latency_ms;
+    }
+
+    /// Fold another breakdown in (field-wise sums; order-sensitive only in
+    /// float rounding, so merge in a fixed order).
+    pub fn merge(&mut self, other: &Self) {
+        for cause in Cause::ALL {
+            let o = other.get(cause);
+            let slot = self.slot(cause);
+            slot.requests += o.requests;
+            slot.latency_ms += o.latency_ms;
+        }
+        self.failover_surcharge_ms += other.failover_surcharge_ms;
+    }
+
+    /// Requests across every cause — equals `measured_requests`.
+    pub fn total_requests(&self) -> u64 {
+        Cause::ALL.iter().map(|&c| self.get(c).requests).sum()
+    }
+
+    /// Latency across every cause — equals the histogram's sum.
+    pub fn total_latency_ms(&self) -> f64 {
+        Cause::ALL.iter().map(|&c| self.get(c).latency_ms).sum()
+    }
+}
+
+/// Full path of one sampled request: what it asked for, how routing
+/// resolved it, and what each leg of the resolution cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestSample {
+    pub server: usize,
+    /// Request index in the server's stream (warm-up included) — the
+    /// sampler key, so samples are reproducible at any thread count.
+    pub index: u64,
+    pub site: u32,
+    pub object: u32,
+    pub flavor: Flavor,
+    pub resolution: Resolution,
+    pub cause: Cause,
+    /// Hops beyond the first-hop server to whoever served the request.
+    pub hops: u32,
+    /// Dead holders skipped before completion (each one cost a retry).
+    pub dead_skipped: u32,
+    /// The serving holder was the primary (origin) site.
+    pub from_origin: bool,
+    /// Total latency paid (0 for failed requests — nothing delivered).
+    pub latency_ms: f64,
+    /// Retry-penalty share of `latency_ms`.
+    pub penalty_ms: f64,
+}
+
+fn flavor_label(f: Flavor) -> &'static str {
+    match f {
+        Flavor::Normal => "normal",
+        Flavor::Expired => "expired",
+        Flavor::Uncacheable => "uncacheable",
+    }
+}
+
+fn resolution_label(r: Resolution) -> &'static str {
+    match r {
+        Resolution::Replica => "replica",
+        Resolution::CacheHit => "cache_hit",
+        Resolution::CacheRefresh => "cache_refresh",
+        Resolution::CacheMiss => "cache_miss",
+        Resolution::Bypass => "bypass",
+        Resolution::Failed => "failed",
+    }
+}
+
+impl RequestSample {
+    /// Append this sample as one JSONL line tagged with `run` (the figure
+    /// panel / strategy that produced it). Every field is deterministic.
+    pub fn render_jsonl_into(&self, out: &mut String, run: &str) {
+        out.push_str("{\"run\":");
+        cdn_telemetry::json::escape_into(out, run);
+        let _ = write!(
+            out,
+            ",\"server\":{},\"index\":{},\"site\":{},\"object\":{},\"flavor\":\"{}\",\
+             \"resolution\":\"{}\",\"cause\":\"{}\",\"hops\":{},\"dead_skipped\":{},\
+             \"from_origin\":{},\"latency_ms\":{},\"penalty_ms\":{}}}",
+            self.server,
+            self.index,
+            self.site,
+            self.object,
+            flavor_label(self.flavor),
+            resolution_label(self.resolution),
+            self.cause.label(),
+            self.hops,
+            self.dead_skipped,
+            self.from_origin,
+            self.latency_ms,
+            self.penalty_ms,
+        );
+        out.push('\n');
+    }
+}
+
+/// Render every sample in `report` as JSONL tagged with `run`.
+pub fn render_samples_jsonl(run: &str, report: &SimReport, out: &mut String) {
+    for s in &report.samples {
+        s.render_jsonl_into(out, run);
     }
 }
 
@@ -193,6 +410,12 @@ pub struct SimReport {
     pub origin_bytes: u64,
     /// Per-server digests, ordered by server id.
     pub per_server: Vec<ServerSummary>,
+    /// Per-cause latency attribution over every measured request; the
+    /// per-cause request counts sum to `measured_requests`.
+    pub cause: CauseBreakdown,
+    /// 1-in-N sampled request paths (empty unless
+    /// [`crate::SimConfig::sample_every`] is set), in server order.
+    pub samples: Vec<RequestSample>,
 }
 
 impl SimReport {
@@ -414,6 +637,70 @@ mod tests {
     }
 
     #[test]
+    fn cause_breakdown_records_and_merges() {
+        let mut a = CauseBreakdown::default();
+        a.record(Cause::CacheHit, 20.0);
+        a.record(Cause::Failover, 220.0);
+        a.failover_surcharge_ms += 100.0;
+        let mut b = CauseBreakdown::default();
+        b.record(Cause::CacheHit, 20.0);
+        b.record(Cause::Failed, 0.0);
+        a.merge(&b);
+        assert_eq!(a.cache_hit.requests, 2);
+        assert_eq!(a.get(Cause::CacheHit).latency_ms, 40.0);
+        assert_eq!(a.failed.requests, 1);
+        assert_eq!(a.total_requests(), 4);
+        assert_eq!(a.total_latency_ms(), 260.0);
+        assert_eq!(a.failover_surcharge_ms, 100.0);
+        // Labels are stable — counters and JSONL key off them.
+        let labels: Vec<&str> = Cause::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "replica_hit",
+                "cache_hit",
+                "remote_replica",
+                "origin_fetch",
+                "failover",
+                "failed"
+            ]
+        );
+    }
+
+    #[test]
+    fn request_sample_renders_parseable_jsonl() {
+        let sample = RequestSample {
+            server: 3,
+            index: 42,
+            site: 7,
+            object: 19,
+            flavor: Flavor::Expired,
+            resolution: Resolution::CacheRefresh,
+            cause: Cause::Failover,
+            hops: 5,
+            dead_skipped: 1,
+            from_origin: false,
+            latency_ms: 270.0,
+            penalty_ms: 150.0,
+        };
+        let mut out = String::new();
+        sample.render_jsonl_into(&mut out, "fig3:\"hybrid\"");
+        assert!(out.ends_with('\n'));
+        let doc = cdn_telemetry::json::parse(out.trim_end()).expect("sample line parses");
+        assert_eq!(doc.get("run").unwrap().as_str(), Some("fig3:\"hybrid\""));
+        assert_eq!(doc.get("server").unwrap().as_u64(), Some(3));
+        assert_eq!(doc.get("index").unwrap().as_u64(), Some(42));
+        assert_eq!(doc.get("flavor").unwrap().as_str(), Some("expired"));
+        assert_eq!(
+            doc.get("resolution").unwrap().as_str(),
+            Some("cache_refresh")
+        );
+        assert_eq!(doc.get("cause").unwrap().as_str(), Some("failover"));
+        assert_eq!(doc.get("latency_ms").unwrap().as_f64(), Some(270.0));
+        assert_eq!(doc.get("penalty_ms").unwrap().as_f64(), Some(150.0));
+    }
+
+    #[test]
     fn empty_report_ratios_are_zero() {
         let r = SimReport {
             histogram: LatencyHistogram::new(1.0, 1),
@@ -432,6 +719,8 @@ mod tests {
             total_bytes: 0,
             origin_bytes: 0,
             per_server: Vec::new(),
+            cause: CauseBreakdown::default(),
+            samples: Vec::new(),
         };
         assert_eq!(r.local_ratio(), 0.0);
         assert_eq!(r.cache_hit_ratio(), 0.0);

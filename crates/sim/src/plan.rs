@@ -113,6 +113,12 @@ pub struct SimConfig {
     /// Fault injection: `None` runs the exact fault-free code path (and is
     /// guaranteed bit-identical to `Some` of zero-fault parameters).
     pub faults: Option<FaultParams>,
+    /// Sample every Nth request of each server's stream into
+    /// [`crate::RequestSample`]s (`None` disables sampling). Keyed on the
+    /// request's deterministic per-stream index, so the sampled set is
+    /// identical at any thread count. Sampling never perturbs the
+    /// simulation or its deterministic outputs.
+    pub sample_every: Option<u64>,
 }
 
 impl Default for SimConfig {
@@ -124,6 +130,7 @@ impl Default for SimConfig {
             n_bins: 4096,
             consistency: ConsistencyMode::Strong,
             faults: None,
+            sample_every: None,
         }
     }
 }
@@ -137,6 +144,10 @@ impl SimConfig {
         assert!(
             (0.0..1.0).contains(&self.warmup_fraction),
             "warm-up fraction must be in [0, 1)"
+        );
+        assert!(
+            self.sample_every != Some(0),
+            "sample_every must be at least 1 (or None to disable)"
         );
         if let Some(faults) = &self.faults {
             faults.validate();
@@ -225,6 +236,16 @@ mod tests {
     fn default_config_is_papers() {
         let c = SimConfig::default();
         assert_eq!(c.hop_delay_ms, 20.0);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sample_every")]
+    fn zero_sample_every_rejected() {
+        let c = SimConfig {
+            sample_every: Some(0),
+            ..Default::default()
+        };
         c.validate();
     }
 

@@ -4,7 +4,7 @@
 
 use crate::engine::{simulate_server_faulted, ServerReport, SiteObs};
 use crate::fault::FaultSchedule;
-use crate::metrics::{LatencyHistogram, SimReport};
+use crate::metrics::{Cause, CauseBreakdown, LatencyHistogram, SimReport};
 use crate::plan::{ServerPlan, SimConfig};
 use cdn_cache::{Cache, LruCache};
 use cdn_placement::{Placement, PlacementProblem};
@@ -94,9 +94,11 @@ where
     // Each worker records its server's trace into a detached buffer; the
     // ordered collect below means buffers are merged in server order, so
     // the trace stream never depends on which worker finished first.
+    let _prof = telemetry::profile::span("sim.system");
     let collected: Vec<(ServerReport, Option<TraceBuffer>)> = plans
         .par_iter()
         .map(|plan| {
+            let _prof = telemetry::profile::span("sim.server");
             let warmup = (lengths[plan.server] as f64 * config.warmup_fraction) as u64;
             let cache: Box<dyn Cache> = match make_cache {
                 Some(f) => f(plan.cache_bytes),
@@ -224,6 +226,38 @@ fn emit_observability(
     for r in reports {
         latency_hist.record(r.histogram.mean());
     }
+    // Cause attribution: request counts plus latency totals (in integer
+    // microseconds, rounded once per run, so accumulation across several
+    // sim runs stays exact and deterministic). Per-cause counts sum to
+    // `sim.requests_measured`; `cdn report` renders the table from these.
+    let mut cause = CauseBreakdown::default();
+    for r in reports {
+        cause.merge(&r.cause);
+    }
+    for c in Cause::ALL {
+        let lat = cause.get(c);
+        reg.counter(&format!("sim.cause.{}", c.label()))
+            .add(lat.requests);
+        reg.counter(&format!("sim.cause.{}_latency_us", c.label()))
+            .add((lat.latency_ms * 1000.0).round() as u64);
+    }
+    reg.counter("sim.cause.failover_surcharge_us")
+        .add((cause.failover_surcharge_ms * 1000.0).round() as u64);
+    // Whole-run per-request latency distribution, folded bin-by-bin from
+    // the per-server histograms (1 ms bins, 4 s range + overflow).
+    let request_hist = reg.histogram("sim.latency_ms", 1.0, 4096);
+    for r in reports {
+        let bin_ms = r.histogram.bin_ms();
+        for (i, &n) in r.histogram.bin_counts().iter().enumerate() {
+            if n > 0 {
+                request_hist.record_n((i as f64 + 0.5) * bin_ms, n);
+            }
+        }
+        let overflow = r.histogram.overflow_count();
+        if overflow > 0 {
+            request_hist.record_n(f64::MAX, overflow);
+        }
+    }
     if let Some(s) = schedule {
         let server_windows: usize = (0..s.n_servers()).map(|i| s.server_windows(i).len()).sum();
         reg.counter("fault.server_down_windows")
@@ -261,7 +295,7 @@ fn emit_observability(
     });
 }
 
-fn merge_reports(reports: Vec<ServerReport>, config: &SimConfig) -> SimReport {
+fn merge_reports(mut reports: Vec<ServerReport>, config: &SimConfig) -> SimReport {
     let per_server: Vec<crate::metrics::ServerSummary> = reports
         .iter()
         .map(|r| crate::metrics::ServerSummary {
@@ -301,6 +335,15 @@ fn merge_reports(reports: Vec<ServerReport>, config: &SimConfig) -> SimReport {
     let mut total_bytes = 0;
     let mut origin_bytes = 0;
     let mut cost_hops = 0u64;
+    // Cause totals and samples merge in server order (reports are already
+    // ordered by the fan-out's ordered collect), so both are independent
+    // of the thread schedule.
+    let mut cause = CauseBreakdown::default();
+    let mut samples = Vec::new();
+    for r in &mut reports {
+        cause.merge(&r.cause);
+        samples.append(&mut r.samples);
+    }
     for r in &reports {
         histogram.merge(&r.histogram);
         failover_histogram.merge(&r.failover_histogram);
@@ -338,6 +381,8 @@ fn merge_reports(reports: Vec<ServerReport>, config: &SimConfig) -> SimReport {
         total_bytes,
         origin_bytes,
         per_server,
+        cause,
+        samples,
     }
 }
 
@@ -606,6 +651,8 @@ mod tests {
         assert_eq!(a.histogram.mean().to_bits(), b.histogram.mean().to_bits());
         assert_eq!(a.histogram.cdf(), b.histogram.cdf());
         assert_eq!(a.failover_histogram.count(), b.failover_histogram.count());
+        assert_eq!(a.cause, b.cause);
+        assert_eq!(a.samples, b.samples);
         for (x, y) in a.per_server.iter().zip(&b.per_server) {
             assert_eq!(x.measured_requests, y.measured_requests);
             assert_eq!(x.mean_latency_ms.to_bits(), y.mean_latency_ms.to_bits());
@@ -725,6 +772,102 @@ mod tests {
             replicated.availability(),
             caching.availability()
         );
+    }
+
+    #[test]
+    fn cause_attribution_matches_report_buckets() {
+        let (problem, catalog, trace) = scenario(0.1, LambdaMode::Expired);
+        let cfg = SimConfig {
+            faults: Some(faulty_params()),
+            ..Default::default()
+        };
+        let pl = cdn_placement::greedy_global(&problem).placement;
+        let report = simulate_system(&problem, &pl, &catalog, &trace, &cfg, None);
+        // Every per-cause request count equals its SimReport bucket...
+        assert_eq!(report.cause.replica_hit.requests, report.replica_hits);
+        assert_eq!(report.cause.cache_hit.requests, report.cache_hits);
+        assert_eq!(report.cause.remote_replica.requests, report.peer_fetches);
+        assert_eq!(report.cause.origin_fetch.requests, report.origin_fetches);
+        assert_eq!(report.cause.failover.requests, report.failover_fetches);
+        assert_eq!(report.cause.failed.requests, report.failed_requests);
+        // ...and together they cover every measured request exactly once.
+        assert_eq!(report.cause.total_requests(), report.measured_requests);
+        // Attributed latency reconciles with the histogram (failed
+        // requests contribute zero to both).
+        let hist_total = report.mean_latency_ms * report.histogram.count() as f64;
+        assert!(
+            (report.cause.total_latency_ms() - hist_total).abs() < 1e-6 * hist_total.max(1.0),
+            "cause latency {} != histogram total {hist_total}",
+            report.cause.total_latency_ms()
+        );
+        // The failover surcharge is a strict part of failover latency.
+        assert!(report.cause.failover_surcharge_ms > 0.0);
+        assert!(report.cause.failover_surcharge_ms < report.cause.failover.latency_ms);
+        // Local hits pay exactly one hop each.
+        assert!(
+            (report.cause.replica_hit.latency_ms - cfg.hop_delay_ms * report.replica_hits as f64)
+                .abs()
+                < 1e-6
+        );
+    }
+
+    #[test]
+    fn sampler_is_deterministic_and_non_perturbing() {
+        let (problem, catalog, trace) = scenario(0.1, LambdaMode::Expired);
+        let pl = cdn_placement::greedy_global(&problem).placement;
+        let plain = SimConfig {
+            faults: Some(faulty_params()),
+            ..Default::default()
+        };
+        let sampled_cfg = SimConfig {
+            sample_every: Some(7),
+            ..plain
+        };
+        let base = simulate_system(&problem, &pl, &catalog, &trace, &plain, None);
+        let sampled = simulate_system(&problem, &pl, &catalog, &trace, &sampled_cfg, None);
+        // Sampling observes; it must not change any measured quantity.
+        assert!(base.samples.is_empty());
+        assert_eq!(
+            base.mean_latency_ms.to_bits(),
+            sampled.mean_latency_ms.to_bits()
+        );
+        assert_eq!(base.cache_hits, sampled.cache_hits);
+        assert_eq!(base.failed_requests, sampled.failed_requests);
+        assert_eq!(base.cause, sampled.cause);
+        // 1-in-7 of measured requests per server, keyed on stream index.
+        assert!(!sampled.samples.is_empty());
+        let expected: usize = (0..trace.n_servers())
+            .map(|i| {
+                let len = trace.len_for_server(i);
+                let warmup = (len as f64 * sampled_cfg.warmup_fraction) as u64;
+                (warmup..len).filter(|t| t % 7 == 0).count()
+            })
+            .sum();
+        assert_eq!(sampled.samples.len(), expected);
+        for s in &sampled.samples {
+            assert_eq!(s.index % 7, 0);
+        }
+        // Samples arrive in (server, stream index) order.
+        for w in sampled.samples.windows(2) {
+            assert!(
+                (w[0].server, w[0].index) < (w[1].server, w[1].index),
+                "samples out of order"
+            );
+        }
+        // Reproducible across thread counts, faults and all.
+        let pool = |n: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .unwrap()
+        };
+        let one = pool(1)
+            .install(|| simulate_system(&problem, &pl, &catalog, &trace, &sampled_cfg, None));
+        let four = pool(4)
+            .install(|| simulate_system(&problem, &pl, &catalog, &trace, &sampled_cfg, None));
+        assert_eq!(one.samples, sampled.samples);
+        assert_eq!(four.samples, sampled.samples);
+        assert_reports_identical(&one, &four);
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   (atomic adds) or performed sequentially after a deterministic merge.
 //! * [`json`] — a minimal JSON writer/parser used for metrics snapshots and
 //!   the CI perf gate (no serde in the workspace).
+//! * [`profile`] — the opt-in **wall-clock** counterpart: nested timed
+//!   spans exported as Chrome Trace Event Format JSON. Deliberately
+//!   non-deterministic, so its output lives strictly in its own file
+//!   (`--profile-out`) and never in anything byte-diffed.
 //!
 //! ## Determinism contract
 //!
@@ -37,6 +41,7 @@
 
 mod event;
 pub mod json;
+pub mod profile;
 mod registry;
 mod trace;
 

@@ -1,0 +1,484 @@
+//! Opt-in wall-clock profiling: nested timed spans exported as Chrome
+//! Trace Event Format JSON.
+//!
+//! This is the deliberately *non*-deterministic half of observability. The
+//! JSONL trace ([`crate::Trace`]) carries no timestamps so it can be
+//! byte-diffed in CI; this module carries nothing but timestamps and lives
+//! strictly in its own output file (`--profile-out`). The two compose: a
+//! run may produce both, and enabling the profiler must never change a
+//! byte of the deterministic artifacts.
+//!
+//! Design:
+//! * [`span`] returns an RAII guard; dropping it records the span. Guards
+//!   nest per thread (LIFO), and each completed span knows its wall-clock
+//!   duration plus its **self time** — duration minus the time spent in
+//!   directly nested child spans.
+//! * Each thread gets a small sequential lane id (assigned at first use),
+//!   which becomes the Chrome trace `tid`, so parallel phases render as
+//!   parallel tracks in Perfetto.
+//! * When no profiler is installed a span costs one relaxed atomic load
+//!   and nothing else — instrumentation can stay in place permanently.
+
+use crate::json::escape_into;
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// One completed span, in nanoseconds relative to the profiler's origin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    pub name: String,
+    /// Per-thread lane (Chrome trace `tid`), assigned in first-use order.
+    pub lane: u32,
+    /// Nesting depth at which the span ran (0 = top level on its thread).
+    pub depth: u32,
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    /// Duration minus the summed durations of directly nested child spans.
+    pub self_ns: u64,
+}
+
+/// Aggregated wall-clock statistics for one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    pub name: String,
+    pub count: u64,
+    pub total_ns: u64,
+    pub self_ns: u64,
+    pub max_ns: u64,
+}
+
+#[derive(Debug)]
+struct Profiler {
+    origin: Instant,
+    epoch: u64,
+    records: Vec<SpanRecord>,
+    next_lane: u32,
+}
+
+/// Fast-path gate: is a profiler currently installed?
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+/// Distinguishes successive profiler installations so that thread-local
+/// span stacks from an earlier session are discarded, not misattributed.
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+fn profiler_slot() -> &'static Mutex<Option<Profiler>> {
+    static SLOT: OnceLock<Mutex<Option<Profiler>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+fn lock_profiler() -> MutexGuard<'static, Option<Profiler>> {
+    profiler_slot()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Install a fresh process-wide profiler. Any records buffered by a
+/// previous profiler are discarded.
+pub fn install() {
+    let epoch = EPOCH.fetch_add(1, Ordering::Relaxed) + 1;
+    *lock_profiler() = Some(Profiler {
+        origin: Instant::now(),
+        epoch,
+        records: Vec::new(),
+        next_lane: 0,
+    });
+    INSTALLED.store(true, Ordering::Relaxed);
+}
+
+/// Remove the profiler, discarding buffered records.
+pub fn uninstall() {
+    INSTALLED.store(false, Ordering::Relaxed);
+    *lock_profiler() = None;
+}
+
+/// Is a profiler currently installed?
+#[inline]
+pub fn installed() -> bool {
+    INSTALLED.load(Ordering::Relaxed)
+}
+
+struct Frame {
+    name: String,
+    start: Instant,
+    /// Summed durations of directly nested (already closed) child spans.
+    child_ns: u64,
+}
+
+struct ThreadState {
+    /// The profiler epoch this state belongs to; a stale stack from a
+    /// previous profiler session is cleared on first use.
+    epoch: u64,
+    lane: Option<u32>,
+    stack: Vec<Frame>,
+}
+
+thread_local! {
+    static THREAD: RefCell<ThreadState> = const {
+        RefCell::new(ThreadState {
+            epoch: 0,
+            lane: None,
+            stack: Vec::new(),
+        })
+    };
+}
+
+/// RAII guard for a timed span; the span is recorded when it drops.
+#[must_use = "the span is timed until this guard drops"]
+pub struct SpanGuard {
+    /// Epoch the span was opened under; 0 = inert (profiler off).
+    epoch: u64,
+}
+
+/// Open a timed span. Returns an inert guard (no work on drop) when no
+/// profiler is installed.
+pub fn span(name: &str) -> SpanGuard {
+    if !installed() {
+        return SpanGuard { epoch: 0 };
+    }
+    let Some(p) = &*lock_profiler() else {
+        return SpanGuard { epoch: 0 };
+    };
+    let epoch = p.epoch;
+    drop_guard_setup(name, epoch);
+    SpanGuard { epoch }
+}
+
+fn drop_guard_setup(name: &str, epoch: u64) {
+    THREAD.with(|t| {
+        let mut t = t.borrow_mut();
+        if t.epoch != epoch {
+            t.epoch = epoch;
+            t.lane = None;
+            t.stack.clear();
+        }
+        t.stack.push(Frame {
+            name: name.to_string(),
+            start: Instant::now(),
+            child_ns: 0,
+        });
+    });
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.epoch == 0 {
+            return;
+        }
+        let end = Instant::now();
+        let finished = THREAD.with(|t| {
+            let mut t = t.borrow_mut();
+            if t.epoch != self.epoch {
+                return None; // profiler was swapped mid-span
+            }
+            let frame = t.stack.pop()?;
+            let dur_ns = end.duration_since(frame.start).as_nanos() as u64;
+            if let Some(parent) = t.stack.last_mut() {
+                parent.child_ns += dur_ns;
+            }
+            let depth = t.stack.len() as u32;
+            Some((frame, dur_ns, depth, t.lane))
+        });
+        let Some((frame, dur_ns, depth, cached_lane)) = finished else {
+            return;
+        };
+        let mut slot = lock_profiler();
+        let Some(p) = slot.as_mut() else { return };
+        if p.epoch != self.epoch {
+            return;
+        }
+        let lane = match cached_lane {
+            Some(l) => l,
+            None => {
+                let l = p.next_lane;
+                p.next_lane += 1;
+                THREAD.with(|t| t.borrow_mut().lane = Some(l));
+                l
+            }
+        };
+        let start_ns = frame.start.saturating_duration_since(p.origin).as_nanos() as u64;
+        p.records.push(SpanRecord {
+            name: frame.name,
+            lane,
+            depth,
+            start_ns,
+            dur_ns,
+            self_ns: dur_ns.saturating_sub(frame.child_ns),
+        });
+    }
+}
+
+/// Take every buffered record out of the installed profiler. Returns
+/// `None` when no profiler is installed.
+pub fn drain_records() -> Option<Vec<SpanRecord>> {
+    lock_profiler()
+        .as_mut()
+        .map(|p| std::mem::take(&mut p.records))
+}
+
+/// Aggregate records into per-name statistics, ordered by descending self
+/// time (ties broken by name, so equal inputs render identically).
+pub fn aggregate(records: &[SpanRecord]) -> Vec<PhaseStat> {
+    use std::collections::BTreeMap;
+    let mut by_name: BTreeMap<&str, PhaseStat> = BTreeMap::new();
+    for r in records {
+        let stat = by_name.entry(&r.name).or_insert_with(|| PhaseStat {
+            name: r.name.clone(),
+            count: 0,
+            total_ns: 0,
+            self_ns: 0,
+            max_ns: 0,
+        });
+        stat.count += 1;
+        stat.total_ns += r.dur_ns;
+        stat.self_ns += r.self_ns;
+        stat.max_ns = stat.max_ns.max(r.dur_ns);
+    }
+    let mut out: Vec<PhaseStat> = by_name.into_values().collect();
+    out.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then_with(|| a.name.cmp(&b.name)));
+    out
+}
+
+fn write_us(out: &mut String, ns: u64) {
+    // Microseconds with nanosecond precision — Chrome's `ts`/`dur` unit.
+    let _ = write!(out, "{}.{:03}", ns / 1_000, ns % 1_000);
+}
+
+/// Render records as Chrome Trace Event Format JSON (object form), with an
+/// extra `phaseSummary` key that `chrome://tracing` and Perfetto ignore but
+/// `cdn report` reads.
+pub fn chrome_trace_json(records: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 96 + 256);
+    out.push_str("{\"traceEvents\": [");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("  {\"name\": ");
+        escape_into(&mut out, &r.name);
+        out.push_str(", \"cat\": \"cdn\", \"ph\": \"X\", \"pid\": 1, \"tid\": ");
+        let _ = write!(out, "{}, \"ts\": ", r.lane);
+        write_us(&mut out, r.start_ns);
+        out.push_str(", \"dur\": ");
+        write_us(&mut out, r.dur_ns);
+        let _ = write!(out, ", \"args\": {{\"depth\": {}, \"self_us\": ", r.depth);
+        write_us(&mut out, r.self_ns);
+        out.push_str("}}");
+    }
+    if !records.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("],\n\"displayTimeUnit\": \"ms\",\n\"phaseSummary\": [");
+    let stats = aggregate(records);
+    for (i, s) in stats.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("  {\"name\": ");
+        escape_into(&mut out, &s.name);
+        let _ = write!(out, ", \"count\": {}, \"total_us\": ", s.count);
+        write_us(&mut out, s.total_ns);
+        out.push_str(", \"self_us\": ");
+        write_us(&mut out, s.self_ns);
+        out.push_str(", \"max_us\": ");
+        write_us(&mut out, s.max_ns);
+        out.push('}');
+    }
+    if !stats.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Drain the installed profiler and render its records as Chrome trace
+/// JSON. Returns `None` when no profiler is installed.
+pub fn drain_chrome_trace() -> Option<String> {
+    drain_records().map(|r| chrome_trace_json(&r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    // Profiler state is process-global; serialize the tests that touch it.
+    fn with_profiler<R>(f: impl FnOnce() -> R) -> R {
+        static GUARD: Mutex<()> = Mutex::new(());
+        let _g = GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        install();
+        let r = f();
+        uninstall();
+        r
+    }
+
+    fn rec(name: &str, lane: u32, start_ns: u64, dur_ns: u64, self_ns: u64) -> SpanRecord {
+        SpanRecord {
+            name: name.to_string(),
+            lane,
+            depth: 0,
+            start_ns,
+            dur_ns,
+            self_ns,
+        }
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        // No install: the guard must do nothing, not panic, not record.
+        uninstall();
+        let g = span("ghost");
+        drop(g);
+        assert!(drain_records().is_none());
+    }
+
+    #[test]
+    fn nesting_attributes_child_time_to_parent() {
+        let records = with_profiler(|| {
+            {
+                let _outer = span("outer");
+                {
+                    let _inner = span("inner");
+                    std::hint::black_box(());
+                }
+                {
+                    let _inner = span("inner");
+                    std::hint::black_box(());
+                }
+            }
+            drain_records().unwrap()
+        });
+        assert_eq!(records.len(), 3);
+        // Children close before the parent, so they appear first.
+        let inner_total: u64 = records[..2].iter().map(|r| r.dur_ns).sum();
+        let outer = &records[2];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.depth, 0);
+        assert_eq!(records[0].depth, 1);
+        // Self time is exactly duration minus directly-nested child time.
+        assert_eq!(outer.self_ns, outer.dur_ns - inner_total);
+        assert!(outer.dur_ns >= inner_total);
+        // Children carry their full duration as self time (no grandchildren).
+        for r in &records[..2] {
+            assert_eq!(r.self_ns, r.dur_ns);
+        }
+    }
+
+    #[test]
+    fn zero_duration_spans_are_well_formed() {
+        // A span that opens and closes immediately may legitimately round
+        // to 0 ns; aggregation and rendering must stay consistent.
+        let records = vec![rec("instant", 0, 5, 0, 0), rec("instant", 0, 9, 0, 0)];
+        let stats = aggregate(&records);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].count, 2);
+        assert_eq!(stats[0].total_ns, 0);
+        assert_eq!(stats[0].self_ns, 0);
+        assert_eq!(stats[0].max_ns, 0);
+        let doc = json::parse(&chrome_trace_json(&records)).expect("valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("dur").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn reentrant_names_aggregate_without_double_counting() {
+        // "work" calls itself: the outer instance's self time excludes the
+        // inner instance, so summed self time never exceeds wall time.
+        let records = with_profiler(|| {
+            {
+                let _a = span("work");
+                let _b = span("work");
+                std::hint::black_box(());
+            }
+            drain_records().unwrap()
+        });
+        assert_eq!(records.len(), 2);
+        let inner = &records[0];
+        let outer = &records[1];
+        assert_eq!(outer.self_ns, outer.dur_ns - inner.dur_ns);
+        let stats = aggregate(&records);
+        assert_eq!(stats.len(), 1, "same name aggregates to one row");
+        assert_eq!(stats[0].count, 2);
+        assert_eq!(stats[0].self_ns, inner.self_ns + outer.self_ns);
+        assert!(stats[0].self_ns <= outer.dur_ns);
+        assert_eq!(stats[0].max_ns, outer.dur_ns.max(inner.dur_ns));
+    }
+
+    #[test]
+    fn chrome_trace_escapes_span_names() {
+        let awkward = "plan:\"greedy\"\\n\twith\u{1}ctrl";
+        let records = vec![rec(awkward, 3, 1_500, 2_500, 2_500)];
+        let text = chrome_trace_json(&records);
+        let doc = json::parse(&text).expect("escaped output must parse");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events[0].get("name").unwrap().as_str(), Some(awkward));
+        assert_eq!(events[0].get("tid").unwrap().as_u64(), Some(3));
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("X"));
+        // ts/dur are microseconds with fractional nanosecond digits.
+        assert_eq!(events[0].get("ts").unwrap().as_f64(), Some(1.5));
+        assert_eq!(events[0].get("dur").unwrap().as_f64(), Some(2.5));
+        let summary = doc.get("phaseSummary").unwrap().as_arr().unwrap();
+        assert_eq!(summary[0].get("name").unwrap().as_str(), Some(awkward));
+    }
+
+    #[test]
+    fn aggregate_orders_by_self_time_then_name() {
+        let records = vec![
+            rec("b.small", 0, 0, 10, 10),
+            rec("a.small", 0, 20, 10, 10),
+            rec("big", 0, 40, 500, 500),
+        ];
+        let stats = aggregate(&records);
+        assert_eq!(stats[0].name, "big");
+        // Equal self time: alphabetical, so output is deterministic.
+        assert_eq!(stats[1].name, "a.small");
+        assert_eq!(stats[2].name, "b.small");
+    }
+
+    #[test]
+    fn empty_profile_renders_valid_json() {
+        let doc = json::parse(&chrome_trace_json(&[])).expect("valid JSON");
+        assert_eq!(doc.get("traceEvents").unwrap().as_arr().unwrap().len(), 0);
+        assert_eq!(doc.get("phaseSummary").unwrap().as_arr().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn lanes_are_assigned_per_thread() {
+        let records = with_profiler(|| {
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|| {
+                        let _g = span("worker");
+                        std::hint::black_box(());
+                    });
+                }
+            });
+            {
+                let _g = span("main");
+                std::hint::black_box(());
+            }
+            drain_records().unwrap()
+        });
+        assert_eq!(records.len(), 3);
+        let mut lanes: Vec<u32> = records.iter().map(|r| r.lane).collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+        assert_eq!(lanes.len(), 3, "each thread gets its own lane");
+    }
+
+    #[test]
+    fn install_clears_stale_thread_state() {
+        with_profiler(|| {
+            let leaked = span("leaked");
+            install(); // new epoch mid-span
+            drop(leaked); // must not record into the new profiler
+            {
+                let _g = span("fresh");
+                std::hint::black_box(());
+            }
+            let records = drain_records().unwrap();
+            assert_eq!(records.len(), 1);
+            assert_eq!(records[0].name, "fresh");
+            assert_eq!(records[0].depth, 0, "stale frame must not nest it");
+        });
+    }
+}

@@ -94,10 +94,16 @@ impl Histogram {
     }
 
     pub fn record(&self, v: f64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` samples of value `v` in one atomic add — the bulk path
+    /// for folding a pre-binned histogram into the registry.
+    pub fn record_n(&self, v: f64, n: u64) {
         let idx = (v / self.bin_width) as usize;
         match self.bins.get(idx) {
-            Some(bin) => bin.fetch_add(1, Ordering::Relaxed),
-            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+            Some(bin) => bin.fetch_add(n, Ordering::Relaxed),
+            None => self.overflow.fetch_add(n, Ordering::Relaxed),
         };
     }
 

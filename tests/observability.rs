@@ -4,36 +4,70 @@
 //! in-process counterpart of the CI step that diffs `--trace-out` /
 //! `--metrics-out` files between `RAYON_NUM_THREADS=1` and `=4` runs.
 //!
+//! The same contract extends to the wall-clock profiler and the request
+//! sampler: turning either on must not change a single byte of the
+//! deterministic outputs (timed data goes only to its own file), and the
+//! sampled set itself must be thread-count invariant.
+//!
 //! Everything runs inside one `#[test]` because the telemetry layer is
-//! process-global (enabled flag, registry, installed trace) — parallel
-//! test functions would race on it.
+//! process-global (enabled flag, registry, installed trace/profiler) —
+//! parallel test functions would race on it.
 
 use cdn_core::{Scenario, ScenarioConfig, Strategy};
 use cdn_telemetry as telemetry;
 
-/// Full pipeline pass on a dedicated pool, returning (trace, metrics).
-fn run_with_threads(threads: usize) -> (String, String) {
+struct Observed {
+    trace: String,
+    metrics: String,
+    /// Chrome trace JSON, when profiling was on.
+    profile: Option<String>,
+    /// Sampled request paths as JSONL, when sampling was on (else empty).
+    samples: String,
+}
+
+/// Full pipeline pass on a dedicated pool with the requested observers.
+fn run_observed(threads: usize, profiled: bool, sample_every: Option<u64>) -> Observed {
     telemetry::reset_metrics();
     telemetry::install_trace();
+    if profiled {
+        telemetry::profile::install();
+    }
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()
         .expect("build pool");
-    pool.install(|| {
-        let scenario = Scenario::generate(&ScenarioConfig::small());
+    let report = pool.install(|| {
+        let mut cfg = ScenarioConfig::small();
+        cfg.sim.sample_every = sample_every;
+        let scenario = Scenario::generate(&cfg);
         let plan = scenario.plan(Strategy::Hybrid);
-        let _report = scenario.simulate(&plan);
+        scenario.simulate(&plan)
     });
+    let mut samples = String::new();
+    cdn_core::sim::render_samples_jsonl("t", &report, &mut samples);
     let trace = telemetry::drain_trace().expect("trace installed");
     let metrics = telemetry::registry().snapshot_json();
     telemetry::uninstall_trace();
-    (trace, metrics)
+    let profile = if profiled {
+        let json = telemetry::profile::drain_chrome_trace();
+        telemetry::profile::uninstall();
+        json
+    } else {
+        None
+    };
+    Observed {
+        trace,
+        metrics,
+        profile,
+        samples,
+    }
 }
 
 #[test]
 fn trace_and_metrics_bytes_are_thread_count_invariant() {
-    let (trace_1, metrics_1) = run_with_threads(1);
-    let (trace_4, metrics_4) = run_with_threads(4);
+    let base_1 = run_observed(1, false, None);
+    let base_4 = run_observed(4, false, None);
+    let (trace_1, metrics_1) = (&base_1.trace, &base_1.metrics);
 
     // The streams must be non-trivial before identical means anything.
     assert!(
@@ -48,16 +82,18 @@ fn trace_and_metrics_bytes_are_thread_count_invariant() {
         "placement.candidates_evaluated",
         "sim.cache_hits",
         "sim.requests_total",
+        "sim.cause.replica_hit",
+        "sim.latency_ms",
     ] {
         assert!(metrics_1.contains(needle), "metrics lack `{needle}`");
     }
 
     assert_eq!(
-        trace_1, trace_4,
+        *trace_1, base_4.trace,
         "JSONL trace bytes differ between 1 and 4 threads"
     );
     assert_eq!(
-        metrics_1, metrics_4,
+        *metrics_1, base_4.metrics,
         "metrics snapshot bytes differ between 1 and 4 threads"
     );
 
@@ -74,7 +110,50 @@ fn trace_and_metrics_bytes_are_thread_count_invariant() {
     }
 
     // And a re-run at the same thread count is reproducible outright.
-    let (trace_1b, metrics_1b) = run_with_threads(1);
-    assert_eq!(trace_1, trace_1b);
-    assert_eq!(metrics_1, metrics_1b);
+    let base_1b = run_observed(1, false, None);
+    assert_eq!(*trace_1, base_1b.trace);
+    assert_eq!(*metrics_1, base_1b.metrics);
+
+    // -- Profiling + sampling never perturb the deterministic artifacts. --
+    assert!(base_1.samples.is_empty(), "sampling off must yield nothing");
+    let probed = run_observed(4, true, Some(97));
+    assert_eq!(
+        *trace_1, probed.trace,
+        "enabling the profiler/sampler changed the deterministic trace"
+    );
+    assert_eq!(
+        *metrics_1, probed.metrics,
+        "enabling the profiler/sampler changed the metrics snapshot"
+    );
+
+    // The sampled set is non-empty, valid JSONL, keyed on the stream index,
+    // and identical at any thread count.
+    assert!(!probed.samples.is_empty(), "sampler produced no samples");
+    for line in probed.samples.lines() {
+        let doc = telemetry::json::parse(line).expect("valid sample line");
+        let index = doc
+            .get("index")
+            .and_then(telemetry::json::Json::as_u64)
+            .expect("index field");
+        assert_eq!(index % 97, 0, "sample off the 1-in-97 grid");
+        assert!(doc.get("cause").is_some(), "sample without cause");
+    }
+    let probed_1 = run_observed(1, true, Some(97));
+    assert_eq!(
+        probed.samples, probed_1.samples,
+        "sampled set differs between thread counts"
+    );
+
+    // The wall-clock profile is valid Chrome trace JSON covering the
+    // pipeline's phases (values are machine-dependent; shape is not).
+    let profile = probed.profile.expect("profiler installed");
+    let doc = telemetry::json::parse(&profile).expect("profile parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(telemetry::json::Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "profile recorded no spans");
+    for needle in ["scenario.generate", "scenario.plan", "sim.system"] {
+        assert!(profile.contains(needle), "profile lacks `{needle}`");
+    }
 }
