@@ -36,7 +36,12 @@ fn main() {
     );
     let mut rows = Vec::new();
     for policy in ["lru", "delayed-lru", "lfu", "gdsf", "fifo", "clock"] {
-        let factory = move |bytes: u64| cache::by_name(policy, bytes).expect("known policy");
+        let factory = move |bytes: u64| {
+            cache::by_name(policy, bytes).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            })
+        };
         let report = scenario.simulate_with_cache(&plan.placement, &factory);
         println!(
             "  {:<12} {:>9.2} {:>9.1} {:>8.1} {:>11.1}",

@@ -16,10 +16,17 @@ use crate::stats::CacheStats;
 use crate::traits::{Cache, ObjectKey};
 use std::collections::{BTreeSet, HashMap};
 
-/// Orderable f64 wrapper (scores are finite and non-negative by
-/// construction).
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Orderable f64 wrapper. Uses `total_cmp` so the ordering is total even
+/// for NaN/±inf scores — a degenerate object must lose quietly in the
+/// eviction order, never panic the whole simulation.
+#[derive(Debug, Clone, Copy)]
 struct Score(f64);
+
+impl PartialEq for Score {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
 
 impl Eq for Score {}
 
@@ -31,7 +38,7 @@ impl PartialOrd for Score {
 
 impl Ord for Score {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("scores are finite")
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -267,6 +274,46 @@ mod tests {
         c.clear();
         assert_eq!(c.clock(), 0.0);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn zero_byte_objects_never_panic_the_ordering() {
+        // Regression: scoring used `partial_cmp(..).expect("scores are
+        // finite")`, so any non-finite score aborted the simulation. A
+        // 0-byte object is the realistic trigger (empty response bodies in
+        // a trace); it must be admitted, re-scored on hits, and evictable
+        // without panicking.
+        let mut c = GdsfCache::new(20);
+        c.insert(k(1), 0);
+        assert!(c.contains(k(1)));
+        assert_eq!(c.used_bytes(), 0);
+        for _ in 0..5 {
+            assert!(c.lookup(k(1)));
+        }
+        c.insert(k(2), 10);
+        c.insert(k(3), 10);
+        c.insert(k(4), 10); // forces an eviction with the 0-byte entry present
+        assert!(c.used_bytes() <= c.capacity_bytes());
+        assert_eq!(c.order.len(), c.map.len());
+        assert!(c.remove(k(1)) || !c.contains(k(1)));
+    }
+
+    #[test]
+    fn non_finite_scores_order_totally() {
+        // total_cmp must keep the eviction set consistent even for scores
+        // no realistic trace produces.
+        let inf = Score(f64::INFINITY);
+        let nan = Score(f64::NAN);
+        let one = Score(1.0);
+        assert_eq!(nan, nan);
+        assert!(one < inf);
+        assert!(inf < nan, "positive NaN sorts above +inf under total_cmp");
+        let mut set = BTreeSet::new();
+        set.insert((nan, 0, k(1)));
+        set.insert((inf, 1, k(2)));
+        set.insert((one, 2, k(3)));
+        assert!(set.remove(&(nan, 0, k(1))), "NaN keys must round-trip");
+        assert_eq!(set.len(), 2);
     }
 
     #[test]

@@ -32,18 +32,27 @@ pub use lru::LruCache;
 pub use stats::CacheStats;
 pub use traits::{Cache, ObjectKey};
 
+/// Every policy name [`by_name`] recognises, in documentation order.
+pub const POLICY_NAMES: [&str; 6] = ["lru", "delayed-lru", "fifo", "lfu", "clock", "gdsf"];
+
 /// Construct a boxed cache by policy name — the ablation harness's entry
-/// point. Recognised names: `lru`, `delayed-lru`, `fifo`, `lfu`, `clock`,
-/// `gdsf`.
-pub fn by_name(name: &str, capacity_bytes: u64) -> Option<Box<dyn Cache>> {
-    Some(match name {
+/// point. Recognised names are listed in [`POLICY_NAMES`]; an unknown name
+/// is reported as an `Err` naming the alternatives so CLI/bench arg
+/// parsing can surface it instead of panicking.
+pub fn by_name(name: &str, capacity_bytes: u64) -> Result<Box<dyn Cache>, String> {
+    Ok(match name {
         "lru" => Box::new(LruCache::new(capacity_bytes)),
         "delayed-lru" => Box::new(DelayedLruCache::new(capacity_bytes)),
         "fifo" => Box::new(FifoCache::new(capacity_bytes)),
         "lfu" => Box::new(LfuCache::new(capacity_bytes)),
         "clock" => Box::new(ClockCache::new(capacity_bytes)),
         "gdsf" => Box::new(GdsfCache::new(capacity_bytes)),
-        _ => return None,
+        _ => {
+            return Err(format!(
+                "unknown cache policy '{name}' (known policies: {})",
+                POLICY_NAMES.join(", ")
+            ))
+        }
     })
 }
 
@@ -53,10 +62,11 @@ mod tests {
 
     #[test]
     fn by_name_constructs_all_policies() {
-        for name in ["lru", "delayed-lru", "fifo", "lfu", "clock", "gdsf"] {
-            let c = by_name(name, 100).unwrap_or_else(|| panic!("{name} missing"));
+        for name in POLICY_NAMES {
+            let c = by_name(name, 100).unwrap_or_else(|e| panic!("{e}"));
             assert_eq!(c.capacity_bytes(), 100);
         }
-        assert!(by_name("arc", 100).is_none());
+        let err = by_name("arc", 100).err().expect("unknown policy must err");
+        assert!(err.contains("arc") && err.contains("gdsf"), "{err}");
     }
 }

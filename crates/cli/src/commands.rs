@@ -1,7 +1,7 @@
 //! The CLI subcommands.
 
 use crate::args::Args;
-use cdn_core::{compare_strategies, Scenario, ScenarioConfig, Strategy};
+use cdn_core::{compare_strategies_with_policy, Scenario, ScenarioConfig, Strategy};
 use cdn_telemetry as telemetry;
 use cdn_topology::metrics::compute_metrics;
 use cdn_topology::{export, TransitStubConfig, TransitStubTopology};
@@ -13,7 +13,9 @@ pub const USAGE: &str = "hybrid-cdn — replication + caching for CDNs (IPDPS 20
 
 USAGE:
   hybrid-cdn compare  [--capacity 0.05] [--lambda 0] [--mode uncacheable|expired]
-                      [--scale small|paper] [--seed N] [--threads N] [fault options]
+                      [--scale small|paper] [--seed N] [--threads N]
+                      [--cache-policy lru|delayed-lru|fifo|lfu|clock|gdsf]
+                      [fault options]
   hybrid-cdn plan     [--strategy hybrid] [--capacity 0.05] [--lambda 0]
                       [--mode uncacheable|expired] [--scale small|paper] [--seed N]
                       [--threads N] [fault options]
@@ -291,11 +293,17 @@ pub fn compare(a: &Args) -> Result<(), String> {
             f.retry_penalty_ms
         );
     }
+    let policy = a.get("cache-policy");
+    if let Some(name) = policy {
+        println!("cache policy: {name}");
+    }
     let scenario = Scenario::generate(&cfg);
-    let cmp = compare_strategies(
+    let cmp = compare_strategies_with_policy(
         &scenario,
         &[Strategy::Replication, Strategy::Caching, Strategy::Hybrid],
-    );
+        policy,
+    )
+    .map_err(|e| format!("--cache-policy: {e}"))?;
     let mut obs = obs;
     for row in &cmp.rows {
         obs.record_samples(&row.strategy.name(), &row.report);

@@ -25,7 +25,11 @@ fn main() {
     }
     let command = raw.remove(0);
     let result = match command.as_str() {
-        "compare" => Args::parse(raw, commands::SCENARIO_KEYS).and_then(|a| commands::compare(&a)),
+        "compare" => {
+            let mut keys = vec!["cache-policy"];
+            keys.extend_from_slice(commands::SCENARIO_KEYS);
+            Args::parse(raw, &keys).and_then(|a| commands::compare(&a))
+        }
         "plan" => {
             let mut keys = vec!["strategy"];
             keys.extend_from_slice(commands::SCENARIO_KEYS);

@@ -79,11 +79,36 @@ impl StrategyComparison {
 
 /// Plan and simulate each strategy against `scenario`.
 pub fn compare_strategies(scenario: &Scenario, strategies: &[Strategy]) -> StrategyComparison {
+    compare_strategies_with_policy(scenario, strategies, None).expect("None policy is always valid")
+}
+
+/// [`compare_strategies`] with an explicit replacement policy for each
+/// server's leftover cache space (`None` = the paper's plain LRU). Pure
+/// replication stays cache-less either way — it is the stand-alone
+/// baseline. The name is resolved through [`cdn_cache::by_name`], so an
+/// unknown policy surfaces as an `Err` for the caller's arg parsing
+/// instead of a panic mid-run.
+pub fn compare_strategies_with_policy(
+    scenario: &Scenario,
+    strategies: &[Strategy],
+    policy: Option<&str>,
+) -> Result<StrategyComparison, String> {
+    if let Some(name) = policy {
+        cdn_cache::by_name(name, 0)?;
+    }
     let rows = strategies
         .iter()
         .map(|&s| {
             let plan = scenario.plan(s);
-            let report = scenario.simulate(&plan);
+            let report = match policy {
+                Some(name) if s != Strategy::Replication => {
+                    let factory = |bytes: u64| {
+                        cdn_cache::by_name(name, bytes).expect("policy validated above")
+                    };
+                    scenario.simulate_with_cache(&plan.placement, &factory)
+                }
+                _ => scenario.simulate(&plan),
+            };
             ComparisonRow {
                 strategy: s,
                 plan,
@@ -91,7 +116,7 @@ pub fn compare_strategies(scenario: &Scenario, strategies: &[Strategy]) -> Strat
             }
         })
         .collect();
-    StrategyComparison { rows }
+    Ok(StrategyComparison { rows })
 }
 
 #[cfg(test)]
@@ -109,6 +134,17 @@ mod tests {
         let table = cmp.summary_table();
         assert!(table.contains("hybrid"));
         assert!(table.contains("caching"));
+    }
+
+    #[test]
+    fn unknown_policy_is_an_error_not_a_panic() {
+        let scenario = Scenario::generate(&ScenarioConfig::small());
+        let err = compare_strategies_with_policy(&scenario, &[Strategy::Hybrid], Some("arc"))
+            .err()
+            .expect("unknown policy must be rejected");
+        assert!(err.contains("arc"), "{err}");
+        let ok = compare_strategies_with_policy(&scenario, &[Strategy::Hybrid], Some("gdsf"));
+        assert!(ok.is_ok());
     }
 
     #[test]

@@ -43,6 +43,8 @@ pub mod analysis;
 pub mod scenario;
 pub mod strategy;
 
-pub use analysis::{compare_strategies, ComparisonRow, StrategyComparison};
+pub use analysis::{
+    compare_strategies, compare_strategies_with_policy, ComparisonRow, StrategyComparison,
+};
 pub use scenario::{CapacityProfile, Scenario, ScenarioConfig};
 pub use strategy::{PlanResult, Strategy};

@@ -1,0 +1,195 @@
+//! Exhaustive optimal replica placement for *small* instances.
+//!
+//! The stand-alone replication problem is NP-complete, so this solver is a
+//! test oracle, not an algorithm: it enumerates every joint assignment of
+//! capacity-feasible site subsets to servers and returns the cheapest one
+//! under the replication-only objective (`h ≡ 0`, update costs included).
+//! The differential harness checks the heuristics against it — greedy can
+//! never beat the optimum, and the lower bound in [`crate::bounds`] can
+//! never exceed it.
+//!
+//! Search space: `Π_i |feasible subsets of server i|`, at most `2^(n·m)`.
+//! [`exhaustive_optimal`] refuses instances beyond [`MAX_COMBINATIONS`]
+//! joint assignments rather than silently running for hours.
+
+use crate::cost::{replication_only_cost, update_cost};
+use crate::problem::PlacementProblem;
+use crate::solution::Placement;
+
+/// Hard cap on the number of joint assignments the solver will examine.
+pub const MAX_COMBINATIONS: u64 = 1 << 20;
+
+/// The optimal placement found by brute force.
+#[derive(Debug, Clone)]
+pub struct ExhaustiveOutcome {
+    pub placement: Placement,
+    /// Replication-only read cost plus update cost of `placement`.
+    pub cost: f64,
+    /// Joint assignments examined (diagnostics / test budgets).
+    pub combinations: u64,
+}
+
+/// Site-subset bitmasks of server `i` that fit its capacity, in ascending
+/// mask order (mask 0 — no replicas — is always feasible).
+fn feasible_masks(problem: &PlacementProblem, i: usize) -> Vec<u32> {
+    let m = problem.m_sites();
+    let cap = problem.capacities[i];
+    (0u32..1 << m)
+        .filter(|mask| {
+            let bytes: u64 = (0..m)
+                .filter(|j| mask & (1 << j) != 0)
+                .map(|j| problem.site_bytes[j])
+                .sum();
+            bytes <= cap
+        })
+        .collect()
+}
+
+/// Materialise one joint assignment (`masks[i]` = sites replicated at
+/// server `i`) and price it.
+fn cost_of(problem: &PlacementProblem, masks: &[u32]) -> (Placement, f64) {
+    let mut placement = Placement::primaries_only(problem);
+    for (i, &mask) in masks.iter().enumerate() {
+        for j in 0..problem.m_sites() {
+            if mask & (1 << j) != 0 {
+                placement.add_replica(problem, i, j);
+            }
+        }
+    }
+    let cost = replication_only_cost(problem, &placement) + update_cost(problem, &placement);
+    (placement, cost)
+}
+
+/// Find the globally optimal replication-only placement by enumerating all
+/// joint assignments. Deterministic: among equal-cost optima the first in
+/// odometer order (server 0's mask most significant) wins.
+///
+/// # Panics
+/// Panics if the instance needs more than [`MAX_COMBINATIONS`] joint
+/// assignments, or if `m_sites > 20` (mask width).
+pub fn exhaustive_optimal(problem: &PlacementProblem) -> ExhaustiveOutcome {
+    let n = problem.n_servers();
+    let m = problem.m_sites();
+    assert!(
+        m <= 20,
+        "exhaustive_optimal: {m} sites is beyond mask width"
+    );
+    let per_server: Vec<Vec<u32>> = (0..n).map(|i| feasible_masks(problem, i)).collect();
+    // Overflow means the count is astronomically over the cap anyway.
+    let total: u64 = per_server
+        .iter()
+        .map(|f| f.len() as u64)
+        .try_fold(1u64, |acc, len| acc.checked_mul(len))
+        .unwrap_or(u64::MAX);
+    assert!(
+        total <= MAX_COMBINATIONS,
+        "exhaustive_optimal: {total} joint assignments exceeds the {MAX_COMBINATIONS} cap"
+    );
+
+    let mut indices = vec![0usize; n];
+    let mut masks = vec![0u32; n];
+    let mut best: Option<(Placement, f64)> = None;
+    let mut combinations = 0u64;
+    loop {
+        for i in 0..n {
+            masks[i] = per_server[i][indices[i]];
+        }
+        let (placement, cost) = cost_of(problem, &masks);
+        combinations += 1;
+        if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+            best = Some((placement, cost));
+        }
+
+        // Odometer: advance the last server first.
+        let mut pos = n;
+        loop {
+            if pos == 0 {
+                let (placement, cost) = best.expect("mask 0 always feasible");
+                return ExhaustiveOutcome {
+                    placement,
+                    cost,
+                    combinations,
+                };
+            }
+            pos -= 1;
+            indices[pos] += 1;
+            if indices[pos] < per_server[pos].len() {
+                break;
+            }
+            indices[pos] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::replication_cost_lower_bound;
+    use crate::greedy_global::greedy_global;
+    use crate::problem::testkit::*;
+
+    #[test]
+    fn single_server_optimum_is_a_knapsack_solution() {
+        // One server, capacity for exactly one 1000-byte site: the optimum
+        // replicates the single most valuable site.
+        let p = line_problem(1, 3, 1000, 1000, vec![1, 50, 3]);
+        let out = exhaustive_optimal(&p);
+        assert_eq!(out.placement.sites_at(0), vec![1]);
+        out.placement.validate(&p);
+        // 2^3 masks, 4 feasible (≤ 1 site each).
+        assert_eq!(out.combinations, 4);
+    }
+
+    #[test]
+    fn optimum_never_above_greedy_and_never_below_lower_bound() {
+        for (cap, demand) in [(0u64, 7u64), (1000, 7), (2000, 3), (4000, 11)] {
+            let p = line_problem(3, 4, 1000, cap, uniform_demand(3, 4, demand));
+            let out = exhaustive_optimal(&p);
+            out.placement.validate(&p);
+            let greedy = replication_only_cost(&p, &greedy_global(&p).placement);
+            let lb = replication_cost_lower_bound(&p);
+            assert!(
+                out.cost <= greedy + 1e-9,
+                "cap {cap}: optimal {} above greedy {greedy}",
+                out.cost
+            );
+            assert!(
+                lb <= out.cost + 1e-9,
+                "cap {cap}: lower bound {lb} above optimal {}",
+                out.cost
+            );
+        }
+    }
+
+    #[test]
+    fn zero_capacity_optimum_is_primaries_only() {
+        let p = line_problem(2, 3, 1000, 0, uniform_demand(2, 3, 5));
+        let out = exhaustive_optimal(&p);
+        assert_eq!(out.placement.replica_count(), 0);
+        assert_eq!(
+            out.cost,
+            replication_only_cost(&p, &Placement::primaries_only(&p))
+        );
+        assert_eq!(out.combinations, 1);
+    }
+
+    #[test]
+    fn update_rates_are_priced_in() {
+        let p = line_problem(2, 2, 1000, 2000, uniform_demand(2, 2, 10));
+        let free = exhaustive_optimal(&p);
+        let mut hot = p.clone();
+        hot.set_update_rates(vec![1_000_000; 2]);
+        let priced = exhaustive_optimal(&hot);
+        // Updates this hot make every replica a net loss.
+        assert_eq!(priced.placement.replica_count(), 0);
+        assert!(free.placement.replica_count() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "joint assignments exceeds")]
+    fn oversized_instances_are_refused() {
+        // 8 servers × 2^10 masks each = 2^80 ≫ the cap.
+        let p = line_problem(8, 10, 1, 100, uniform_demand(8, 10, 1));
+        exhaustive_optimal(&p);
+    }
+}

@@ -25,6 +25,7 @@ pub mod backtrack;
 pub mod baselines;
 pub mod bounds;
 pub mod cost;
+pub mod exhaustive;
 pub mod greedy_global;
 pub mod greedy_local;
 pub mod hybrid;
@@ -39,6 +40,7 @@ pub use bounds::{optimality_gap, replication_cost_lower_bound};
 pub use cost::{
     mean_hops_per_request, predicted_cost, replication_only_cost, total_cost, update_cost,
 };
+pub use exhaustive::{exhaustive_optimal, ExhaustiveOutcome};
 pub use greedy_global::greedy_global;
 pub use greedy_local::greedy_local;
 pub use hybrid::{hybrid_greedy, HybridConfig, HybridOutcome};

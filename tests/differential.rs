@@ -1,0 +1,363 @@
+//! Differential correctness harness: independent implementations of the
+//! same quantity must agree.
+//!
+//! Each property here cross-checks two or three code paths that were
+//! written separately (analytical model vs. trace-driven simulation,
+//! greedy heuristic vs. brute-force optimum, faulted vs. fault-free
+//! engine, eviction policies vs. their defining invariants). A divergence
+//! is a bug in at least one of them — these oracles need no hand-computed
+//! expected values, which is what lets them run over *randomized*
+//! instances at full case count.
+//!
+//! Tolerances are documented in DESIGN.md ("Differential testing &
+//! shrinking"); they were set empirically at ≥256 cases and hold with
+//! margin. Keep the two in sync when tuning either.
+
+use cdn_cache::{Cache, LruCache, ObjectKey};
+use cdn_lru_model::{CheModel, LruModel};
+use cdn_placement::hybrid::hybrid_greedy_paper;
+use cdn_placement::{
+    exhaustive_optimal, greedy_global, replication_cost_lower_bound, replication_only_cost,
+    update_cost, HybridConfig, PlacementProblem,
+};
+use cdn_sim::{
+    simulate_server, simulate_server_faulted, FaultParams, FaultSchedule, Holder, ServerPlan,
+    ServerReport, SimConfig,
+};
+use cdn_workload::{Flavor, Request, ZipfLike};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// ---------------------------------------------------------------------------
+// Oracle 1: analytical LRU model vs. Che's approximation vs. a trace-driven
+// LRU simulation, on the same randomized workload.
+// ---------------------------------------------------------------------------
+
+/// Drive an actual `LruCache` of `b` unit-sized objects with an IRM trace
+/// (site by popularity CDF, object by per-site Zipf) and measure the hit
+/// ratio after warm-up.
+fn trace_lru_hit_ratio(site_pops: &[f64], zipf: &ZipfLike, b: usize, seed: u64) -> f64 {
+    const REQUESTS: usize = 8_000;
+    const WARMUP: usize = 3_000;
+    let cdf: Vec<f64> = site_pops
+        .iter()
+        .scan(0.0, |acc, p| {
+            *acc += p;
+            Some(*acc)
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cache = LruCache::new(b as u64);
+    let mut hits = 0u64;
+    for i in 0..REQUESTS {
+        let u: f64 = rng.gen();
+        let site = cdf.partition_point(|&c| c < u).min(site_pops.len() - 1);
+        let rank = zipf.sample(&mut rng); // 1-based
+        let hit = cache.access(ObjectKey::new(site as u32, (rank - 1) as u32), 1);
+        if i >= WARMUP && hit {
+            hits += 1;
+        }
+    }
+    hits as f64 / (REQUESTS - WARMUP) as f64
+}
+
+/// The paper model's aggregate hit ratio: top-B mass → eviction horizon →
+/// per-site hit ratios, weighted by site popularity.
+fn paper_aggregate_hit_ratio(model: &LruModel, site_pops: &[f64], b: usize) -> f64 {
+    let p_b = model.top_b_mass(site_pops, b);
+    let k = model.eviction_horizon(b, p_b);
+    site_pops
+        .iter()
+        .map(|&p| p * model.site_hit_ratio(p, k))
+        .sum()
+}
+
+proptest! {
+    #[test]
+    fn lru_model_che_and_trace_simulation_agree(
+        n_sites in 2usize..=5,
+        l in 40usize..=120,
+        theta in 0.6f64..1.2,
+        b_frac in 0.08f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        // Random-but-normalised site popularities, never degenerate.
+        let mut wrng = StdRng::seed_from_u64(seed ^ 0x5EED_5EED);
+        let weights: Vec<f64> = (0..n_sites).map(|_| wrng.gen_range(0.5f64..2.0)).collect();
+        let total_w: f64 = weights.iter().sum();
+        let site_pops: Vec<f64> = weights.iter().map(|w| w / total_w).collect();
+
+        let total_objects = n_sites * l;
+        let b = ((b_frac * total_objects as f64) as usize).clamp(10, total_objects - 1);
+
+        let zipf = ZipfLike::new(l, theta);
+        let paper = LruModel::from_zipf(zipf.clone());
+        let che = CheModel::from_zipf(zipf.clone());
+
+        let h_paper = paper_aggregate_hit_ratio(&paper, &site_pops, b);
+        let h_che = che.aggregate_hit_ratio(&site_pops, b);
+        let h_trace = trace_lru_hit_ratio(&site_pops, &zipf, b, seed);
+
+        for h in [h_paper, h_che, h_trace] {
+            prop_assert!((0.0..=1.0).contains(&h), "hit ratio {h} out of [0,1]");
+        }
+        // Che's approximation is near-exact under IRM; the trace is the
+        // ground truth it approximates.
+        prop_assert!((h_che - h_trace).abs() <= 0.05,
+            "che {h_che:.4} vs trace {h_trace:.4} (b={b}, θ={theta:.2}, sites={n_sites}, L={l})");
+        // The paper's eviction-horizon model is cruder; hold it to the
+        // same band the repo's fixed-point validation test uses.
+        prop_assert!((h_paper - h_che).abs() <= 0.12,
+            "paper {h_paper:.4} vs che {h_che:.4} (b={b}, θ={theta:.2}, sites={n_sites}, L={l})");
+        prop_assert!((h_paper - h_trace).abs() <= 0.15,
+            "paper {h_paper:.4} vs trace {h_trace:.4} (b={b}, θ={theta:.2}, sites={n_sites}, L={l})");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 2: greedy placement vs. the exhaustive optimum on small instances.
+// ---------------------------------------------------------------------------
+
+/// A random tiny-but-valid placement instance (small enough for
+/// `exhaustive_optimal`'s joint enumeration).
+fn random_problem(n: usize, m: usize, seed: u64, with_updates: bool) -> PlacementProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dist_ss = vec![0u32; n * n];
+    for i in 0..n {
+        for k in (i + 1)..n {
+            let d = rng.gen_range(1u32..=6);
+            dist_ss[i * n + k] = d;
+            dist_ss[k * n + i] = d;
+        }
+    }
+    let dist_sp: Vec<u32> = (0..n * m).map(|_| rng.gen_range(3u32..15)).collect();
+    let site_bytes: Vec<u64> = (0..m).map(|_| 100 * rng.gen_range(1u64..=4)).collect();
+    let total_bytes: u64 = site_bytes.iter().sum();
+    let capacities: Vec<u64> = (0..n).map(|_| rng.gen_range(0..=total_bytes)).collect();
+    let demand: Vec<u64> = (0..n * m).map(|_| rng.gen_range(0u64..20)).collect();
+    let mut problem = PlacementProblem::new(
+        n,
+        m,
+        dist_ss,
+        dist_sp,
+        site_bytes,
+        capacities,
+        demand,
+        vec![0.0; m],
+        10.0,
+        50,
+        0.8,
+    );
+    if with_updates {
+        problem.set_update_rates((0..m).map(|_| rng.gen_range(0u64..5)).collect());
+    }
+    problem
+}
+
+proptest! {
+    #[test]
+    fn greedy_never_beats_the_exhaustive_optimum(
+        n in 2usize..=3,
+        m in 3usize..=4,
+        seed in any::<u64>(),
+        with_updates in any::<bool>(),
+    ) {
+        let problem = random_problem(n, m, seed, with_updates);
+        let optimal = exhaustive_optimal(&problem);
+        optimal.placement.validate(&problem);
+
+        let greedy = greedy_global(&problem);
+        greedy.placement.validate(&problem);
+        let greedy_cost = replication_only_cost(&problem, &greedy.placement)
+            + update_cost(&problem, &greedy.placement);
+
+        // The heuristic can never beat brute force on its own objective.
+        prop_assert!(greedy_cost + 1e-9 >= optimal.cost,
+            "greedy {greedy_cost} below exhaustive optimum {}", optimal.cost);
+        // ... and the analytical lower bound can never exceed it.
+        let lb = replication_cost_lower_bound(&problem);
+        prop_assert!(lb <= optimal.cost + 1e-9,
+            "lower bound {lb} above exhaustive optimum {}", optimal.cost);
+        // Greedy accepts the best remaining candidate each round, and
+        // placing a replica only shrinks other candidates' benefits, so
+        // the accepted-benefit sequence is non-increasing.
+        for w in greedy.benefits.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-9,
+                "greedy benefits not monotone: {:?}", greedy.benefits);
+        }
+
+        // The hybrid planner optimises a different objective (it credits
+        // the leftover cache space), but its output is still a feasible
+        // placement, so the same replication-only floor applies.
+        let hybrid = hybrid_greedy_paper(&problem, &HybridConfig::default());
+        hybrid.placement.validate(&problem);
+        let hybrid_cost = replication_only_cost(&problem, &hybrid.placement)
+            + update_cost(&problem, &hybrid.placement);
+        prop_assert!(hybrid_cost + 1e-9 >= optimal.cost,
+            "hybrid {hybrid_cost} below exhaustive optimum {}", optimal.cost);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 3: a generated MTTF = ∞ fault schedule is bit-identical to the
+// fault-free code path.
+// ---------------------------------------------------------------------------
+
+const FAULT_N_SERVERS: usize = 3;
+
+/// A random single-server plan: per-site holder chains over 3 servers plus
+/// the primary, with a random byte budget for the cache.
+fn random_server_plan(m: usize, rng: &mut StdRng) -> ServerPlan {
+    let mut replicated = Vec::with_capacity(m);
+    let mut holders = Vec::with_capacity(m);
+    for _ in 0..m {
+        let local = rng.gen_bool(0.3);
+        let mut chain = Vec::new();
+        if local {
+            chain.push(Holder {
+                server: Some(0),
+                hops: 0,
+            });
+        }
+        if rng.gen_bool(0.5) {
+            chain.push(Holder {
+                server: Some(rng.gen_range(1u32..FAULT_N_SERVERS as u32)),
+                hops: rng.gen_range(1u32..=4),
+            });
+        }
+        chain.push(Holder {
+            server: None,
+            hops: rng.gen_range(4u32..=9),
+        });
+        replicated.push(local);
+        holders.push(chain);
+    }
+    let nearest_hops = holders.iter().map(|c: &Vec<Holder>| c[0].hops).collect();
+    let nearest_is_primary = holders.iter().map(|c| c[0].server.is_none()).collect();
+    ServerPlan {
+        server: 0,
+        replicated,
+        nearest_hops,
+        nearest_is_primary,
+        holders,
+        cache_bytes: rng.gen_range(0u64..=4096),
+    }
+}
+
+fn random_requests(m: usize, count: usize, rng: &mut StdRng) -> Vec<Request> {
+    (0..count)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            Request {
+                site: rng.gen_range(0u32..m as u32),
+                object: rng.gen_range(0u32..50),
+                flavor: if u < 0.7 {
+                    Flavor::Normal
+                } else if u < 0.85 {
+                    Flavor::Expired
+                } else {
+                    Flavor::Uncacheable
+                },
+            }
+        })
+        .collect()
+}
+
+fn assert_server_reports_identical(a: &ServerReport, b: &ServerReport) {
+    assert_eq!(a.histogram.count(), b.histogram.count());
+    assert_eq!(a.histogram.mean().to_bits(), b.histogram.mean().to_bits());
+    assert_eq!(a.histogram.cdf(), b.histogram.cdf());
+    assert_eq!(a.cost_hops, b.cost_hops);
+    assert_eq!(a.total_requests, b.total_requests);
+    assert_eq!(a.measured_requests, b.measured_requests);
+    assert_eq!(a.local_requests, b.local_requests);
+    assert_eq!(a.cache_hits, b.cache_hits);
+    assert_eq!(a.replica_hits, b.replica_hits);
+    assert_eq!(a.origin_fetches, b.origin_fetches);
+    assert_eq!(a.peer_fetches, b.peer_fetches);
+    assert_eq!(a.failover_fetches, b.failover_fetches);
+    assert_eq!(a.failed_requests, b.failed_requests);
+    assert_eq!(a.failover_histogram.count(), b.failover_histogram.count());
+    assert_eq!(a.total_bytes, b.total_bytes);
+    assert_eq!(a.origin_bytes, b.origin_bytes);
+    assert_eq!(a.cause, b.cause);
+    assert_eq!(a.samples, b.samples);
+}
+
+proptest! {
+    #[test]
+    fn infinite_mttf_schedule_is_bit_identical_to_fault_free(
+        m in 2usize..=4,
+        seed in any::<u64>(),
+    ) {
+        const REQUESTS: usize = 1_000;
+        const WARMUP: u64 = 200;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = random_server_plan(m, &mut rng);
+        let requests = random_requests(m, REQUESTS, &mut rng);
+        let object_bytes = |site: u32, object: u32| 1 + (site as u64 * 131 + object as u64 * 17) % 64;
+        let config = SimConfig::default();
+
+        // MTTF defaults to ∞ with no origin outages: nothing can ever fire.
+        let params = FaultParams::default();
+        prop_assert!(params.is_zero_fault());
+        let schedule = FaultSchedule::generate(&params, FAULT_N_SERVERS, REQUESTS as u64);
+
+        let plain = simulate_server(
+            &plan,
+            &config,
+            requests.iter().copied(),
+            WARMUP,
+            object_bytes,
+            Box::new(LruCache::new(plan.cache_bytes)),
+        );
+        let faulted = simulate_server_faulted(
+            &plan,
+            &config,
+            requests.iter().copied(),
+            WARMUP,
+            object_bytes,
+            Box::new(LruCache::new(plan.cache_bytes)),
+            Some(&schedule),
+        );
+        assert_server_reports_identical(&plain, &faulted);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 4: metamorphic eviction-policy invariants over random op sequences.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn eviction_policies_respect_capacity_and_keep_the_latest_access(
+        ops in proptest::collection::vec((0u32..24, 1u64..80), 1..40),
+    ) {
+        const CAPACITY: u64 = 64;
+        // delayed-lru filters first-touch admissions, so the residency
+        // half of the invariant only applies to the other five policies;
+        // the byte-accounting half applies to all six.
+        for name in cdn_cache::POLICY_NAMES {
+            let mut cache = cdn_cache::by_name(name, CAPACITY)
+                .unwrap_or_else(|e| panic!("{e}"));
+            for &(key, bytes) in &ops {
+                let key = ObjectKey::new(key % 3, key);
+                cache.access(key, bytes);
+                prop_assert!(cache.used_bytes() <= cache.capacity_bytes(),
+                    "{name}: {} bytes used of {}", cache.used_bytes(), cache.capacity_bytes());
+                if bytes <= CAPACITY && name != "delayed-lru" {
+                    prop_assert!(cache.contains(key),
+                        "{name} evicted the object it just admitted ({key:?}, {bytes} bytes)");
+                }
+            }
+        }
+        // delayed-lru's own contract: an admissible object touched twice
+        // in a row is resident.
+        let mut dlru = cdn_cache::by_name("delayed-lru", CAPACITY).unwrap();
+        let key = ObjectKey::new(0, 999);
+        dlru.access(key, 8);
+        dlru.access(key, 8);
+        prop_assert!(dlru.contains(key), "delayed-lru dropped a twice-touched object");
+    }
+}

@@ -4,21 +4,88 @@
 //! [`arbitrary::any`], [`collection::vec`], [`prop_oneof!`], and the
 //! `prop_assert*` macros.
 //!
-//! Differences from upstream, by design:
+//! Unlike the original stub, this version implements the two upstream
+//! behaviours the differential harness needs:
 //!
-//! * **No shrinking.** A failing case reports the sampled inputs (via
-//!   `Debug`) and the deterministic per-test seed, but is not minimised.
-//! * **Deterministic sampling.** Each `#[test]` derives its RNG seed from
-//!   its own name (FNV-1a), so failures reproduce without a persistence
-//!   file; `.proptest-regressions` files are ignored.
-//! * Default case count is 64 (upstream: 256) to keep offline CI fast;
-//!   override per block with `ProptestConfig::with_cases`.
+//! * **Shrinking.** Every draw a strategy makes from its [`TestRng`] is
+//!   recorded on an integer *choice tape*. When a case fails, the runner
+//!   minimises the tape — chunk deletion plus per-entry binary search
+//!   toward zero, accepting a candidate only if it still fails *and* is
+//!   strictly simpler in shortlex order (so shrinking always terminates) —
+//!   and reports the minimal counterexample. Range strategies map raw
+//!   draws monotonically (widening multiply), so smaller tape entries mean
+//!   smaller sampled values.
+//! * **`.proptest-regressions` persistence.** Failures append a
+//!   `cc <hex tape>` line next to the test's source file, and every stored
+//!   tape is replayed before any random case on subsequent runs — the same
+//!   file-level semantics as upstream (each entry is tried by every test
+//!   in the file; foreign entries simply generate a passing case).
+//!
+//! Remaining differences from upstream, by design: sampling is
+//! deterministic (per-test FNV-1a seeds, no OS entropy), the tape encoding
+//! is this stub's own (legacy upstream hex blobs still parse — they replay
+//! as a short tape prefix), and the default case count honours a
+//! `PROPTEST_CASES` environment override (upstream's default of 256
+//! otherwise).
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
-/// The RNG handed to strategies.
-pub type TestRng = StdRng;
+/// The RNG handed to strategies: replays a recorded choice tape (falling
+/// back to a seeded fresh stream when the tape runs out) and records every
+/// draw it actually hands out.
+///
+/// The fallback must be a real RNG rather than a constant: the vendored
+/// `rand` rejection-samples bounded draws (Lemire), and a constant zero
+/// stream can be rejected forever for non-power-of-two bounds.
+pub struct TestRng {
+    tape: Vec<u64>,
+    pos: usize,
+    fresh: StdRng,
+    consumed: Vec<u64>,
+}
+
+impl TestRng {
+    /// Purely random stream (records everything drawn).
+    pub fn random(seed: u64) -> Self {
+        Self::replay(Vec::new(), seed)
+    }
+
+    /// Replay `tape`, then continue from a stream seeded with `seed`.
+    pub fn replay(tape: Vec<u64>, seed: u64) -> Self {
+        Self {
+            tape,
+            pos: 0,
+            fresh: StdRng::seed_from_u64(seed),
+            consumed: Vec::new(),
+        }
+    }
+
+    /// Every draw handed out so far, in order — the canonical tape of the
+    /// run (replaying it reproduces the same values exactly).
+    pub fn consumed(&self) -> &[u64] {
+        &self.consumed
+    }
+
+    /// Consume the recorder.
+    pub fn into_consumed(self) -> Vec<u64> {
+        self.consumed
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        let v = if self.pos < self.tape.len() {
+            let v = self.tape[self.pos];
+            self.pos += 1;
+            v
+        } else {
+            self.fresh.next_u64()
+        };
+        self.consumed.push(v);
+        v
+    }
+}
 
 pub mod test_runner {
     /// Why a single case failed.
@@ -43,21 +110,42 @@ pub mod test_runner {
 
     pub type TestCaseResult = Result<(), TestCaseError>;
 
+    /// Parse a `PROPTEST_CASES`-style override; falls back to upstream's
+    /// default of 256 on absent/empty/zero/garbage values.
+    pub fn cases_from_env(value: Option<&str>) -> u32 {
+        value
+            .and_then(|s| s.trim().parse::<u32>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(256)
+    }
+
     /// Per-block configuration (only the knobs this workspace touches).
     #[derive(Debug, Clone)]
     pub struct ProptestConfig {
+        /// Random cases per property (after any persisted replays).
         pub cases: u32,
+        /// Cap on candidate executions during shrinking.
+        pub max_shrink_iters: u32,
+        /// Append new failures to the source file's `.proptest-regressions`.
+        pub persist: bool,
     }
 
     impl ProptestConfig {
         pub fn with_cases(cases: u32) -> Self {
-            Self { cases }
+            Self {
+                cases,
+                ..Self::default()
+            }
         }
     }
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            Self { cases: 64 }
+            Self {
+                cases: cases_from_env(std::env::var("PROPTEST_CASES").ok().as_deref()),
+                max_shrink_iters: 1024,
+                persist: true,
+            }
         }
     }
 }
@@ -271,14 +359,383 @@ pub mod collection {
     }
 }
 
-/// Seed a test's RNG deterministically from its name.
-pub fn rng_for_test(name: &str, case: u32) -> TestRng {
+/// FNV-1a of a test's name — the base of its deterministic seed schedule.
+fn fnv1a(name: &str) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for byte in name.bytes() {
         hash ^= byte as u64;
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
-    StdRng::seed_from_u64(hash ^ ((case as u64) << 32))
+    hash
+}
+
+/// Parse a `PROPTEST_SEED`-style salt (decimal or `0x`-prefixed hex);
+/// absent/garbage values mean 0 — the standard deterministic schedule.
+pub fn salt_from_env(value: Option<&str>) -> u64 {
+    value
+        .map(str::trim)
+        .and_then(|s| match s.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16).ok(),
+            None => s.parse::<u64>().ok(),
+        })
+        .unwrap_or(0)
+}
+
+/// Global seed salt, read once from `PROPTEST_SEED`. A non-zero salt is
+/// XORed into every per-case seed, letting CI explore a fresh universe of
+/// cases per run while staying reproducible: re-exporting the printed salt
+/// replays the exact schedule. Persisted regression tapes are unaffected —
+/// a complete tape never consults the seeded fallback RNG.
+pub fn seed_salt() -> u64 {
+    static SALT: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *SALT.get_or_init(|| salt_from_env(std::env::var("PROPTEST_SEED").ok().as_deref()))
+}
+
+/// Seed for one `(test, case)` pair.
+pub fn seed_for(name: &str, case: u32) -> u64 {
+    fnv1a(name) ^ ((case as u64) << 32) ^ seed_salt()
+}
+
+/// Seed a test's RNG deterministically from its name.
+pub fn rng_for_test(name: &str, case: u32) -> TestRng {
+    TestRng::random(seed_for(name, case))
+}
+
+pub mod persistence {
+    //! `.proptest-regressions` files: one `cc <hex>` line per known
+    //! failure, stored next to the test's source file, replayed before any
+    //! random case and appended to when a new failure shrinks.
+
+    use std::path::{Path, PathBuf};
+
+    const HEADER: &str = "\
+# Seeds for failure cases proptest has generated in the past. It is
+# automatically read and these particular cases re-run before any
+# novel cases are generated.
+#
+# It is recommended to check this file in to source control so that
+# everyone who runs the test benefits from these saved cases.
+";
+
+    /// Resolve the regressions file for a source file. `file` is the
+    /// compile-time `file!()` path (relative to the workspace root);
+    /// `manifest_dir` is the invoking crate's `CARGO_MANIFEST_DIR`. The
+    /// source is searched for under the manifest dir and a few ancestors
+    /// (workspace layouts invoke rustc from the workspace root, so
+    /// `file!()` is not always manifest-relative).
+    pub fn locate(file: &str, manifest_dir: &str) -> Option<PathBuf> {
+        let mut base = PathBuf::from(manifest_dir);
+        for _ in 0..4 {
+            let source = base.join(file);
+            if source.is_file() {
+                return Some(source.with_extension("proptest-regressions"));
+            }
+            if !base.pop() {
+                break;
+            }
+        }
+        None
+    }
+
+    /// Hex-encode a tape, 16 digits per entry.
+    pub fn encode(tape: &[u64]) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(tape.len() * 16);
+        for &w in tape {
+            let _ = write!(s, "{w:016x}");
+        }
+        s
+    }
+
+    /// Decode a hex blob into a tape. Accepts any blob whose length is a
+    /// positive multiple of 16 hex digits — including legacy upstream
+    /// 32-byte seeds, which replay as a 4-entry tape prefix.
+    pub fn decode(hex: &str) -> Option<Vec<u64>> {
+        if hex.is_empty() || !hex.len().is_multiple_of(16) {
+            return None;
+        }
+        hex.as_bytes()
+            .chunks(16)
+            .map(|c| u64::from_str_radix(std::str::from_utf8(c).ok()?, 16).ok())
+            .collect()
+    }
+
+    /// All stored tapes, in file order. Missing or unreadable files load
+    /// as empty; malformed lines are skipped.
+    pub fn load(path: &Path) -> Vec<Vec<u64>> {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|line| {
+                let rest = line.trim().strip_prefix("cc ")?;
+                let blob = rest.split_whitespace().next()?;
+                decode(blob)
+            })
+            .collect()
+    }
+
+    /// Append one failure (deduplicated against existing entries); creates
+    /// the file with the conventional header when absent. Best-effort: IO
+    /// errors are swallowed — persistence must never mask the test failure
+    /// itself.
+    pub fn append(path: &Path, tape: &[u64], inputs: &str) {
+        if load(path).iter().any(|t| t == tape) {
+            return;
+        }
+        let mut text = match std::fs::read_to_string(path) {
+            Ok(t) if !t.is_empty() => {
+                let mut t = t;
+                if !t.ends_with('\n') {
+                    t.push('\n');
+                }
+                t
+            }
+            _ => HEADER.to_string(),
+        };
+        text.push_str(&format!("cc {} # shrinks to {}\n", encode(tape), inputs));
+        let _ = std::fs::write(path, text);
+    }
+}
+
+/// A shrunk property failure, as found by [`check_property`].
+#[derive(Debug)]
+pub struct Failure {
+    /// The (shrunk) case's error message.
+    pub message: String,
+    /// `Debug` rendering of the minimal inputs.
+    pub inputs: String,
+    /// The minimal choice tape (replayable via [`TestRng::replay`]).
+    pub tape: Vec<u64>,
+    /// Where the failure came from (`case k/N` or a persisted entry).
+    pub origin: String,
+    /// Candidate executions the shrinker spent.
+    pub shrink_runs: u32,
+    /// Regressions file the failure was appended to, if any.
+    pub persisted: Option<std::path::PathBuf>,
+}
+
+/// Strictly-simpler-than in shortlex order — the shrinker's acceptance
+/// criterion, and the reason it terminates.
+fn simpler(a: &[u64], b: &[u64]) -> bool {
+    (a.len(), a) < (b.len(), b)
+}
+
+/// Run `sample`+`test` once. `tape = None` draws fresh from `seed`;
+/// `Some` replays (with `seed` as the beyond-tape fallback). Panics in the
+/// test body count as failures (and therefore shrink).
+fn run_once<V>(
+    tape: Option<&[u64]>,
+    seed: u64,
+    sample: &impl Fn(&mut TestRng) -> V,
+    test: &impl Fn(V) -> test_runner::TestCaseResult,
+) -> (Vec<u64>, Option<test_runner::TestCaseError>) {
+    let mut rng = match tape {
+        Some(t) => TestRng::replay(t.to_vec(), seed),
+        None => TestRng::random(seed),
+    };
+    let value = sample(&mut rng);
+    let consumed = rng.into_consumed();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value)));
+    let error = match outcome {
+        Ok(Ok(())) => None,
+        Ok(Err(e)) => Some(e),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("test body panicked");
+            Some(test_runner::TestCaseError::fail(format!("panic: {msg}")))
+        }
+    };
+    (consumed, error)
+}
+
+/// Minimise a failing tape: alternating chunk-deletion and per-entry
+/// binary-search-toward-zero passes, repeated to fixpoint (or until
+/// `budget` candidate runs). A candidate is accepted only if it still
+/// fails and its *consumed* tape is strictly simpler than the incumbent.
+fn shrink_tape<V>(
+    initial: Vec<u64>,
+    initial_error: test_runner::TestCaseError,
+    seed: u64,
+    budget: u32,
+    sample: &impl Fn(&mut TestRng) -> V,
+    test: &impl Fn(V) -> test_runner::TestCaseResult,
+) -> (Vec<u64>, test_runner::TestCaseError, u32) {
+    let mut best = initial;
+    let mut best_error = initial_error;
+    let mut runs: u32 = 0;
+
+    macro_rules! try_accept {
+        ($cand:expr) => {{
+            runs += 1;
+            let (consumed, error) = run_once(Some(&$cand), seed, sample, test);
+            match error {
+                Some(e) if simpler(&consumed, &best) => {
+                    best = consumed;
+                    best_error = e;
+                    true
+                }
+                _ => false,
+            }
+        }};
+    }
+
+    loop {
+        let mut improved = false;
+
+        // Deletion pass: drop chunks, largest first — shortens vectors and
+        // removes whole sub-values that drifted out of alignment.
+        let mut size = (best.len() / 2).max(1);
+        loop {
+            let mut start = 0;
+            while start < best.len() && runs < budget {
+                let end = (start + size).min(best.len());
+                let mut cand = Vec::with_capacity(best.len() - (end - start));
+                cand.extend_from_slice(&best[..start]);
+                cand.extend_from_slice(&best[end..]);
+                if try_accept!(cand) {
+                    improved = true;
+                    // best changed; retry the same offset against it.
+                } else {
+                    start += size;
+                }
+            }
+            if size == 1 || runs >= budget {
+                break;
+            }
+            size /= 2;
+        }
+
+        // Minimisation pass: per entry, try zero outright, else binary
+        // search the smallest still-failing value. Range draws map raw
+        // words monotonically (widening multiply), so this is a binary
+        // search over the sampled value too.
+        let mut i = 0;
+        while i < best.len() && runs < budget {
+            if best[i] != 0 {
+                let mut cand = best.clone();
+                cand[i] = 0;
+                if try_accept!(cand) {
+                    improved = true;
+                } else {
+                    // Invariant: `lo` passes (or misaligns), best[i] fails.
+                    let mut lo = 0u64;
+                    while i < best.len() && best[i] - lo > 1 && runs < budget {
+                        let mid = lo + (best[i] - lo) / 2;
+                        let mut cand = best.clone();
+                        cand[i] = mid;
+                        if try_accept!(cand) {
+                            improved = true;
+                        } else {
+                            lo = mid;
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+
+        if !improved || runs >= budget {
+            break;
+        }
+    }
+    (best, best_error, runs)
+}
+
+/// Execute one property: replay persisted regressions, then run random
+/// cases; on the first failure, shrink it, persist the minimal tape (when
+/// configured and a regressions path is known) and return the [`Failure`].
+/// Returns `None` when every case passes.
+pub fn check_property<V: std::fmt::Debug>(
+    name: &str,
+    regressions: Option<std::path::PathBuf>,
+    config: &test_runner::ProptestConfig,
+    sample: impl Fn(&mut TestRng) -> V,
+    test: impl Fn(V) -> test_runner::TestCaseResult,
+) -> Option<Failure> {
+    let mut schedule: Vec<(Option<Vec<u64>>, u64, String)> = Vec::new();
+    if let Some(path) = &regressions {
+        for (idx, tape) in persistence::load(path).into_iter().enumerate() {
+            schedule.push((
+                Some(tape),
+                seed_for(name, 0),
+                format!("persisted regression {}", idx + 1),
+            ));
+        }
+    }
+    for case in 0..config.cases {
+        schedule.push((
+            None,
+            seed_for(name, case),
+            format!("case {}/{}", case + 1, config.cases),
+        ));
+    }
+
+    for (tape, seed, origin) in schedule {
+        let (consumed, error) = run_once(tape.as_deref(), seed, &sample, &test);
+        let Some(error) = error else {
+            continue;
+        };
+        let (tape, error, shrink_runs) = shrink_tape(
+            consumed,
+            error,
+            seed,
+            config.max_shrink_iters,
+            &sample,
+            &test,
+        );
+        // Re-sample the minimal tape for the input report (the tape is
+        // canonical, so this replays exactly).
+        let mut rng = TestRng::replay(tape.clone(), seed);
+        let minimal = sample(&mut rng);
+        let inputs = format!("{minimal:#?}");
+        let mut persisted = None;
+        if config.persist {
+            if let Some(path) = &regressions {
+                persistence::append(path, &tape, &format!("{minimal:?}"));
+                persisted = Some(path.clone());
+            }
+        }
+        return Some(Failure {
+            message: error.message,
+            inputs,
+            tape,
+            origin,
+            shrink_runs,
+            persisted,
+        });
+    }
+    None
+}
+
+/// [`check_property`], panicking with a diagnostic on failure — the entry
+/// point the [`proptest!`] macro expands to.
+pub fn run_property<V: std::fmt::Debug>(
+    name: &str,
+    regressions: Option<std::path::PathBuf>,
+    config: &test_runner::ProptestConfig,
+    sample: impl Fn(&mut TestRng) -> V,
+    test: impl Fn(V) -> test_runner::TestCaseResult,
+) {
+    if let Some(f) = check_property(name, regressions, config, sample, test) {
+        let persisted = match &f.persisted {
+            Some(p) => format!("\npersisted to {}", p.display()),
+            None => String::new(),
+        };
+        panic!(
+            "proptest case failed ({origin}): {message}\n\
+             minimal inputs: {inputs}\n\
+             shrunk in {runs} runs; minimal tape: cc {tape}{persisted}",
+            origin = f.origin,
+            message = f.message,
+            inputs = f.inputs,
+            runs = f.shrink_runs,
+            tape = persistence::encode(&f.tape),
+        );
+    }
 }
 
 pub mod prelude {
@@ -375,25 +832,17 @@ macro_rules! __proptest_tests {
         $(#[$meta])+
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $config;
-            for case in 0..config.cases {
-                let mut proptest_rng = $crate::rng_for_test(stringify!($name), case);
-                $(let $arg = $crate::strategy::Strategy::sample(&$strategy, &mut proptest_rng);)+
-                // Captured up front: the body takes the inputs by value.
-                let proptest_inputs = format!("{:#?}", ($(&$arg,)+));
-                let result = (|| -> $crate::test_runner::TestCaseResult {
+            let strategies = ($($strategy,)+);
+            $crate::run_property(
+                stringify!($name),
+                $crate::persistence::locate(file!(), env!("CARGO_MANIFEST_DIR")),
+                &config,
+                |proptest_rng| $crate::strategy::Strategy::sample(&strategies, proptest_rng),
+                |($($arg,)+)| -> $crate::test_runner::TestCaseResult {
                     $body
                     ::core::result::Result::Ok(())
-                })();
-                if let ::core::result::Result::Err(e) = result {
-                    panic!(
-                        "proptest case {}/{} failed: {}\ninputs: {}",
-                        case + 1,
-                        config.cases,
-                        e,
-                        proptest_inputs
-                    );
-                }
-            }
+                },
+            );
         }
     )*};
 }
@@ -401,12 +850,25 @@ macro_rules! __proptest_tests {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use crate::test_runner::cases_from_env;
+    use crate::{salt_from_env, seed_for};
 
     fn small_vec() -> impl Strategy<Value = Vec<u32>> {
         crate::collection::vec(0u32..10, 1..5)
     }
 
+    /// A config that never writes regressions files from the stub's own
+    /// test suite.
+    fn quiet(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            persist: false,
+            ..ProptestConfig::with_cases(cases)
+        }
+    }
+
     proptest! {
+        #![proptest_config(quiet(64))]
+
         #[test]
         fn ranges_stay_in_bounds(x in 3u32..17, f in 0.25f64..=0.75) {
             prop_assert!((3..17).contains(&x));
@@ -428,7 +890,7 @@ mod tests {
     }
 
     proptest! {
-        #![proptest_config(ProptestConfig::with_cases(8))]
+        #![proptest_config(quiet(8))]
 
         #[test]
         fn oneof_honours_arms(x in prop_oneof![4 => 0u32..5, 1 => Just(99u32)]) {
@@ -447,8 +909,19 @@ mod tests {
         assert_ne!(a, c);
     }
 
+    #[test]
+    fn replaying_the_consumed_tape_reproduces_the_value() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u64..1000, 3..10);
+        let mut rng = crate::rng_for_test("replay", 7);
+        let original = s.sample(&mut rng);
+        let tape = rng.into_consumed();
+        let mut replayed = crate::TestRng::replay(tape, 0);
+        assert_eq!(s.sample(&mut replayed), original);
+    }
+
     proptest! {
-        #![proptest_config(ProptestConfig::with_cases(1))]
+        #![proptest_config(quiet(1))]
         #[allow(dead_code)]
         fn always_fails(x in 0u32..1) {
             prop_assert!(x > 0u32, "x was {}", x);
@@ -459,5 +932,201 @@ mod tests {
     #[should_panic(expected = "proptest case")]
     fn failures_panic_with_inputs() {
         always_fails();
+    }
+
+    /// The documented smallest counterexample: `x < 10` over `0u64..256`
+    /// must shrink to exactly `x == 10`. The bound is a power of two, so
+    /// the raw-word → value map is monotone and rejection-free; binary
+    /// search over the single tape entry lands on the boundary exactly.
+    #[test]
+    fn shrinks_scalar_to_smallest_counterexample() {
+        use crate::strategy::Strategy as _;
+        let failure = crate::check_property(
+            "shrinks_scalar",
+            None,
+            &quiet(64),
+            |rng| (0u64..256).sample(rng),
+            |x| {
+                if x < 10 {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::fail(format!("{x} >= 10")))
+                }
+            },
+        )
+        .expect("property must fail");
+        let mut rng = crate::TestRng::replay(failure.tape.clone(), 0);
+        let minimal = (0u64..256).sample(&mut rng);
+        assert_eq!(minimal, 10, "shrank to {} instead of 10", minimal);
+        assert_eq!(failure.inputs, "10");
+    }
+
+    /// Vector minimisation: "some element >= 8" over `vec(0u32..16, 1..9)`
+    /// must shrink to the single-element vector `[8]` (deletion passes
+    /// remove the innocent elements, the length entry shrinks to 1, and
+    /// the surviving element binary-searches to the boundary).
+    #[test]
+    fn shrinks_vec_to_single_boundary_element() {
+        use crate::strategy::Strategy as _;
+        let strategy = crate::collection::vec(0u32..16, 1..9);
+        let failure = crate::check_property(
+            "shrinks_vec",
+            None,
+            &quiet(64),
+            |rng| strategy.sample(rng),
+            |v| {
+                if v.iter().all(|&x| x < 8) {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::fail("element >= 8"))
+                }
+            },
+        )
+        .expect("property must fail");
+        let mut rng = crate::TestRng::replay(failure.tape.clone(), 0);
+        let minimal = strategy.sample(&mut rng);
+        assert_eq!(minimal, vec![8], "shrank to {:?}", minimal);
+    }
+
+    /// Panicking test bodies are failures too, and shrink the same way.
+    #[test]
+    fn panics_are_caught_and_shrunk() {
+        use crate::strategy::Strategy as _;
+        let failure = crate::check_property(
+            "panics_shrink",
+            None,
+            &quiet(64),
+            |rng| (0u64..256).sample(rng),
+            |x| {
+                assert!(x < 100, "boom at {x}");
+                Ok(())
+            },
+        )
+        .expect("property must fail");
+        assert!(failure.message.contains("panic"), "{}", failure.message);
+        let mut rng = crate::TestRng::replay(failure.tape.clone(), 0);
+        assert_eq!((0u64..256).sample(&mut rng), 100);
+    }
+
+    /// A failure lands in the regressions file, and the stored tape is
+    /// replayed (first, before any random case) on the next run.
+    #[test]
+    fn regressions_file_roundtrip() {
+        use crate::strategy::Strategy as _;
+        let path = std::env::temp_dir().join(format!(
+            "proptest-stub-roundtrip-{}.proptest-regressions",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let persist = ProptestConfig::with_cases(64);
+        let failure = crate::check_property(
+            "roundtrip",
+            Some(path.clone()),
+            &persist,
+            |rng| (0u64..256).sample(rng),
+            |x| {
+                if x < 10 {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::fail("too big"))
+                }
+            },
+        )
+        .expect("property must fail");
+        assert_eq!(failure.persisted.as_deref(), Some(path.as_path()));
+        let stored = crate::persistence::load(&path);
+        assert_eq!(stored, vec![failure.tape.clone()]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("# shrinks to 10"), "{text}");
+
+        // Next run: the stored tape is executed before any random case.
+        let first_seen = std::cell::Cell::new(None);
+        let outcome = crate::check_property(
+            "roundtrip",
+            Some(path.clone()),
+            &persist,
+            |rng| (0u64..256).sample(rng),
+            |x| {
+                if first_seen.get().is_none() {
+                    first_seen.set(Some(x));
+                }
+                Ok(())
+            },
+        );
+        assert!(outcome.is_none());
+        assert_eq!(
+            first_seen.get(),
+            Some(10),
+            "persisted case not replayed first"
+        );
+
+        // A replayed failure does not duplicate its entry.
+        let again = crate::check_property(
+            "roundtrip",
+            Some(path.clone()),
+            &persist,
+            |rng| (0u64..256).sample(rng),
+            |x| {
+                if x < 10 {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::fail("too big"))
+                }
+            },
+        )
+        .expect("persisted case must still fail");
+        assert!(again.origin.contains("persisted"), "{}", again.origin);
+        assert_eq!(crate::persistence::load(&path).len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn legacy_upstream_blobs_decode_as_tapes() {
+        // 64 hex chars (an upstream 32-byte seed) → a 4-word tape.
+        let blob = "06c814b6efbf5f6a3880758e9687b8235ec1947e84254b0f07846cd6412a1d49";
+        let tape = crate::persistence::decode(blob).expect("must decode");
+        assert_eq!(tape.len(), 4);
+        assert_eq!(tape[0], 0x06c8_14b6_efbf_5f6a);
+        assert!(crate::persistence::decode("xyz").is_none());
+        assert!(crate::persistence::decode("0123").is_none());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let tape = vec![0u64, 1, u64::MAX, 0xdead_beef];
+        let hex = crate::persistence::encode(&tape);
+        assert_eq!(crate::persistence::decode(&hex), Some(tape));
+    }
+
+    #[test]
+    fn default_cases_honour_env_override() {
+        assert_eq!(cases_from_env(None), 256);
+        assert_eq!(cases_from_env(Some("64")), 64);
+        assert_eq!(cases_from_env(Some(" 12 ")), 12);
+        assert_eq!(cases_from_env(Some("0")), 256);
+        assert_eq!(cases_from_env(Some("many")), 256);
+    }
+
+    #[test]
+    fn seed_salt_parses_and_perturbs_every_case() {
+        assert_eq!(salt_from_env(None), 0);
+        assert_eq!(salt_from_env(Some("12345")), 12345);
+        assert_eq!(salt_from_env(Some(" 0xdeadbeef ")), 0xdead_beef);
+        assert_eq!(salt_from_env(Some("garbage")), 0);
+        // Whatever the salt, the schedule still separates cases and tests.
+        assert_ne!(seed_for("t", 0), seed_for("t", 1));
+        assert_ne!(seed_for("a", 0), seed_for("b", 0));
+    }
+
+    #[test]
+    fn locate_finds_sources_under_ancestors() {
+        // This very file, as rustc names it from the workspace root.
+        let manifest = env!("CARGO_MANIFEST_DIR");
+        let direct = crate::persistence::locate("src/lib.rs", manifest).unwrap();
+        assert!(direct.ends_with("src/lib.proptest-regressions"));
+        let nested = crate::persistence::locate("vendor/proptest/src/lib.rs", manifest);
+        assert!(nested.is_some(), "ancestor walk failed");
+        assert!(crate::persistence::locate("no/such/file.rs", manifest).is_none());
     }
 }
