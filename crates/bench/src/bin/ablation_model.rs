@@ -26,6 +26,9 @@ fn main() {
     let (l, requests) = match scale {
         Scale::Paper => (1000usize, 3_000_000u64),
         Scale::Quick => (200, 300_000),
+        // The model is per-server, so the internet-scale tiers only change
+        // the per-site object count (the large workload's L = 5000).
+        Scale::Large | Scale::LargeCi => (5000, 3_000_000),
     };
     let theta = 1.0;
     let zipf = ZipfLike::new(l, theta);

@@ -36,12 +36,19 @@ fn main() {
     let n_nodes = match scale {
         Scale::Paper => 1560,
         Scale::Quick => 120,
+        Scale::Large | Scale::LargeCi => {
+            // The hybrid planner this ablation compares is O(N²M) per
+            // iteration — intractable at the large fleet. Use --scale paper.
+            eprintln!("ablation_topology: the large tiers are not supported (hybrid planner)");
+            std::process::exit(2);
+        }
     };
 
     let transit_stub = {
         let topo_cfg = match scale {
             Scale::Paper => TransitStubConfig::paper_default(),
             Scale::Quick => TransitStubConfig::small(),
+            Scale::Large | Scale::LargeCi => unreachable!(),
         };
         TransitStubTopology::generate(&topo_cfg, cfg.seed).graph
     };

@@ -16,8 +16,19 @@
 //!   to catch order-of-magnitude blowups.
 //!
 //! Prints a readable delta table and exits non-zero on any violation.
+//! When `$GITHUB_STEP_SUMMARY` is set, the same delta tables are appended
+//! there as Markdown, so the comparison shows up on the workflow run page.
 //!
-//! Usage: `perf_gate --baseline <path> --current <path>`
+//! The baseline file holds one section per scale tier (`{"quick": {...},
+//! "large-ci": {...}}`); pass `--tier` to select one. A legacy single-tier
+//! baseline (the old flat document) still works when its `"scale"` matches.
+//!
+//! `--min-speedup <x>` additionally gates the current run's measured
+//! multi-thread speedup (`wall_clock.speedup_total`) — the check that the
+//! parallel engine actually pays off at the internet-scale tier.
+//!
+//! Usage: `perf_gate --baseline <path> --current <path>
+//!                   [--tier <label>] [--min-speedup <x>]`
 
 use cdn_telemetry::json::{parse, Json};
 use std::collections::BTreeSet;
@@ -32,22 +43,45 @@ const WALL_CLOCK_BAND: f64 = 3.0;
 const MIN_COMPARABLE_SECONDS: f64 = 0.050;
 
 fn usage() -> String {
-    "usage: perf_gate --baseline <path> --current <path>\n\
+    "usage: perf_gate --baseline <path> --current <path> [--tier <label>] [--min-speedup <x>]\n\
      \n\
-     \x20 --baseline <path>  committed BENCH_parallel.json to gate against\n\
-     \x20 --current <path>   freshly generated BENCH_parallel.json\n\
-     \x20 --help             print this message\n"
+     \x20 --baseline <path>   committed BENCH_baseline.json to gate against\n\
+     \x20 --current <path>    freshly generated BENCH_parallel.json\n\
+     \x20 --tier <label>      baseline section to compare against (quick | paper |\n\
+     \x20                     large | large-ci); default: the current file's scale\n\
+     \x20 --min-speedup <x>   fail unless the current run's wall_clock.speedup_total >= x\n\
+     \x20 --help              print this message\n"
         .into()
 }
 
-fn parse_args() -> Result<(String, String), String> {
+struct Args {
+    baseline: String,
+    current: String,
+    tier: Option<String>,
+    min_speedup: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
     let mut baseline = None;
     let mut current = None;
+    let mut tier = None;
+    let mut min_speedup = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--baseline" => baseline = Some(it.next().ok_or("--baseline needs a path")?),
             "--current" => current = Some(it.next().ok_or("--current needs a path")?),
+            "--tier" => tier = Some(it.next().ok_or("--tier needs a label")?),
+            "--min-speedup" => {
+                let v = it.next().ok_or("--min-speedup needs a value")?;
+                let x: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--min-speedup: bad value `{v}`"))?;
+                if !(x.is_finite() && x > 0.0) {
+                    return Err("--min-speedup must be a positive number".into());
+                }
+                min_speedup = Some(x);
+            }
             "--help" | "-h" => {
                 print!("{}", usage());
                 std::process::exit(0);
@@ -56,8 +90,30 @@ fn parse_args() -> Result<(String, String), String> {
         }
     }
     match (baseline, current) {
-        (Some(b), Some(c)) => Ok((b, c)),
+        (Some(baseline), Some(current)) => Ok(Args {
+            baseline,
+            current,
+            tier,
+            min_speedup,
+        }),
         _ => Err("both --baseline and --current are required".into()),
+    }
+}
+
+/// Select the tier section from a (possibly multi-tier) baseline document.
+///
+/// A multi-tier baseline maps tier labels to the old flat layout; a legacy
+/// flat baseline (with a top-level `"scale"`) stands for its own tier.
+fn baseline_for_tier<'a>(doc: &'a Json, tier: &str) -> Result<&'a Json, String> {
+    if let Some(section) = doc.get(tier) {
+        return Ok(section);
+    }
+    match doc.get("scale").and_then(Json::as_str) {
+        Some(s) if s == tier => Ok(doc),
+        Some(s) => Err(format!(
+            "baseline has no `{tier}` section (flat baseline is for scale `{s}`)"
+        )),
+        None => Err(format!("baseline has no `{tier}` section")),
     }
 }
 
@@ -171,20 +227,112 @@ fn check_flags(current: &Json) -> Vec<String> {
         .collect()
 }
 
+/// Gate the measured multi-thread speedup when `--min-speedup` is given.
+fn check_speedup(current: &Json, min: f64, table: &mut Vec<String>) -> Vec<String> {
+    let speedup = current
+        .get("wall_clock")
+        .and_then(|w| w.get("speedup_total"))
+        .and_then(Json::as_f64);
+    let threads = current
+        .get("wall_clock")
+        .and_then(|w| w.get("parallel_threads"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    match speedup {
+        Some(s) => {
+            let ok = s >= min;
+            table.push(format!(
+                "  speedup_total at {threads} thread(s): {s:.2}x (floor {min:.2}x)  {}",
+                if ok { "ok" } else { "TOO SLOW" }
+            ));
+            if ok {
+                Vec::new()
+            } else {
+                vec![format!(
+                    "multi-thread speedup {s:.2}x below the {min:.2}x floor"
+                )]
+            }
+        }
+        None => vec!["current run has no wall_clock.speedup_total".into()],
+    }
+}
+
+/// Append the delta tables as Markdown to `$GITHUB_STEP_SUMMARY`, if set.
+/// Plain-text tables go inside a code fence — exact alignment, zero markup
+/// escaping concerns — with the verdict as a heading.
+fn write_step_summary(tier: &str, sections: &[(&str, &[String])], failures: &[String]) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut body = String::new();
+    body.push_str(&format!(
+        "### perf gate (`{tier}` tier): {}\n\n",
+        if failures.is_empty() {
+            "PASS ✅"
+        } else {
+            "FAIL ❌"
+        }
+    ));
+    for (title, lines) in sections {
+        body.push_str(&format!("**{title}**\n\n```text\n"));
+        for l in *lines {
+            body.push_str(l);
+            body.push('\n');
+        }
+        body.push_str("```\n\n");
+    }
+    if !failures.is_empty() {
+        body.push_str("**Failures**\n\n");
+        for f in failures {
+            body.push_str(&format!("- {f}\n"));
+        }
+        body.push('\n');
+    }
+    use std::io::Write as _;
+    match std::fs::OpenOptions::new().append(true).open(&path) {
+        Ok(mut f) => {
+            if let Err(e) = f.write_all(body.as_bytes()) {
+                eprintln!("perf_gate: writing step summary: {e}");
+            }
+        }
+        Err(e) => eprintln!("perf_gate: opening step summary {path}: {e}"),
+    }
+}
+
 fn main() -> ExitCode {
-    let (baseline_path, current_path) = match parse_args() {
-        Ok(paths) => paths,
+    let args = match parse_args() {
+        Ok(args) => args,
         Err(msg) => {
             eprintln!("perf_gate: {msg}\n\n{}", usage());
             return ExitCode::from(2);
         }
     };
-    let (baseline, current) = match (load(&baseline_path), load(&current_path)) {
+    let (baseline_doc, current) = match (load(&args.baseline), load(&args.current)) {
         (Ok(b), Ok(c)) => (b, c),
         (b, c) => {
             for err in [b.err(), c.err()].into_iter().flatten() {
                 eprintln!("perf_gate: {err}");
             }
+            return ExitCode::from(2);
+        }
+    };
+    let tier = args
+        .tier
+        .clone()
+        .or_else(|| {
+            current
+                .get("scale")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+        })
+        .unwrap_or_default();
+    let baseline = match baseline_for_tier(&baseline_doc, &tier) {
+        Ok(section) => section,
+        Err(msg) => {
+            eprintln!("perf_gate: {msg}");
             return ExitCode::from(2);
         }
     };
@@ -198,13 +346,16 @@ fn main() -> ExitCode {
         failures.push(format!("scale mismatch: {sa:?} vs {sb:?}"));
     }
 
-    println!("perf gate: {current_path} vs baseline {baseline_path}\n");
+    println!(
+        "perf gate [{tier}]: {} vs baseline {}\n",
+        args.current, args.baseline
+    );
     println!(
         "  {:<32} {:>14} {:>14}  deterministic work (exact)",
         "counter", "baseline", "current"
     );
     let mut work_table = Vec::new();
-    failures.extend(check_work(&baseline, &current, &mut work_table));
+    failures.extend(check_work(baseline, &current, &mut work_table));
     work_table.iter().for_each(|l| println!("{l}"));
 
     println!(
@@ -212,10 +363,26 @@ fn main() -> ExitCode {
         "phase", "baseline", "current", WALL_CLOCK_BAND
     );
     let mut wall_table = Vec::new();
-    failures.extend(check_wall_clock(&baseline, &current, &mut wall_table));
+    failures.extend(check_wall_clock(baseline, &current, &mut wall_table));
     wall_table.iter().for_each(|l| println!("{l}"));
 
+    let mut speedup_table = Vec::new();
+    if let Some(min) = args.min_speedup {
+        println!();
+        failures.extend(check_speedup(&current, min, &mut speedup_table));
+        speedup_table.iter().for_each(|l| println!("{l}"));
+    }
+
     failures.extend(check_flags(&current));
+
+    let mut sections: Vec<(&str, &[String])> = vec![
+        ("Deterministic work counters (exact)", &work_table[..]),
+        ("Single-thread wall-clock (3x band)", &wall_table[..]),
+    ];
+    if !speedup_table.is_empty() {
+        sections.push(("Multi-thread speedup", &speedup_table[..]));
+    }
+    write_step_summary(&tier, &sections, &failures);
 
     if failures.is_empty() {
         println!("\nperf gate: PASS");

@@ -14,11 +14,16 @@ use std::time::Instant;
 
 /// Experiment scale. `Paper` is the reconstructed evaluation setup
 /// (N = 50, M = 200, 1560-node topology, ~12.5M requests); `Quick` is a
-/// reduced instance for smoke-testing the harness (pass `--quick`).
+/// reduced instance for smoke-testing the harness (`--scale quick`, or the
+/// `--quick` shorthand); `Large` is the internet-scale tier (N = 2000,
+/// M = 400, 8256-node topology, ~10^8 requests) and `LargeCi` the same
+/// fleet at ~10^7 requests, sized for a CI perf gate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     Paper,
     Quick,
+    Large,
+    LargeCi,
 }
 
 impl Scale {
@@ -33,6 +38,29 @@ impl Scale {
                 cfg.lambda_mode = mode;
                 cfg
             }
+            Scale::Large => ScenarioConfig::large(capacity, lambda, mode),
+            Scale::LargeCi => ScenarioConfig::large_ci(capacity, lambda, mode),
+        }
+    }
+
+    /// The `--scale` spelling of this tier (also used in result files).
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Quick => "quick",
+            Scale::Large => "large",
+            Scale::LargeCi => "large-ci",
+        }
+    }
+
+    /// Parse a `--scale` value.
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "paper" => Some(Scale::Paper),
+            "quick" => Some(Scale::Quick),
+            "large" => Some(Scale::Large),
+            "large-ci" => Some(Scale::LargeCi),
+            _ => None,
         }
     }
 }
@@ -75,10 +103,11 @@ pub enum ArgError {
 /// Usage text for the shared bench flag set.
 pub fn usage(bin: &str) -> String {
     format!(
-        "usage: {bin} [--quick] [--threads <n>] [--trace-out <path>] [--metrics-out <path>]\n\
-         \x20          [--profile-out <path>] [--sample-every <n>] [--quiet]\n\
+        "usage: {bin} [--scale <tier>] [--quick] [--threads <n>] [--trace-out <path>]\n\
+         \x20          [--metrics-out <path>] [--profile-out <path>] [--sample-every <n>] [--quiet]\n\
          \n\
-         \x20 --quick               reduced smoke-test scale instead of the paper scale\n\
+         \x20 --scale <tier>        quick | paper | large | large-ci (default: paper)\n\
+         \x20 --quick               shorthand for --scale quick\n\
          \x20 --threads <n>         rayon thread-pool size (default: all cores)\n\
          \x20 --trace-out <path>    write the deterministic JSONL event trace to <path>\n\
          \x20 --metrics-out <path>  write the metrics snapshot JSON to <path>\n\
@@ -109,6 +138,16 @@ impl BenchArgs {
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
             match a.as_str() {
+                "--scale" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError::Bad("--scale needs a value".into()))?;
+                    out.scale = Scale::from_label(&v).ok_or_else(|| {
+                        ArgError::Bad(format!(
+                            "--scale: unknown tier `{v}` (quick | paper | large | large-ci)"
+                        ))
+                    })?;
+                }
                 "--quick" => out.scale = Scale::Quick,
                 "--quiet" => out.quiet = true,
                 "--sample-every" => {
@@ -707,6 +746,35 @@ mod tests {
                 .hosts
                 .n_servers
         );
+    }
+
+    #[test]
+    fn scale_flag_selects_every_tier() {
+        assert_eq!(parse(&["--scale", "quick"]).unwrap().scale, Scale::Quick);
+        assert_eq!(parse(&["--scale", "paper"]).unwrap().scale, Scale::Paper);
+        assert_eq!(parse(&["--scale", "large"]).unwrap().scale, Scale::Large);
+        assert_eq!(
+            parse(&["--scale", "large-ci"]).unwrap().scale,
+            Scale::LargeCi
+        );
+        assert!(matches!(parse(&["--scale"]), Err(ArgError::Bad(_))));
+        assert!(matches!(parse(&["--scale", "huge"]), Err(ArgError::Bad(_))));
+        // Round-trip: every label parses back to its tier.
+        for s in [Scale::Paper, Scale::Quick, Scale::Large, Scale::LargeCi] {
+            assert_eq!(Scale::from_label(s.label()), Some(s));
+        }
+    }
+
+    #[test]
+    fn large_scale_config_is_internet_sized() {
+        let cfg = Scale::Large.config(0.05, 0.0, LambdaMode::Uncacheable);
+        assert_eq!(cfg.hosts.n_servers, 2000);
+        assert_eq!(cfg.workload.m_sites, 400);
+        // The CI tier keeps the fleet but shrinks the request volume.
+        let ci = Scale::LargeCi.config(0.05, 0.0, LambdaMode::Uncacheable);
+        assert_eq!(ci.hosts.n_servers, cfg.hosts.n_servers);
+        assert_eq!(ci.workload.m_sites, cfg.workload.m_sites);
+        assert!(ci.workload.base_requests * 5 < cfg.workload.base_requests);
     }
 
     #[test]

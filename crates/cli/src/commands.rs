@@ -13,13 +13,13 @@ pub const USAGE: &str = "hybrid-cdn — replication + caching for CDNs (IPDPS 20
 
 USAGE:
   hybrid-cdn compare  [--capacity 0.05] [--lambda 0] [--mode uncacheable|expired]
-                      [--scale small|paper] [--seed N] [--threads N]
+                      [--scale small|paper|large|large-ci] [--seed N] [--threads N]
                       [--cache-policy lru|delayed-lru|fifo|lfu|clock|gdsf]
                       [fault options]
   hybrid-cdn plan     [--strategy hybrid] [--capacity 0.05] [--lambda 0]
-                      [--mode uncacheable|expired] [--scale small|paper] [--seed N]
+                      [--mode uncacheable|expired] [--scale small|paper|large|large-ci] [--seed N]
                       [--threads N] [fault options]
-  hybrid-cdn topology [--scale small|paper] [--seed N] [--dot FILE] [--csv FILE]
+  hybrid-cdn topology [--scale small|paper|large] [--seed N] [--dot FILE] [--csv FILE]
   hybrid-cdn workload [--theta 1.0] [--sites 15] [--objects 200] [--seed N]
   hybrid-cdn report   [--metrics FILE] [--profile FILE] [--samples FILE]
                       [--trace FILE] [--top N]
@@ -216,6 +216,8 @@ fn scenario_config(a: &Args) -> Result<ScenarioConfig, String> {
     }
     let mut cfg = match a.get("scale").unwrap_or("small") {
         "paper" => ScenarioConfig::paper(capacity, lambda, mode),
+        "large" => ScenarioConfig::large(capacity, lambda, mode),
+        "large-ci" => ScenarioConfig::large_ci(capacity, lambda, mode),
         "small" => {
             let mut c = ScenarioConfig::small();
             // Below 5% of the small corpus no site fits anywhere and every
@@ -354,6 +356,7 @@ pub fn plan(a: &Args) -> Result<(), String> {
 pub fn topology(a: &Args) -> Result<(), String> {
     let topo_cfg = match a.get("scale").unwrap_or("small") {
         "paper" => TransitStubConfig::paper_default(),
+        "large" | "large-ci" => TransitStubConfig::large(),
         "small" => TransitStubConfig::small(),
         other => return Err(format!("unknown --scale '{other}'")),
     };
@@ -606,5 +609,20 @@ mod tests {
         .unwrap();
         let cfg = scenario_config(&a).unwrap();
         assert_eq!(cfg.hosts.n_servers, 50);
+    }
+
+    #[test]
+    fn large_scales_selected() {
+        let parse_scale = |label: &str| {
+            let a =
+                Args::parse(["--scale", label].iter().map(|s| s.to_string()), &["scale"]).unwrap();
+            scenario_config(&a).unwrap()
+        };
+        let large = parse_scale("large");
+        assert_eq!(large.hosts.n_servers, 2000);
+        assert_eq!(large.workload.m_sites, 400);
+        let ci = parse_scale("large-ci");
+        assert_eq!(ci.hosts.n_servers, 2000);
+        assert!(ci.workload.base_requests < large.workload.base_requests);
     }
 }

@@ -69,6 +69,34 @@ impl ScenarioConfig {
         }
     }
 
+    /// The internet-scale tier: N = 2000 servers, M = 400 sites of 5000
+    /// objects, 8256-node topology, 10^8 requests. This is the regime where
+    /// the sharded parallel simulator earns its keep (`bench_parallel
+    /// --scale large`).
+    pub fn large(capacity_fraction: f64, lambda: f64, lambda_mode: LambdaMode) -> Self {
+        Self {
+            topology: TransitStubConfig::large(),
+            hosts: HostPlacementConfig::large(),
+            workload: WorkloadConfig::large(),
+            capacity_fraction,
+            capacity_profile: CapacityProfile::Uniform,
+            lambda,
+            lambda_spread: 0.0,
+            lambda_mode,
+            sim: SimConfig::default(),
+            seed: 20050404,
+        }
+    }
+
+    /// The CI-sized variant of [`ScenarioConfig::large`]: identical topology,
+    /// fleet and catalog, but one tenth the trace (10^7 requests) so the
+    /// gating `perf-large` job finishes in CI time budgets.
+    pub fn large_ci(capacity_fraction: f64, lambda: f64, lambda_mode: LambdaMode) -> Self {
+        let mut cfg = Self::large(capacity_fraction, lambda, lambda_mode);
+        cfg.workload.base_requests = 4_000;
+        cfg
+    }
+
     /// A fast small-scale setup for tests, docs and examples.
     pub fn small() -> Self {
         Self {

@@ -141,13 +141,18 @@ fn cdn_core_che_model(problem: &PlacementProblem) -> cdn_lru_model::CheModel {
 
 /// Predict the cost of a fixed placement whose free space runs an LRU, by
 /// evaluating the paper's oracle at each server's final buffer size.
+///
+/// Servers are independent, so the outer loop fans out over the rayon pool;
+/// the ordered collect keeps `hits` identical to the sequential evaluation.
 fn predicted_with_oracle(
     strategy: Strategy,
     problem: &PlacementProblem,
     placement: Placement,
 ) -> PlanResult {
+    use rayon::prelude::*;
     let oracle = paper_oracle_for(problem);
     let hits: Vec<Vec<f64>> = (0..problem.n_servers())
+        .into_par_iter()
         .map(|i| {
             let b = problem.buffer_objects(placement.free_bytes(i));
             (0..problem.m_sites())

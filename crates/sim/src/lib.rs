@@ -25,13 +25,16 @@
 //!   how far the nearest copy is, how much space the cache gets).
 //! * [`engine`] — the per-server request loop.
 //! * [`fault`] — deterministic crash/recovery and origin-outage schedules.
-//! * [`runner`] — whole-system simulation, parallel across servers.
+//! * [`shard`] — contiguous server shards and the determinism contract
+//!   that keeps sharded runs bit-identical at any thread or shard count.
+//! * [`runner`] — whole-system simulation, parallel across server shards.
 
 pub mod engine;
 pub mod fault;
 pub mod metrics;
 pub mod plan;
 pub mod runner;
+pub mod shard;
 
 pub use engine::{resolve_faulted, simulate_server, simulate_server_faulted, Routed, ServerReport};
 pub use fault::{FaultParams, FaultSchedule};
@@ -41,3 +44,4 @@ pub use metrics::{
 };
 pub use plan::{ConsistencyMode, Holder, ServerPlan, SimConfig};
 pub use runner::{simulate_system, simulate_system_streams};
+pub use shard::{shard_ranges, MAX_DEFAULT_SHARDS};

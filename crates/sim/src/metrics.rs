@@ -141,6 +141,38 @@ impl LatencyHistogram {
         self.overflow
     }
 
+    /// Exact running sum of every recorded value (ms). Exposed so the
+    /// sharded runner can defer the order-sensitive float fold to the final
+    /// per-server merge while folding the integer bins eagerly.
+    pub(crate) fn sum_ms(&self) -> f64 {
+        self.sum_ms
+    }
+
+    /// Reassemble a histogram from separately folded parts — the inverse of
+    /// (`bin_counts`, `overflow_count`, `sum_ms`, `count`, `max`). The
+    /// sharded runner folds `counts`/`overflow`/`n` eagerly (integer adds
+    /// are associative) and `sum_ms` per server in server order, then
+    /// rebuilds the system histogram here.
+    pub(crate) fn from_parts(
+        bin_ms: f64,
+        counts: Vec<u64>,
+        overflow: u64,
+        sum_ms: f64,
+        n: u64,
+        max_ms: f64,
+    ) -> Self {
+        assert!(bin_ms > 0.0 && bin_ms.is_finite(), "invalid bin width");
+        assert!(!counts.is_empty(), "need at least one bin");
+        Self {
+            bin_ms,
+            counts,
+            overflow,
+            sum_ms,
+            n,
+            max_ms,
+        }
+    }
+
     /// Fraction of samples at or below `ms`.
     pub fn fraction_at_or_below(&self, ms: f64) -> f64 {
         if self.n == 0 {

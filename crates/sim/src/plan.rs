@@ -119,6 +119,13 @@ pub struct SimConfig {
     /// identical at any thread count. Sampling never perturbs the
     /// simulation or its deterministic outputs.
     pub sample_every: Option<u64>,
+    /// Number of engine shards (contiguous server ranges run as parallel
+    /// units). `None` picks `min(n_servers, 64)`. The shard count is part
+    /// of the configuration, never derived from the thread count, so
+    /// results are bit-identical at any parallelism — and, because all
+    /// order-sensitive float folds happen per server at the final merge,
+    /// at any shard count too.
+    pub shards: Option<usize>,
 }
 
 impl Default for SimConfig {
@@ -131,6 +138,7 @@ impl Default for SimConfig {
             consistency: ConsistencyMode::Strong,
             faults: None,
             sample_every: None,
+            shards: None,
         }
     }
 }
@@ -148,6 +156,10 @@ impl SimConfig {
         assert!(
             self.sample_every != Some(0),
             "sample_every must be at least 1 (or None to disable)"
+        );
+        assert!(
+            self.shards != Some(0),
+            "shards must be at least 1 (or None for the default)"
         );
         if let Some(faults) = &self.faults {
             faults.validate();

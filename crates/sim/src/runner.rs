@@ -1,11 +1,15 @@
-//! Whole-system simulation: one engine run per server, in parallel
-//! (servers are fully independent — separate caches, separate streams),
-//! merged into a single [`SimReport`].
+//! Whole-system simulation: the fleet is split into contiguous server
+//! shards that run in parallel (servers are fully independent — separate
+//! caches, separate streams); each shard folds its servers' results as it
+//! goes, and the shard accumulators merge in fixed shard order into a
+//! single [`SimReport`]. See the [`crate::shard`] module for the
+//! determinism contract.
 
 use crate::engine::{simulate_server_faulted, ServerReport, SiteObs};
 use crate::fault::FaultSchedule;
 use crate::metrics::{Cause, CauseBreakdown, LatencyHistogram, SimReport};
 use crate::plan::{ServerPlan, SimConfig};
+use crate::shard::shard_ranges;
 use cdn_cache::{Cache, LruCache};
 use cdn_placement::{Placement, PlacementProblem};
 use cdn_telemetry::{self as telemetry, TraceBuffer, Value};
@@ -90,49 +94,255 @@ where
         catalog.total_bytes() as f64 / total_objects as f64
     };
 
-    let plans = ServerPlan::all_from_placement(problem, placement);
-    // Each worker records its server's trace into a detached buffer; the
-    // ordered collect below means buffers are merged in server order, so
-    // the trace stream never depends on which worker finished first.
+    // Sharded fan-out: contiguous server ranges run as parallel units.
+    // Each shard walks its servers sequentially in ascending server order,
+    // building every plan lazily, folding associative state (integer
+    // histogram bins, u64 counters, samples, trace lanes) eagerly, and
+    // keeping only a small per-server [`ServerStats`] for the
+    // order-sensitive float folds — so nothing per-server of histogram
+    // size outlives its shard. The ordered collect plus the fixed
+    // shard-order concatenation keep every output bit-identical at any
+    // thread count; deferring the float folds to the per-server final
+    // merge makes them bit-identical at any *shard* count too (see the
+    // `shard` module for the full contract).
+    let ranges = shard_ranges(problem.n_servers(), config.shards);
     let _prof = telemetry::profile::span("sim.system");
-    let collected: Vec<(ServerReport, Option<TraceBuffer>)> = plans
+    let trace_on = telemetry::trace_installed();
+    let shards: Vec<ShardAccum> = ranges
         .par_iter()
-        .map(|plan| {
-            let _prof = telemetry::profile::span("sim.server");
-            let warmup = (lengths[plan.server] as f64 * config.warmup_fraction) as u64;
-            let cache: Box<dyn Cache> = match make_cache {
-                Some(f) => f(plan.cache_bytes),
-                None => {
-                    let expected = if mean_object_bytes > 0.0 {
-                        (plan.cache_bytes as f64 / mean_object_bytes).ceil() as usize
-                    } else {
-                        0
-                    };
-                    Box::new(LruCache::with_expected_objects(plan.cache_bytes, expected))
-                }
-            };
-            let report = simulate_server_faulted(
-                plan,
-                config,
-                streams(plan.server),
-                warmup,
-                |site, object| catalog.sites[site as usize].object_sizes[object as usize],
-                cache,
-                schedule.as_ref(),
-            );
-            let buffer = telemetry::trace_installed().then(|| server_trace_buffer(&report));
-            (report, buffer)
+        .map(|range| {
+            let mut acc = ShardAccum::new(config, trace_on);
+            for server in range.clone() {
+                let _prof = telemetry::profile::span("sim.server");
+                let plan = ServerPlan::from_placement(problem, placement, server);
+                let warmup = (lengths[server] as f64 * config.warmup_fraction) as u64;
+                let cache: Box<dyn Cache> = match make_cache {
+                    Some(f) => f(plan.cache_bytes),
+                    None => {
+                        let expected = if mean_object_bytes > 0.0 {
+                            (plan.cache_bytes as f64 / mean_object_bytes).ceil() as usize
+                        } else {
+                            0
+                        };
+                        Box::new(LruCache::with_expected_objects(plan.cache_bytes, expected))
+                    }
+                };
+                let report = simulate_server_faulted(
+                    &plan,
+                    config,
+                    streams(server),
+                    warmup,
+                    |site, object| catalog.sites[site as usize].object_sizes[object as usize],
+                    cache,
+                    schedule.as_ref(),
+                );
+                acc.fold(report);
+            }
+            acc
         })
         .collect();
-    let mut reports = Vec::with_capacity(collected.len());
-    let mut buffers = Vec::with_capacity(collected.len());
-    for (r, b) in collected {
-        reports.push(r);
-        buffers.push(b);
-    }
-    emit_observability(&reports, buffers, schedule.as_ref());
 
-    merge_reports(reports, config)
+    let mut merged = merge_shards(shards, config);
+    let lanes = std::mem::take(&mut merged.lanes);
+    emit_observability(&merged, lanes, schedule.as_ref());
+    assemble_report(merged, config)
+}
+
+/// Per-server scalars retained after the full [`ServerReport`] is folded
+/// into its shard accumulator. The f64 fields are folded in global server
+/// order at the final merge, reproducing the unsharded runner's exact
+/// floating-point addition sequence.
+pub(crate) struct ServerStats {
+    server: usize,
+    total_requests: u64,
+    measured_requests: u64,
+    local_requests: u64,
+    cache_hits: u64,
+    replica_hits: u64,
+    origin_fetches: u64,
+    peer_fetches: u64,
+    failover_fetches: u64,
+    failed_requests: u64,
+    total_bytes: u64,
+    origin_bytes: u64,
+    cost_hops: u64,
+    hist_sum_ms: f64,
+    hist_n: u64,
+    fail_sum_ms: f64,
+    fail_n: u64,
+    cause: CauseBreakdown,
+    cache: Option<cdn_cache::CacheStats>,
+}
+
+impl ServerStats {
+    /// Identical to the per-server histogram's `mean()`.
+    fn mean_latency_ms(&self) -> f64 {
+        if self.hist_n == 0 {
+            0.0
+        } else {
+            self.hist_sum_ms / self.hist_n as f64
+        }
+    }
+}
+
+/// One shard's accumulated state: eagerly folded associative quantities
+/// plus the per-server scalars whose float folds wait for the final merge.
+struct ShardAccum {
+    stats: Vec<ServerStats>,
+    hist_counts: Vec<u64>,
+    hist_overflow: u64,
+    hist_max_ms: f64,
+    fail_counts: Vec<u64>,
+    fail_overflow: u64,
+    fail_max_ms: f64,
+    samples: Vec<crate::metrics::RequestSample>,
+    /// Per-shard trace lane: per-server buffers splice in as they finish,
+    /// in server order; lanes then merge into the trace in shard order,
+    /// which reproduces the flat per-server merge exactly.
+    lane: Option<TraceBuffer>,
+}
+
+impl ShardAccum {
+    fn new(config: &SimConfig, trace_on: bool) -> Self {
+        Self {
+            stats: Vec::new(),
+            hist_counts: vec![0; config.n_bins],
+            hist_overflow: 0,
+            hist_max_ms: 0.0,
+            fail_counts: vec![0; config.n_bins],
+            fail_overflow: 0,
+            fail_max_ms: 0.0,
+            samples: Vec::new(),
+            lane: trace_on.then(TraceBuffer::new),
+        }
+    }
+
+    /// Fold one server's report in and drop it — the report's histograms
+    /// and per-site observability do not outlive this call.
+    fn fold(&mut self, mut report: ServerReport) {
+        if let Some(lane) = &mut self.lane {
+            lane.merge_child(server_trace_buffer(&report));
+        }
+        for (a, &b) in self
+            .hist_counts
+            .iter_mut()
+            .zip(report.histogram.bin_counts())
+        {
+            *a += b;
+        }
+        self.hist_overflow += report.histogram.overflow_count();
+        self.hist_max_ms = self.hist_max_ms.max(report.histogram.max());
+        for (a, &b) in self
+            .fail_counts
+            .iter_mut()
+            .zip(report.failover_histogram.bin_counts())
+        {
+            *a += b;
+        }
+        self.fail_overflow += report.failover_histogram.overflow_count();
+        self.fail_max_ms = self.fail_max_ms.max(report.failover_histogram.max());
+        self.samples.append(&mut report.samples);
+        self.stats.push(ServerStats {
+            server: report.server,
+            total_requests: report.total_requests,
+            measured_requests: report.measured_requests,
+            local_requests: report.local_requests,
+            cache_hits: report.cache_hits,
+            replica_hits: report.replica_hits,
+            origin_fetches: report.origin_fetches,
+            peer_fetches: report.peer_fetches,
+            failover_fetches: report.failover_fetches,
+            failed_requests: report.failed_requests,
+            total_bytes: report.total_bytes,
+            origin_bytes: report.origin_bytes,
+            cost_hops: report.cost_hops,
+            hist_sum_ms: report.histogram.sum_ms(),
+            hist_n: report.histogram.count(),
+            fail_sum_ms: report.failover_histogram.sum_ms(),
+            fail_n: report.failover_histogram.count(),
+            cause: report.cause,
+            cache: report.obs.as_ref().map(|o| o.cache),
+        });
+    }
+}
+
+/// Everything the observability emission and the final report need, merged
+/// across shards in shard order (= global server order).
+struct SystemAccum {
+    /// Per-server stats in global server order.
+    stats: Vec<ServerStats>,
+    histogram: LatencyHistogram,
+    failover_histogram: LatencyHistogram,
+    samples: Vec<crate::metrics::RequestSample>,
+    /// Folded per server in server order — shared by the registry counters
+    /// and the report so both see the identical float fold.
+    cause: CauseBreakdown,
+    lanes: Vec<TraceBuffer>,
+}
+
+fn merge_shards(shards: Vec<ShardAccum>, config: &SimConfig) -> SystemAccum {
+    let mut hist_counts = vec![0u64; config.n_bins];
+    let mut hist_overflow = 0u64;
+    let mut hist_max = 0.0f64;
+    let mut fail_counts = vec![0u64; config.n_bins];
+    let mut fail_overflow = 0u64;
+    let mut fail_max = 0.0f64;
+    let mut stats = Vec::new();
+    let mut samples = Vec::new();
+    let mut lanes = Vec::new();
+    for sh in shards {
+        for (a, b) in hist_counts.iter_mut().zip(sh.hist_counts) {
+            *a += b;
+        }
+        hist_overflow += sh.hist_overflow;
+        hist_max = hist_max.max(sh.hist_max_ms);
+        for (a, b) in fail_counts.iter_mut().zip(sh.fail_counts) {
+            *a += b;
+        }
+        fail_overflow += sh.fail_overflow;
+        fail_max = fail_max.max(sh.fail_max_ms);
+        stats.extend(sh.stats);
+        samples.extend(sh.samples);
+        if let Some(lane) = sh.lane {
+            lanes.push(lane);
+        }
+    }
+    // The order-sensitive float folds: per server, in global server order,
+    // exactly as the unsharded merge performed them.
+    let mut cause = CauseBreakdown::default();
+    let mut hist_sum = 0.0f64;
+    let mut fail_sum = 0.0f64;
+    let mut hist_n = 0u64;
+    let mut fail_n = 0u64;
+    for s in &stats {
+        cause.merge(&s.cause);
+        hist_sum += s.hist_sum_ms;
+        fail_sum += s.fail_sum_ms;
+        hist_n += s.hist_n;
+        fail_n += s.fail_n;
+    }
+    SystemAccum {
+        stats,
+        histogram: LatencyHistogram::from_parts(
+            config.bin_ms,
+            hist_counts,
+            hist_overflow,
+            hist_sum,
+            hist_n,
+            hist_max,
+        ),
+        failover_histogram: LatencyHistogram::from_parts(
+            config.bin_ms,
+            fail_counts,
+            fail_overflow,
+            fail_sum,
+            fail_n,
+            fail_max,
+        ),
+        samples,
+        cause,
+        lanes,
+    }
 }
 
 /// Build one server's trace contribution (runs inside the parallel map).
@@ -182,36 +392,37 @@ fn server_trace_buffer(report: &ServerReport) -> TraceBuffer {
 
 /// Flush counters and the (fixed-order) trace after the parallel fan-out.
 fn emit_observability(
-    reports: &[ServerReport],
-    buffers: Vec<Option<TraceBuffer>>,
+    merged: &SystemAccum,
+    lanes: Vec<TraceBuffer>,
     schedule: Option<&FaultSchedule>,
 ) {
     if !telemetry::enabled() {
         return;
     }
     let reg = telemetry::registry();
-    let sum = |f: fn(&ServerReport) -> u64| reports.iter().map(f).sum::<u64>();
+    let stats = &merged.stats;
+    let sum = |f: fn(&ServerStats) -> u64| stats.iter().map(f).sum::<u64>();
     reg.counter("sim.requests_total")
-        .add(sum(|r| r.total_requests));
+        .add(sum(|s| s.total_requests));
     reg.counter("sim.requests_measured")
-        .add(sum(|r| r.measured_requests));
+        .add(sum(|s| s.measured_requests));
     reg.counter("sim.local_requests")
-        .add(sum(|r| r.local_requests));
-    reg.counter("sim.cache_hits").add(sum(|r| r.cache_hits));
-    reg.counter("sim.replica_hits").add(sum(|r| r.replica_hits));
+        .add(sum(|s| s.local_requests));
+    reg.counter("sim.cache_hits").add(sum(|s| s.cache_hits));
+    reg.counter("sim.replica_hits").add(sum(|s| s.replica_hits));
     reg.counter("sim.origin_fetches")
-        .add(sum(|r| r.origin_fetches));
-    reg.counter("sim.peer_fetches").add(sum(|r| r.peer_fetches));
+        .add(sum(|s| s.origin_fetches));
+    reg.counter("sim.peer_fetches").add(sum(|s| s.peer_fetches));
     reg.counter("sim.failover_fetches")
-        .add(sum(|r| r.failover_fetches));
+        .add(sum(|s| s.failover_fetches));
     reg.counter("sim.failed_requests")
-        .add(sum(|r| r.failed_requests));
+        .add(sum(|s| s.failed_requests));
     reg.counter("sim.histogram_fills")
-        .add(sum(|r| r.histogram.count() + r.failover_histogram.count()));
+        .add(sum(|s| s.hist_n + s.fail_n));
     let cache_sum = |f: fn(&cdn_cache::CacheStats) -> u64| {
-        reports
+        stats
             .iter()
-            .filter_map(|r| r.obs.as_ref().map(|o| f(&o.cache)))
+            .filter_map(|s| s.cache.as_ref().map(f))
             .sum::<u64>()
     };
     reg.counter("sim.cache_evictions")
@@ -223,40 +434,38 @@ fn emit_observability(
     // Per-server mean latency distribution — filled sequentially here, so
     // the fixed-shape bins accumulate in a deterministic order too.
     let latency_hist = reg.histogram("sim.server_mean_latency_ms", 5.0, 400);
-    for r in reports {
-        latency_hist.record(r.histogram.mean());
+    for s in stats {
+        latency_hist.record(s.mean_latency_ms());
     }
     // Cause attribution: request counts plus latency totals (in integer
     // microseconds, rounded once per run, so accumulation across several
     // sim runs stays exact and deterministic). Per-cause counts sum to
     // `sim.requests_measured`; `cdn report` renders the table from these.
-    let mut cause = CauseBreakdown::default();
-    for r in reports {
-        cause.merge(&r.cause);
-    }
+    // `merged.cause` was folded per server in server order, so the float
+    // totals match the unsharded emission bit for bit.
     for c in Cause::ALL {
-        let lat = cause.get(c);
+        let lat = merged.cause.get(c);
         reg.counter(&format!("sim.cause.{}", c.label()))
             .add(lat.requests);
         reg.counter(&format!("sim.cause.{}_latency_us", c.label()))
             .add((lat.latency_ms * 1000.0).round() as u64);
     }
     reg.counter("sim.cause.failover_surcharge_us")
-        .add((cause.failover_surcharge_ms * 1000.0).round() as u64);
-    // Whole-run per-request latency distribution, folded bin-by-bin from
-    // the per-server histograms (1 ms bins, 4 s range + overflow).
+        .add((merged.cause.failover_surcharge_ms * 1000.0).round() as u64);
+    // Whole-run per-request latency distribution (1 ms bins, 4 s range +
+    // overflow). The registry histogram's bins are pure integer counts, so
+    // recording the globally merged bins yields the same snapshot as the
+    // old per-server fold.
     let request_hist = reg.histogram("sim.latency_ms", 1.0, 4096);
-    for r in reports {
-        let bin_ms = r.histogram.bin_ms();
-        for (i, &n) in r.histogram.bin_counts().iter().enumerate() {
-            if n > 0 {
-                request_hist.record_n((i as f64 + 0.5) * bin_ms, n);
-            }
+    let bin_ms = merged.histogram.bin_ms();
+    for (i, &n) in merged.histogram.bin_counts().iter().enumerate() {
+        if n > 0 {
+            request_hist.record_n((i as f64 + 0.5) * bin_ms, n);
         }
-        let overflow = r.histogram.overflow_count();
-        if overflow > 0 {
-            request_hist.record_n(f64::MAX, overflow);
-        }
+    }
+    let overflow = merged.histogram.overflow_count();
+    if overflow > 0 {
+        request_hist.record_n(f64::MAX, overflow);
     }
     if let Some(s) = schedule {
         let server_windows: usize = (0..s.n_servers()).map(|i| s.server_windows(i).len()).sum();
@@ -288,78 +497,53 @@ fn emit_observability(
                 );
             }
         }
-        for buf in buffers.into_iter().flatten() {
-            t.merge(buf);
+        // Lanes arrive in shard order; merging a lane that spliced in its
+        // servers' buffers in server order is record-identical to merging
+        // each server's buffer here directly.
+        for lane in lanes {
+            t.merge(lane);
         }
         t.exit(span);
     });
 }
 
-fn merge_reports(mut reports: Vec<ServerReport>, config: &SimConfig) -> SimReport {
-    let per_server: Vec<crate::metrics::ServerSummary> = reports
+fn assemble_report(merged: SystemAccum, _config: &SimConfig) -> SimReport {
+    let SystemAccum {
+        stats,
+        histogram,
+        failover_histogram,
+        samples,
+        cause,
+        ..
+    } = merged;
+    let per_server: Vec<crate::metrics::ServerSummary> = stats
         .iter()
-        .map(|r| crate::metrics::ServerSummary {
-            server: r.server,
-            measured_requests: r.measured_requests,
-            mean_latency_ms: r.histogram.mean(),
-            local_ratio: if r.measured_requests == 0 {
+        .map(|s| crate::metrics::ServerSummary {
+            server: s.server,
+            measured_requests: s.measured_requests,
+            mean_latency_ms: s.mean_latency_ms(),
+            local_ratio: if s.measured_requests == 0 {
                 0.0
             } else {
-                r.local_requests as f64 / r.measured_requests as f64
+                s.local_requests as f64 / s.measured_requests as f64
             },
-            cache_hit_ratio: if r.measured_requests == 0 {
+            cache_hit_ratio: if s.measured_requests == 0 {
                 0.0
             } else {
-                r.cache_hits as f64 / r.measured_requests as f64
+                s.cache_hits as f64 / s.measured_requests as f64
             },
-            origin_fetches: r.origin_fetches,
-            failed_requests: r.failed_requests,
-            availability: if r.measured_requests == 0 {
+            origin_fetches: s.origin_fetches,
+            failed_requests: s.failed_requests,
+            availability: if s.measured_requests == 0 {
                 1.0
             } else {
-                1.0 - r.failed_requests as f64 / r.measured_requests as f64
+                1.0 - s.failed_requests as f64 / s.measured_requests as f64
             },
         })
         .collect();
-    let mut histogram = LatencyHistogram::new(config.bin_ms, config.n_bins);
-    let mut failover_histogram = LatencyHistogram::new(config.bin_ms, config.n_bins);
-    let mut total_requests = 0;
-    let mut measured_requests = 0;
-    let mut local_requests = 0;
-    let mut cache_hits = 0;
-    let mut replica_hits = 0;
-    let mut origin_fetches = 0;
-    let mut peer_fetches = 0;
-    let mut failover_fetches = 0;
-    let mut failed_requests = 0;
-    let mut total_bytes = 0;
-    let mut origin_bytes = 0;
-    let mut cost_hops = 0u64;
-    // Cause totals and samples merge in server order (reports are already
-    // ordered by the fan-out's ordered collect), so both are independent
-    // of the thread schedule.
-    let mut cause = CauseBreakdown::default();
-    let mut samples = Vec::new();
-    for r in &mut reports {
-        cause.merge(&r.cause);
-        samples.append(&mut r.samples);
-    }
-    for r in &reports {
-        histogram.merge(&r.histogram);
-        failover_histogram.merge(&r.failover_histogram);
-        total_requests += r.total_requests;
-        measured_requests += r.measured_requests;
-        local_requests += r.local_requests;
-        cache_hits += r.cache_hits;
-        replica_hits += r.replica_hits;
-        origin_fetches += r.origin_fetches;
-        peer_fetches += r.peer_fetches;
-        failover_fetches += r.failover_fetches;
-        failed_requests += r.failed_requests;
-        total_bytes += r.total_bytes;
-        origin_bytes += r.origin_bytes;
-        cost_hops += r.cost_hops;
-    }
+    let sum = |f: fn(&ServerStats) -> u64| stats.iter().map(f).sum::<u64>();
+    let measured_requests = sum(|s| s.measured_requests);
+    let cost_hops = sum(|s| s.cost_hops);
     SimReport {
         mean_latency_ms: histogram.mean(),
         mean_cost_hops: if measured_requests == 0 {
@@ -368,18 +552,18 @@ fn merge_reports(mut reports: Vec<ServerReport>, config: &SimConfig) -> SimRepor
             cost_hops as f64 / measured_requests as f64
         },
         histogram,
-        total_requests,
+        total_requests: sum(|s| s.total_requests),
         measured_requests,
-        local_requests,
-        cache_hits,
-        replica_hits,
-        origin_fetches,
-        peer_fetches,
-        failover_fetches,
+        local_requests: sum(|s| s.local_requests),
+        cache_hits: sum(|s| s.cache_hits),
+        replica_hits: sum(|s| s.replica_hits),
+        origin_fetches: sum(|s| s.origin_fetches),
+        peer_fetches: sum(|s| s.peer_fetches),
+        failover_fetches: sum(|s| s.failover_fetches),
         failover_histogram,
-        failed_requests,
-        total_bytes,
-        origin_bytes,
+        failed_requests: sum(|s| s.failed_requests),
+        total_bytes: sum(|s| s.total_bytes),
+        origin_bytes: sum(|s| s.origin_bytes),
         per_server,
         cause,
         samples,
@@ -659,6 +843,66 @@ mod tests {
             assert_eq!(x.failed_requests, y.failed_requests);
             assert_eq!(x.availability.to_bits(), y.availability.to_bits());
         }
+    }
+
+    #[test]
+    fn shard_count_does_not_change_a_single_bit() {
+        // The core contract of the sharded runner: explicit shard counts of
+        // 1/2/4/8 (and the default) all produce byte-identical reports —
+        // histograms, float means, cause breakdown, samples, per-server
+        // summaries — with faults and sampling active.
+        let (problem, catalog, trace) = scenario(0.1, LambdaMode::Expired);
+        let pl = cdn_placement::greedy_global(&problem).placement;
+        let run = |shards: Option<usize>| {
+            let cfg = SimConfig {
+                faults: Some(faulty_params()),
+                sample_every: Some(7),
+                shards,
+                ..Default::default()
+            };
+            simulate_system(&problem, &pl, &catalog, &trace, &cfg, None)
+        };
+        let default = run(None);
+        assert!(default.failover_fetches > 0, "faults never fired");
+        assert!(!default.samples.is_empty());
+        for shards in [1, 2, 4, 8] {
+            let sharded = run(Some(shards));
+            assert_reports_identical(&default, &sharded);
+        }
+        // And across thread counts at a fixed shard count.
+        let pool = |n: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .unwrap()
+        };
+        let one = pool(1).install(|| run(Some(2)));
+        let four = pool(4).install(|| run(Some(2)));
+        assert_reports_identical(&one, &four);
+        assert_reports_identical(&default, &one);
+    }
+
+    #[test]
+    fn chunked_streams_do_not_change_results() {
+        // Feeding the engine through the bounded-buffer stream adapter
+        // (the large-tier memory ceiling) must not change a bit; the
+        // adapter's own tests pin the peak-residency bound.
+        use cdn_workload::ChunkedStream;
+        let (problem, catalog, trace) = scenario(0.1, LambdaMode::Expired);
+        let pl = cdn_placement::greedy_global(&problem).placement;
+        let cfg = SimConfig {
+            faults: Some(faulty_params()),
+            ..Default::default()
+        };
+        let lengths: Vec<u64> = (0..trace.n_servers())
+            .map(|i| trace.len_for_server(i))
+            .collect();
+        let plain = simulate_system(&problem, &pl, &catalog, &trace, &cfg, None);
+        let chunked =
+            simulate_system_streams(&problem, &pl, &catalog, &cfg, None, &lengths, |server| {
+                ChunkedStream::new(trace.stream_for_server(server), 128)
+            });
+        assert_reports_identical(&plain, &chunked);
     }
 
     #[test]

@@ -256,6 +256,41 @@ impl TraceBuffer {
         self.inner.event(name, fields)
     }
 
+    /// Splice another buffer's records into this one, renumbering its local
+    /// span ids — the shard-lane merge. Workers fold per-task buffers into a
+    /// per-shard lane; the coordinator then merges lanes in shard order.
+    /// Merging children into a lane and the lane into a [`Trace`] produces
+    /// exactly the records of merging each child into the trace directly,
+    /// in the same order.
+    pub fn merge_child(&mut self, child: TraceBuffer) {
+        let child = child.finish();
+        let offset = self.inner.next_span - 1;
+        let attach = self.inner.stack.last().map_or(0, |&(id, _)| id);
+        match self.inner.stack.last_mut() {
+            Some(top) => top.1 += child.root_records,
+            None => self.root_records += child.root_records,
+        }
+        for rec in child.records {
+            self.inner.records.push(match rec {
+                Record::Enter { span, parent, name } => Record::Enter {
+                    span: remap(span, offset, attach),
+                    parent: remap(parent, offset, attach),
+                    name,
+                },
+                Record::Event { span, name, fields } => Record::Event {
+                    span: remap(span, offset, attach),
+                    name,
+                    fields,
+                },
+                Record::Exit { span, records } => Record::Exit {
+                    span: remap(span, offset, attach),
+                    records,
+                },
+            });
+        }
+        self.inner.next_span += child.next_span - 1;
+    }
+
     fn finish(self) -> FinishedBuffer {
         assert!(
             self.inner.stack.is_empty(),
@@ -358,6 +393,72 @@ mod tests {
             t.drain_jsonl()
         };
         assert_eq!(render(false), render(true));
+    }
+
+    #[test]
+    fn lane_merge_equals_flat_merge() {
+        // Folding child buffers into a lane and merging the lane must render
+        // byte-identically to merging every child into the trace directly.
+        let make_children = || {
+            (0..3u64)
+                .map(|i| {
+                    let mut b = TraceBuffer::new();
+                    let s = b.enter("task");
+                    b.event("work", vec![("task", Value::U64(i))]);
+                    let inner = b.enter("inner");
+                    b.event("deep", vec![]);
+                    b.exit(inner);
+                    b.exit(s);
+                    b.event("root_note", vec![("task", Value::U64(i))]);
+                    b
+                })
+                .collect::<Vec<_>>()
+        };
+        let flat = {
+            let mut t = Trace::new();
+            let root = t.enter("root");
+            for b in make_children() {
+                t.merge(b);
+            }
+            t.exit(root);
+            t.drain_jsonl()
+        };
+        let laned = {
+            let mut t = Trace::new();
+            let root = t.enter("root");
+            // Two lanes: children 0..2 and child 2, merged in order.
+            let mut children = make_children().into_iter();
+            let mut lane_a = TraceBuffer::new();
+            lane_a.merge_child(children.next().unwrap());
+            lane_a.merge_child(children.next().unwrap());
+            let mut lane_b = TraceBuffer::new();
+            lane_b.merge_child(children.next().unwrap());
+            t.merge(lane_a);
+            t.merge(lane_b);
+            t.exit(root);
+            t.drain_jsonl()
+        };
+        assert_eq!(flat, laned);
+    }
+
+    #[test]
+    fn merge_child_under_open_span_attaches_to_it() {
+        let mut lane = TraceBuffer::new();
+        let wrap = lane.enter("wrap");
+        let mut child = TraceBuffer::new();
+        child.event("leaf", vec![]);
+        lane.merge_child(child);
+        lane.exit(wrap);
+        let mut t = Trace::new();
+        let root = t.enter("root");
+        t.merge(lane);
+        t.exit(root);
+        let out = t.drain_jsonl();
+        let lines: Vec<&str> = out.lines().collect();
+        // wrap = global span 2; leaf attaches to it and counts as its child.
+        assert!(lines[1].contains("\"span\":2,\"parent\":1,\"name\":\"wrap\""));
+        assert!(lines[2].contains("\"span\":2,\"name\":\"leaf\""));
+        assert!(lines[3].contains("\"type\":\"exit\",\"span\":2,\"records\":1"));
     }
 
     #[test]

@@ -70,6 +70,23 @@ impl TransitStubConfig {
         }
     }
 
+    /// The internet-scale tier: 8 transit domains of 8 nodes, 32 stub
+    /// domains per transit node, 4 nodes per stub domain:
+    /// `8*8 + 8*8*32*4 = 8256` nodes and 2048 stub domains — enough to
+    /// host thousands of servers in distinct stub domains.
+    pub fn large() -> Self {
+        Self {
+            transit_domains: 8,
+            transit_nodes_per_domain: 8,
+            stubs_per_transit_node: 32,
+            stub_nodes_per_domain: 4,
+            transit_edge_prob: 0.5,
+            stub_edge_prob: 0.2,
+            extra_transit_domain_edges: 2,
+            multihome_prob: 0.05,
+        }
+    }
+
     /// A small configuration for unit tests and examples (~84 nodes).
     pub fn small() -> Self {
         Self {

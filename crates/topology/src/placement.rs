@@ -33,6 +33,15 @@ impl HostPlacementConfig {
         }
     }
 
+    /// The internet-scale tier: N = 2000 servers, M = 400 sites.
+    pub fn large() -> Self {
+        Self {
+            n_servers: 2000,
+            m_primaries: 400,
+            distinct_server_domains: true,
+        }
+    }
+
     /// A small scale for tests and examples.
     pub fn small() -> Self {
         Self {

@@ -107,6 +107,21 @@ impl WorkloadConfig {
         }
     }
 
+    /// The internet-scale tier: M = 400 sites of L = 5000 objects (2M
+    /// objects total). With the paper's class mix (mean weight 6.25) and
+    /// `base_requests = 40_000`, the trace totals 400 × 6.25 × 40 000 =
+    /// 10^8 requests — the regime where sharded parallel simulation pays.
+    pub fn large() -> Self {
+        Self {
+            m_sites: 400,
+            objects_per_site: 5000,
+            theta: 1.0,
+            base_requests: 40_000,
+            class_mix: ClassMix::paper_default(),
+            size_model: SizeModel::surge_default(),
+        }
+    }
+
     /// A small configuration for tests and examples.
     pub fn small() -> Self {
         Self {

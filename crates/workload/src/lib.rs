@@ -17,6 +17,8 @@
 //!   population of server i for site j).
 //! * [`trace`] — deterministic per-server request streams (site via the
 //!   demand row, object via the site-internal Zipf, λ-flagged requests).
+//! * [`stream`] — the chunked streaming adapter that bounds how many
+//!   requests are resident in memory at once (large-tier runs).
 //!
 //! Everything is seeded and deterministic.
 
@@ -25,6 +27,7 @@ pub mod config;
 pub mod demand;
 pub mod dist;
 pub mod site;
+pub mod stream;
 pub mod temporal;
 pub mod trace;
 pub mod zipf;
@@ -33,6 +36,7 @@ pub use analysis::TraceStats;
 pub use config::WorkloadConfig;
 pub use demand::DemandMatrix;
 pub use site::{PopularityClass, Site, SiteCatalog};
+pub use stream::ChunkedStream;
 pub use temporal::{DriftConfig, Drifted};
 pub use trace::{Flavor, LambdaMode, Request, ServerStream, TraceSpec};
 pub use zipf::ZipfLike;

@@ -1,0 +1,163 @@
+//! Chunked streaming adapter: bound the number of requests resident in
+//! memory while preserving the exact request sequence.
+//!
+//! The engine consumes request iterators lazily, but callers that buffer for
+//! throughput (or, later, read traces from files) need a hard guarantee that
+//! no more than one chunk of requests is ever materialised. `ChunkedStream`
+//! wraps any request iterator, refills a fixed-size buffer chunk by chunk,
+//! and records the peak number of buffered items so tests can assert the
+//! ceiling was honoured.
+
+use std::collections::VecDeque;
+
+/// Iterator adapter that pulls from the inner iterator in fixed-size chunks.
+///
+/// Yields exactly the same sequence as the inner iterator; at most
+/// `chunk_size` items are buffered at any moment. `peak_resident()` reports
+/// the largest buffer the adapter ever held.
+#[derive(Debug, Clone)]
+pub struct ChunkedStream<I: Iterator> {
+    inner: I,
+    buf: VecDeque<I::Item>,
+    chunk_size: usize,
+    peak_resident: usize,
+    exhausted: bool,
+}
+
+impl<I: Iterator> ChunkedStream<I> {
+    /// Wrap `inner`, buffering at most `chunk_size` items at a time.
+    ///
+    /// # Panics
+    /// Panics if `chunk_size` is zero.
+    pub fn new(inner: I, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be at least 1");
+        Self {
+            inner,
+            buf: VecDeque::with_capacity(chunk_size.min(1 << 16)),
+            chunk_size,
+            peak_resident: 0,
+            exhausted: false,
+        }
+    }
+
+    /// Largest number of items ever resident in the buffer. Never exceeds
+    /// the configured chunk size.
+    pub fn peak_resident(&self) -> usize {
+        self.peak_resident
+    }
+
+    /// The configured chunk size.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    fn refill(&mut self) {
+        while self.buf.len() < self.chunk_size {
+            match self.inner.next() {
+                Some(item) => self.buf.push_back(item),
+                None => {
+                    self.exhausted = true;
+                    break;
+                }
+            }
+        }
+        self.peak_resident = self.peak_resident.max(self.buf.len());
+    }
+}
+
+impl<I: Iterator> Iterator for ChunkedStream<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        if self.buf.is_empty() && !self.exhausted {
+            self.refill();
+        }
+        self.buf.pop_front()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let buffered = self.buf.len();
+        let (lo, hi) = self.inner.size_hint();
+        (lo + buffered, hi.map(|h| h + buffered))
+    }
+}
+
+impl<I: ExactSizeIterator> ExactSizeIterator for ChunkedStream<I> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkloadConfig;
+    use crate::demand::DemandMatrix;
+    use crate::site::SiteCatalog;
+    use crate::trace::{LambdaMode, Request, TraceSpec};
+
+    fn spec() -> TraceSpec {
+        let cat = SiteCatalog::generate(&WorkloadConfig::small(), 3);
+        let demand = DemandMatrix::generate(&cat, 4, 4);
+        TraceSpec::new(
+            &demand,
+            cat.object_zipf.clone(),
+            0.1,
+            LambdaMode::Uncacheable,
+            11,
+        )
+    }
+
+    #[test]
+    fn yields_identical_sequence() {
+        let s = spec();
+        let flat: Vec<Request> = s.stream_for_server(0).collect();
+        let chunked: Vec<Request> = ChunkedStream::new(s.stream_for_server(0), 64).collect();
+        assert_eq!(flat, chunked);
+    }
+
+    #[test]
+    fn peak_resident_never_exceeds_chunk_size() {
+        let s = spec();
+        let mut c = ChunkedStream::new(s.stream_for_server(1), 37);
+        let mut n = 0u64;
+        for _ in c.by_ref() {
+            n += 1;
+        }
+        assert_eq!(n, s.len_for_server(1));
+        assert!(c.peak_resident() <= 37, "peak {}", c.peak_resident());
+        assert!(c.peak_resident() > 0);
+    }
+
+    #[test]
+    fn exact_size_iterator_contract() {
+        let s = spec();
+        let mut c = ChunkedStream::new(s.stream_for_server(2), 16);
+        let total = c.len();
+        assert_eq!(total as u64, s.len_for_server(2));
+        c.next();
+        assert_eq!(c.len(), total - 1);
+        // Mid-chunk the hint must still be exact.
+        for _ in 0..10 {
+            c.next();
+        }
+        assert_eq!(c.len(), total - 11);
+    }
+
+    #[test]
+    fn empty_inner_iterator() {
+        let mut c = ChunkedStream::new(std::iter::empty::<Request>(), 8);
+        assert_eq!(c.next(), None);
+        assert_eq!(c.peak_resident(), 0);
+    }
+
+    #[test]
+    fn chunk_larger_than_stream() {
+        let items: Vec<u32> = (0..5).collect();
+        let c = ChunkedStream::new(items.clone().into_iter(), 1000);
+        let out: Vec<u32> = c.collect();
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_chunk_size_panics() {
+        ChunkedStream::new(std::iter::empty::<u32>(), 0);
+    }
+}
