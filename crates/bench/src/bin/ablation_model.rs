@@ -15,7 +15,7 @@
 
 use cdn_bench::harness::{banner, write_csv, BenchArgs, Scale};
 use cdn_core::lru_model::validation::monte_carlo_hit_ratio;
-use cdn_core::lru_model::{CheModel, LruModel};
+use cdn_core::lru_model::{CheModel, ClosedFormLru, LruModel};
 use cdn_core::workload::ZipfLike;
 
 fn main() {
@@ -34,17 +34,19 @@ fn main() {
     let zipf = ZipfLike::new(l, theta);
     let model = LruModel::from_zipf(zipf.clone());
     let che = CheModel::from_zipf(zipf.clone());
+    let closed = ClosedFormLru::from_zipf(zipf.clone());
     // A representative server: 12 sites, popularity decaying geometrically.
     let mut pops: Vec<f64> = (0..12).map(|i| 0.75f64.powi(i)).collect();
     let norm: f64 = pops.iter().sum();
     pops.iter_mut().for_each(|p| *p /= norm);
 
     println!(
-        "\n  {:>7} {:>9} {:>9} {:>8} {:>9} {:>8}",
-        "buffer", "mc_hit", "paper", "err", "che", "err"
+        "\n  {:>7} {:>9} {:>9} {:>8} {:>9} {:>8} {:>9} {:>8}",
+        "buffer", "mc_hit", "paper", "err", "che", "err", "closed", "err"
     );
     let mut rows = Vec::new();
     let mut worst_paper: f64 = 0.0;
+    let mut worst_closed: f64 = 0.0;
     for exp in 0..8 {
         let buffer = 25usize << exp; // 25 .. 3200
         let mc = monte_carlo_hit_ratio(&pops, &zipf, buffer, requests, requests / 4, 99);
@@ -52,19 +54,24 @@ fn main() {
         let k = model.eviction_horizon(buffer, p_b);
         let paper: f64 = pops.iter().map(|&p| p * model.site_hit_ratio(p, k)).sum();
         let che_h = che.aggregate_hit_ratio(&pops, buffer);
+        let closed_h = closed.aggregate_hit_ratio(&pops, buffer);
         let perr = paper - mc.aggregate;
         let cerr = che_h - mc.aggregate;
+        let ferr = closed_h - mc.aggregate;
         worst_paper = worst_paper.max(perr.abs());
+        worst_closed = worst_closed.max(ferr.abs());
         println!(
-            "  {buffer:>7} {:>9.4} {paper:>9.4} {perr:>+8.4} {che_h:>9.4} {cerr:>+8.4}",
+            "  {buffer:>7} {:>9.4} {paper:>9.4} {perr:>+8.4} {che_h:>9.4} {cerr:>+8.4} {closed_h:>9.4} {ferr:>+8.4}",
             mc.aggregate
         );
         rows.push(format!(
-            "{buffer},{:.5},{paper:.5},{che_h:.5}",
+            "{buffer},{:.5},{paper:.5},{che_h:.5},{closed_h:.5}",
             mc.aggregate
         ));
     }
-    println!("\n  worst paper-model |error|: {worst_paper:.4} absolute hit ratio");
+    println!(
+        "\n  worst |error| vs Monte-Carlo: paper {worst_paper:.4}, closed-form {worst_closed:.4} absolute hit ratio"
+    );
 
     // Part 2: fixed-at-init p_B vs exact per-buffer p_B, as the buffer
     // shrinks (the hybrid run's situation). Fixed p_B uses the initial
@@ -100,7 +107,11 @@ fn main() {
          \x20 paper's claim that the two agree holds in the regime it operates in."
     );
 
-    write_csv("ablation_model_accuracy.csv", "buffer,mc,paper,che", &rows);
+    write_csv(
+        "ablation_model_accuracy.csv",
+        "buffer,mc,paper,che,closed_form",
+        &rows,
+    );
     write_csv(
         "ablation_model_fixed_pb.csv",
         "buffer,h_fixed,h_exact",

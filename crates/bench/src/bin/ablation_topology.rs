@@ -37,9 +37,10 @@ fn main() {
         Scale::Paper => 1560,
         Scale::Quick => 120,
         Scale::Large | Scale::LargeCi => {
-            // The hybrid planner this ablation compares is O(N²M) per
-            // iteration — intractable at the large fleet. Use --scale paper.
-            eprintln!("ablation_topology: the large tiers are not supported (hybrid planner)");
+            // Three topology families x a full hybrid plan each: even with
+            // the lazy-greedy planner this is several CPU-hours at the
+            // large fleet. Use --scale paper.
+            eprintln!("ablation_topology: the large tiers are not supported (3x plan cost)");
             std::process::exit(2);
         }
     };

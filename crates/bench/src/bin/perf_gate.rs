@@ -27,8 +27,19 @@
 //! multi-thread speedup (`wall_clock.speedup_total`) — the check that the
 //! parallel engine actually pays off at the internet-scale tier.
 //!
+//! `--min-lazy-ratio <x>` gates the lazy planner's work saving, computed
+//! from the current run's own counters: (candidates evaluated + lazily
+//! skipped) / evaluated must be at least `x`. This is deterministic —
+//! a pure function of the instance — so it holds on any machine.
+//!
+//! `--max-seconds <x>` is an absolute wall-clock ceiling on the current
+//! run's parallel arm (`wall_clock.runs` last entry) — the number CI
+//! actually pays — catching blowups even when the committed baseline was
+//! measured on very different hardware.
+//!
 //! Usage: `perf_gate --baseline <path> --current <path>
-//!                   [--tier <label>] [--min-speedup <x>]`
+//!                   [--tier <label>] [--min-speedup <x>]
+//!                   [--min-lazy-ratio <x>] [--max-seconds <x>]`
 
 use cdn_telemetry::json::{parse, Json};
 use std::collections::BTreeSet;
@@ -44,13 +55,19 @@ const MIN_COMPARABLE_SECONDS: f64 = 0.050;
 
 fn usage() -> String {
     "usage: perf_gate --baseline <path> --current <path> [--tier <label>] [--min-speedup <x>]\n\
+     \x20                 [--min-lazy-ratio <x>] [--max-seconds <x>]\n\
      \n\
-     \x20 --baseline <path>   committed BENCH_baseline.json to gate against\n\
-     \x20 --current <path>    freshly generated BENCH_parallel.json\n\
-     \x20 --tier <label>      baseline section to compare against (quick | paper |\n\
-     \x20                     large | large-ci); default: the current file's scale\n\
-     \x20 --min-speedup <x>   fail unless the current run's wall_clock.speedup_total >= x\n\
-     \x20 --help              print this message\n"
+     \x20 --baseline <path>     committed BENCH_baseline.json to gate against\n\
+     \x20 --current <path>      freshly generated BENCH_parallel.json / BENCH_placement.json\n\
+     \x20 --tier <label>        baseline section to compare against (quick | paper |\n\
+     \x20                       large | large-ci | hybrid-large-ci); default: the\n\
+     \x20                       current file's scale\n\
+     \x20 --min-speedup <x>     fail unless the current run's wall_clock.speedup_total >= x\n\
+     \x20 --min-lazy-ratio <x>  fail unless (candidates evaluated + lazily skipped) /\n\
+     \x20                       evaluated >= x in the current run's work counters\n\
+     \x20 --max-seconds <x>     fail if the current run's parallel arm took longer\n\
+     \x20                       than x seconds of wall-clock\n\
+     \x20 --help                print this message\n"
         .into()
 }
 
@@ -59,6 +76,18 @@ struct Args {
     current: String,
     tier: Option<String>,
     min_speedup: Option<f64>,
+    min_lazy_ratio: Option<f64>,
+    max_seconds: Option<f64>,
+}
+
+/// Parse a positive, finite `f64` flag value.
+fn positive(flag: &str, v: Option<String>) -> Result<f64, String> {
+    let v = v.ok_or(format!("{flag} needs a value"))?;
+    let x: f64 = v.parse().map_err(|_| format!("{flag}: bad value `{v}`"))?;
+    if !(x.is_finite() && x > 0.0) {
+        return Err(format!("{flag} must be a positive number"));
+    }
+    Ok(x)
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -66,22 +95,17 @@ fn parse_args() -> Result<Args, String> {
     let mut current = None;
     let mut tier = None;
     let mut min_speedup = None;
+    let mut min_lazy_ratio = None;
+    let mut max_seconds = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--baseline" => baseline = Some(it.next().ok_or("--baseline needs a path")?),
             "--current" => current = Some(it.next().ok_or("--current needs a path")?),
             "--tier" => tier = Some(it.next().ok_or("--tier needs a label")?),
-            "--min-speedup" => {
-                let v = it.next().ok_or("--min-speedup needs a value")?;
-                let x: f64 = v
-                    .parse()
-                    .map_err(|_| format!("--min-speedup: bad value `{v}`"))?;
-                if !(x.is_finite() && x > 0.0) {
-                    return Err("--min-speedup must be a positive number".into());
-                }
-                min_speedup = Some(x);
-            }
+            "--min-speedup" => min_speedup = Some(positive("--min-speedup", it.next())?),
+            "--min-lazy-ratio" => min_lazy_ratio = Some(positive("--min-lazy-ratio", it.next())?),
+            "--max-seconds" => max_seconds = Some(positive("--max-seconds", it.next())?),
             "--help" | "-h" => {
                 print!("{}", usage());
                 std::process::exit(0);
@@ -95,6 +119,8 @@ fn parse_args() -> Result<Args, String> {
             current,
             tier,
             min_speedup,
+            min_lazy_ratio,
+            max_seconds,
         }),
         _ => Err("both --baseline and --current are required".into()),
     }
@@ -257,6 +283,65 @@ fn check_speedup(current: &Json, min: f64, table: &mut Vec<String>) -> Vec<Strin
     }
 }
 
+/// Gate the lazy planner's work saving when `--min-lazy-ratio` is given.
+/// Computed from the current run's own deterministic counters, so the
+/// check is machine-independent: (evaluated + skipped) / evaluated.
+fn check_lazy_ratio(current: &Json, min: f64, table: &mut Vec<String>) -> Vec<String> {
+    let counter = |name: &str| {
+        current
+            .get("work")
+            .and_then(|w| w.get(name))
+            .and_then(Json::as_u64)
+    };
+    let Some(evaluated) = counter("placement.candidates_evaluated").filter(|&e| e > 0) else {
+        return vec!["current run has no placement.candidates_evaluated work counter".into()];
+    };
+    let skipped = counter("placement.candidates_skipped_lazy").unwrap_or(0);
+    let ratio = (evaluated + skipped) as f64 / evaluated as f64;
+    let ok = ratio >= min;
+    table.push(format!(
+        "  lazy ratio: ({evaluated} evaluated + {skipped} skipped) / evaluated = \
+         {ratio:.1}x (floor {min:.1}x)  {}",
+        if ok { "ok" } else { "TOO DENSE" }
+    ));
+    if ok {
+        Vec::new()
+    } else {
+        vec![format!(
+            "lazy planner ratio {ratio:.1}x below the {min:.1}x floor"
+        )]
+    }
+}
+
+/// Gate the parallel arm's absolute wall-clock when `--max-seconds` is
+/// given — the time CI actually pays (`wall_clock.runs` last entry).
+fn check_max_seconds(current: &Json, max: f64, table: &mut Vec<String>) -> Vec<String> {
+    let total = current
+        .get("wall_clock")
+        .and_then(|w| w.get("runs"))
+        .and_then(Json::as_arr)
+        .and_then(|runs| runs.last())
+        .and_then(|run| run.get("total_s"))
+        .and_then(Json::as_f64);
+    match total {
+        Some(t) => {
+            let ok = t <= max;
+            table.push(format!(
+                "  parallel arm wall-clock: {t:.1}s (ceiling {max:.1}s)  {}",
+                if ok { "ok" } else { "TOO SLOW" }
+            ));
+            if ok {
+                Vec::new()
+            } else {
+                vec![format!(
+                    "parallel arm took {t:.1}s, above the {max:.1}s ceiling"
+                )]
+            }
+        }
+        None => vec!["current run has no wall_clock.runs[last].total_s".into()],
+    }
+}
+
 /// Append the delta tables as Markdown to `$GITHUB_STEP_SUMMARY`, if set.
 /// Plain-text tables go inside a code fence — exact alignment, zero markup
 /// escaping concerns — with the verdict as a heading.
@@ -373,6 +458,19 @@ fn main() -> ExitCode {
         speedup_table.iter().for_each(|l| println!("{l}"));
     }
 
+    let mut extra_table = Vec::new();
+    if let Some(min) = args.min_lazy_ratio {
+        println!();
+        failures.extend(check_lazy_ratio(&current, min, &mut extra_table));
+    }
+    if let Some(max) = args.max_seconds {
+        if args.min_lazy_ratio.is_none() {
+            println!();
+        }
+        failures.extend(check_max_seconds(&current, max, &mut extra_table));
+    }
+    extra_table.iter().for_each(|l| println!("{l}"));
+
     failures.extend(check_flags(&current));
 
     let mut sections: Vec<(&str, &[String])> = vec![
@@ -381,6 +479,9 @@ fn main() -> ExitCode {
     ];
     if !speedup_table.is_empty() {
         sections.push(("Multi-thread speedup", &speedup_table[..]));
+    }
+    if !extra_table.is_empty() {
+        sections.push(("Lazy-planner & wall-clock ceilings", &extra_table[..]));
     }
     write_step_summary(&tier, &sections, &failures);
 

@@ -1,7 +1,7 @@
 //! The CLI subcommands.
 
 use crate::args::Args;
-use cdn_core::{compare_strategies_with_policy, Scenario, ScenarioConfig, Strategy};
+use cdn_core::{compare_strategies_with_options, ModelBackend, Scenario, ScenarioConfig, Strategy};
 use cdn_telemetry as telemetry;
 use cdn_topology::metrics::compute_metrics;
 use cdn_topology::{export, TransitStubConfig, TransitStubTopology};
@@ -15,9 +15,10 @@ USAGE:
   hybrid-cdn compare  [--capacity 0.05] [--lambda 0] [--mode uncacheable|expired]
                       [--scale small|paper|large|large-ci] [--seed N] [--threads N]
                       [--cache-policy lru|delayed-lru|fifo|lfu|clock|gdsf]
-                      [fault options]
-  hybrid-cdn plan     [--strategy hybrid] [--capacity 0.05] [--lambda 0]
-                      [--mode uncacheable|expired] [--scale small|paper|large|large-ci] [--seed N]
+                      [--model paper|che|closed-form] [fault options]
+  hybrid-cdn plan     [--strategy hybrid] [--model paper|che|closed-form]
+                      [--capacity 0.05] [--lambda 0] [--mode uncacheable|expired]
+                      [--scale small|paper|large|large-ci] [--seed N]
                       [--threads N] [fault options]
   hybrid-cdn topology [--scale small|paper|large] [--seed N] [--dot FILE] [--csv FILE]
   hybrid-cdn workload [--theta 1.0] [--sites 15] [--objects 200] [--seed N]
@@ -274,6 +275,16 @@ fn parse_strategy(spec: &str) -> Result<Strategy, String> {
     })
 }
 
+/// Resolve `--model` through [`ModelBackend::by_name`] (same contract as
+/// `--cache-policy` via `cdn_cache::by_name`: unknown names exit 1 with the
+/// alternatives listed).
+fn parse_model(a: &Args) -> Result<ModelBackend, String> {
+    match a.get("model") {
+        None => Ok(ModelBackend::Paper),
+        Some(name) => ModelBackend::by_name(name).map_err(|e| format!("--model: {e}")),
+    }
+}
+
 pub fn compare(a: &Args) -> Result<(), String> {
     let cfg = scenario_config(a)?;
     let threads = configure_threads(a)?;
@@ -299,11 +310,16 @@ pub fn compare(a: &Args) -> Result<(), String> {
     if let Some(name) = policy {
         println!("cache policy: {name}");
     }
+    let model = parse_model(a)?;
+    if model != ModelBackend::Paper {
+        println!("hit-ratio model: {}", model.name());
+    }
     let scenario = Scenario::generate(&cfg);
-    let cmp = compare_strategies_with_policy(
+    let cmp = compare_strategies_with_options(
         &scenario,
         &[Strategy::Replication, Strategy::Caching, Strategy::Hybrid],
         policy,
+        model,
     )
     .map_err(|e| format!("--cache-policy: {e}"))?;
     let mut obs = obs;
@@ -326,10 +342,14 @@ pub fn compare(a: &Args) -> Result<(), String> {
 pub fn plan(a: &Args) -> Result<(), String> {
     let cfg = scenario_config(a)?;
     let strategy = parse_strategy(a.get("strategy").unwrap_or("hybrid"))?;
+    let model = parse_model(a)?;
     let threads = configure_threads(a)?;
     let obs = Observability::setup(a);
     let scenario = Scenario::generate(&cfg);
-    let plan = scenario.plan(strategy);
+    let plan = scenario.plan_with_model(strategy, model);
+    if model != ModelBackend::Paper {
+        println!("hit-ratio model: {}", model.name());
+    }
     println!(
         "strategy {}: {} replicas, predicted {:.3} hops/request ({threads} thread(s))",
         strategy.name(),
@@ -453,6 +473,27 @@ mod tests {
         );
         assert!(parse_strategy("bogus").is_err());
         assert!(parse_strategy("adhoc:x").is_err());
+    }
+
+    #[test]
+    fn model_parsing_defaults_and_rejects_unknown() {
+        let a = Args::parse(std::iter::empty::<String>(), &["model"]).unwrap();
+        assert_eq!(parse_model(&a).unwrap(), ModelBackend::Paper);
+        let a = Args::parse(
+            ["--model", "closed-form"].iter().map(|s| s.to_string()),
+            &["model"],
+        )
+        .unwrap();
+        assert_eq!(parse_model(&a).unwrap(), ModelBackend::ClosedForm);
+        let a = Args::parse(
+            ["--model", "fagin"].iter().map(|s| s.to_string()),
+            &["model"],
+        )
+        .unwrap();
+        let err = parse_model(&a).unwrap_err();
+        assert!(err.starts_with("--model:"), "{err}");
+        assert!(err.contains("fagin"), "{err}");
+        assert!(err.contains("closed-form"), "must list alternatives: {err}");
     }
 
     #[test]

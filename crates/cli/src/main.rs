@@ -26,12 +26,12 @@ fn main() {
     let command = raw.remove(0);
     let result = match command.as_str() {
         "compare" => {
-            let mut keys = vec!["cache-policy"];
+            let mut keys = vec!["cache-policy", "model"];
             keys.extend_from_slice(commands::SCENARIO_KEYS);
             Args::parse(raw, &keys).and_then(|a| commands::compare(&a))
         }
         "plan" => {
-            let mut keys = vec!["strategy"];
+            let mut keys = vec!["strategy", "model"];
             keys.extend_from_slice(commands::SCENARIO_KEYS);
             Args::parse(raw, &keys).and_then(|a| commands::plan(&a))
         }

@@ -136,6 +136,20 @@ fn metrics_section(doc: &Json, path: &str) -> Result<String, String> {
             }
         }
     }
+    if let Some(evaluated) = get("placement.candidates_evaluated") {
+        let skipped = get("placement.candidates_skipped_lazy").unwrap_or(0);
+        let dense = evaluated + skipped;
+        let ratio = if evaluated > 0 {
+            dense as f64 / evaluated as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "  planner: {evaluated} candidates evaluated, {skipped} skipped lazily \
+             ({ratio:.1}x fewer than a dense scan)"
+        );
+    }
     if let Some(h) = doc
         .get("histograms")
         .and_then(|hs| hs.get("sim.latency_ms"))
@@ -376,6 +390,20 @@ mod tests {
         .unwrap();
         let s = metrics_section(&doc, "m.json").unwrap();
         assert!(s.contains("MISMATCH"), "{s}");
+    }
+
+    #[test]
+    fn metrics_render_lazy_planner_counters() {
+        let doc = json::parse(
+            r#"{"counters": {"placement.candidates_evaluated": 100,
+                             "placement.candidates_skipped_lazy": 1100},
+                "gauges": {}, "histograms": {}}"#,
+        )
+        .unwrap();
+        let s = metrics_section(&doc, "m.json").unwrap();
+        assert!(s.contains("100 candidates evaluated"), "{s}");
+        assert!(s.contains("1100 skipped lazily"), "{s}");
+        assert!(s.contains("12.0x fewer"), "{s}");
     }
 
     #[test]

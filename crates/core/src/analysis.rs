@@ -93,13 +93,25 @@ pub fn compare_strategies_with_policy(
     strategies: &[Strategy],
     policy: Option<&str>,
 ) -> Result<StrategyComparison, String> {
+    compare_strategies_with_options(scenario, strategies, policy, crate::ModelBackend::Paper)
+}
+
+/// [`compare_strategies_with_policy`] plus an explicit hit-ratio model
+/// backend for the planners (the simulator itself is model-free — it runs
+/// real caches — so `model` only changes the plans being simulated).
+pub fn compare_strategies_with_options(
+    scenario: &Scenario,
+    strategies: &[Strategy],
+    policy: Option<&str>,
+    model: crate::ModelBackend,
+) -> Result<StrategyComparison, String> {
     if let Some(name) = policy {
         cdn_cache::by_name(name, 0)?;
     }
     let rows = strategies
         .iter()
         .map(|&s| {
-            let plan = scenario.plan(s);
+            let plan = scenario.plan_with_model(s, model);
             let report = match policy {
                 Some(name) if s != Strategy::Replication => {
                     let factory = |bytes: u64| {

@@ -44,7 +44,8 @@ pub mod scenario;
 pub mod strategy;
 
 pub use analysis::{
-    compare_strategies, compare_strategies_with_policy, ComparisonRow, StrategyComparison,
+    compare_strategies, compare_strategies_with_options, compare_strategies_with_policy,
+    ComparisonRow, StrategyComparison,
 };
 pub use scenario::{CapacityProfile, Scenario, ScenarioConfig};
-pub use strategy::{PlanResult, Strategy};
+pub use strategy::{ModelBackend, PlanResult, Strategy, MODEL_NAMES};

@@ -263,8 +263,13 @@ impl Scenario {
 
     /// Run a placement strategy against this scenario.
     pub fn plan(&self, strategy: Strategy) -> PlanResult {
+        self.plan_with_model(strategy, crate::ModelBackend::Paper)
+    }
+
+    /// Run a placement strategy with an explicit hit-ratio model backend.
+    pub fn plan_with_model(&self, strategy: Strategy, model: crate::ModelBackend) -> PlanResult {
         let _prof = cdn_telemetry::profile::span("scenario.plan");
-        strategy.run(&self.problem)
+        strategy.run_with_model(&self.problem, model)
     }
 
     /// Simulate a plan with the trace-driven simulator. Pure replication is

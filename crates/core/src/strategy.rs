@@ -1,11 +1,70 @@
 //! The content-delivery strategies under comparison.
 
-use cdn_placement::hybrid::{hybrid_greedy, hybrid_greedy_paper, paper_oracle_for, pure_caching};
+use cdn_placement::hybrid::{
+    che_oracle_for, closed_form_oracle_for, hybrid_greedy, paper_oracle_for, pure_caching,
+};
 use cdn_placement::{
     adhoc_split, greedy_backtrack, greedy_global, greedy_local, popularity_placement,
-    predicted_cost, random_placement, BacktrackConfig, CheOracle, HitRatioOracle, HybridConfig,
-    Placement, PlacementProblem,
+    predicted_cost, random_placement, BacktrackConfig, HitRatioOracle, HybridConfig, Placement,
+    PlacementProblem,
 };
+
+/// Which analytical hit-ratio model the planner consults. Every model
+/// answers the same oracle question; they differ in fidelity and cost (see
+/// the `ablation_model` benchmark for the measured accuracy of each).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModelBackend {
+    /// The paper's Equations (1)–(2) on the quantised memo table.
+    #[default]
+    Paper,
+    /// Che's approximation — O(objects-per-site) per characteristic time,
+    /// intended for small instances and ablations.
+    Che,
+    /// The closed-form characteristic-rank model — O(1) per query after a
+    /// scalar solve per `(server, buffer)`.
+    ClosedForm,
+}
+
+/// Every model name [`ModelBackend::by_name`] recognises, in
+/// documentation order.
+pub const MODEL_NAMES: [&str; 3] = ["paper", "che", "closed-form"];
+
+impl ModelBackend {
+    /// Resolve a CLI/bench model name. Unknown names report the
+    /// alternatives as an `Err` so arg parsing can surface it instead of
+    /// panicking.
+    pub fn by_name(name: &str) -> Result<Self, String> {
+        Ok(match name {
+            "paper" => ModelBackend::Paper,
+            "che" => ModelBackend::Che,
+            "closed-form" => ModelBackend::ClosedForm,
+            _ => {
+                return Err(format!(
+                    "unknown hit-ratio model '{name}' (known models: {})",
+                    MODEL_NAMES.join(", ")
+                ))
+            }
+        })
+    }
+
+    /// The canonical name (inverse of [`Self::by_name`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelBackend::Paper => "paper",
+            ModelBackend::Che => "che",
+            ModelBackend::ClosedForm => "closed-form",
+        }
+    }
+
+    /// Construct this backend's oracle for `problem`.
+    pub fn oracle_for(&self, problem: &PlacementProblem) -> Box<dyn HitRatioOracle> {
+        match self {
+            ModelBackend::Paper => Box::new(paper_oracle_for(problem)),
+            ModelBackend::Che => Box::new(che_oracle_for(problem)),
+            ModelBackend::ClosedForm => Box::new(closed_form_oracle_for(problem)),
+        }
+    }
+}
 
 /// A placement strategy. The first three are the paper's comparison
 /// (its Figures 3–4); `AdHoc` is its Figure 5; the rest are context
@@ -58,11 +117,20 @@ impl Strategy {
         !matches!(self, Strategy::Replication | Strategy::Backtrack)
     }
 
-    /// Execute the strategy against `problem`.
+    /// Execute the strategy against `problem` with the paper's model.
     pub fn run(&self, problem: &PlacementProblem) -> PlanResult {
+        self.run_with_model(problem, ModelBackend::Paper)
+    }
+
+    /// Execute the strategy against `problem`, consulting `model` wherever
+    /// a hit-ratio oracle is needed. `Replication` and `Backtrack` never
+    /// cache, so they ignore the backend; `HybridChe` *is* a fixed-backend
+    /// ablation and keeps Che regardless.
+    pub fn run_with_model(&self, problem: &PlacementProblem, model: ModelBackend) -> PlanResult {
         match *self {
             Strategy::Hybrid => {
-                let out = hybrid_greedy_paper(problem, &HybridConfig::default());
+                let oracle = model.oracle_for(problem);
+                let out = hybrid_greedy(problem, oracle.as_ref(), &HybridConfig::default());
                 PlanResult {
                     strategy: *self,
                     predicted_cost: out.final_cost,
@@ -71,8 +139,8 @@ impl Strategy {
                 }
             }
             Strategy::Caching => {
-                let oracle = paper_oracle_for(problem);
-                let out = pure_caching(problem, &oracle);
+                let oracle = model.oracle_for(problem);
+                let out = pure_caching(problem, oracle.as_ref());
                 PlanResult {
                     strategy: *self,
                     predicted_cost: out.final_cost,
@@ -92,19 +160,19 @@ impl Strategy {
             }
             Strategy::AdHoc { cache_fraction } => {
                 let placement = adhoc_split(problem, cache_fraction);
-                predicted_with_oracle(*self, problem, placement)
+                predicted_with_oracle(*self, problem, placement, model)
             }
             Strategy::Random { seed } => {
                 let placement = random_placement(problem, seed);
-                predicted_with_oracle(*self, problem, placement)
+                predicted_with_oracle(*self, problem, placement, model)
             }
             Strategy::Popularity => {
                 let placement = popularity_placement(problem);
-                predicted_with_oracle(*self, problem, placement)
+                predicted_with_oracle(*self, problem, placement, model)
             }
             Strategy::GreedyLocal => {
                 let placement = greedy_local(problem);
-                predicted_with_oracle(*self, problem, placement)
+                predicted_with_oracle(*self, problem, placement, model)
             }
             Strategy::Backtrack => {
                 let out = greedy_backtrack(problem, &BacktrackConfig::default());
@@ -116,12 +184,7 @@ impl Strategy {
                 }
             }
             Strategy::HybridChe => {
-                let che = CheOracle::new(
-                    cdn_core_che_model(problem),
-                    (0..problem.n_servers())
-                        .map(|i| problem.popularity_row(i))
-                        .collect(),
-                );
+                let che = che_oracle_for(problem);
                 let out = hybrid_greedy(problem, &che, &HybridConfig::default());
                 PlanResult {
                     strategy: *self,
@@ -134,13 +197,8 @@ impl Strategy {
     }
 }
 
-/// Che model matching the problem's workload parameters.
-fn cdn_core_che_model(problem: &PlacementProblem) -> cdn_lru_model::CheModel {
-    cdn_lru_model::CheModel::new(problem.objects_per_site, problem.theta)
-}
-
 /// Predict the cost of a fixed placement whose free space runs an LRU, by
-/// evaluating the paper's oracle at each server's final buffer size.
+/// evaluating `model`'s oracle at each server's final buffer size.
 ///
 /// Servers are independent, so the outer loop fans out over the rayon pool;
 /// the ordered collect keeps `hits` identical to the sequential evaluation.
@@ -148,9 +206,10 @@ fn predicted_with_oracle(
     strategy: Strategy,
     problem: &PlacementProblem,
     placement: Placement,
+    model: ModelBackend,
 ) -> PlanResult {
     use rayon::prelude::*;
-    let oracle = paper_oracle_for(problem);
+    let oracle = model.oracle_for(problem);
     let hits: Vec<Vec<f64>> = (0..problem.n_servers())
         .into_par_iter()
         .map(|i| {
@@ -322,5 +381,57 @@ mod tests {
         let out = Strategy::Replication.run(&p);
         let mean = out.predicted_mean_hops(&p);
         assert!((0.0..=9.0).contains(&mean));
+    }
+
+    #[test]
+    fn model_backend_names_round_trip() {
+        for name in MODEL_NAMES {
+            let m = ModelBackend::by_name(name).unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(m.name(), name);
+        }
+        let err = ModelBackend::by_name("ttl").err().expect("must reject");
+        assert!(err.contains("unknown hit-ratio model 'ttl'"), "{err}");
+        assert!(err.contains("closed-form"), "{err}");
+        assert_eq!(ModelBackend::default(), ModelBackend::Paper);
+    }
+
+    #[test]
+    fn every_backend_plans_every_caching_strategy() {
+        let p = toy_problem();
+        let caching_paper = Strategy::Caching.run(&p).predicted_cost;
+        for model in [
+            ModelBackend::Paper,
+            ModelBackend::Che,
+            ModelBackend::ClosedForm,
+        ] {
+            for s in [Strategy::Hybrid, Strategy::Caching, Strategy::GreedyLocal] {
+                let out = s.run_with_model(&p, model);
+                out.placement.validate(&p);
+                assert!(
+                    out.predicted_cost.is_finite() && out.predicted_cost >= 0.0,
+                    "{} × {}",
+                    s.name(),
+                    model.name()
+                );
+            }
+            // The backends disagree in detail but not in the story: hybrid
+            // beats pure caching under every one of them.
+            let hybrid = Strategy::Hybrid.run_with_model(&p, model).predicted_cost;
+            assert!(
+                hybrid <= caching_paper * 1.05,
+                "{}: hybrid {hybrid} vs paper-caching {caching_paper}",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_backend_matches_plain_run() {
+        let p = toy_problem();
+        for s in [Strategy::Hybrid, Strategy::Caching, Strategy::Popularity] {
+            let a = s.run(&p);
+            let b = s.run_with_model(&p, ModelBackend::Paper);
+            assert_eq!(a.predicted_cost.to_bits(), b.predicted_cost.to_bits());
+        }
     }
 }

@@ -23,11 +23,13 @@
 //! running the real `cdn-cache` LRU over a synthetic stream.
 
 pub mod che;
+pub mod closed_form;
 pub mod model;
 pub mod table;
 pub mod transient;
 pub mod validation;
 
 pub use che::CheModel;
+pub use closed_form::{ClosedFormLru, DemandScale};
 pub use model::LruModel;
 pub use table::HitRatioTable;

@@ -103,6 +103,14 @@ impl HitRatioTable {
         }
     }
 
+    /// The K-grid cell index [`Self::site_hit_ratio`] serves horizon `k`
+    /// from — a stable fingerprint of the table column a query lands in.
+    /// Two horizons with equal cells receive bit-identical hit ratios for
+    /// every popularity `p`.
+    pub fn k_cell(&self, k: f64) -> u64 {
+        self.quantise_k(k.max(0.0)).0
+    }
+
     /// Quantised, memoised `h(p, K)`.
     ///
     /// Fills are compute-once: the write lock is held across the model

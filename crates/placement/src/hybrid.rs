@@ -1,9 +1,9 @@
 //! The paper's hybrid replica-placement + storage-allocation algorithm
-//! (its Figure 2).
+//! (its Figure 2), with an incremental lazy-greedy planner.
 //!
 //! Start from a network holding only primary copies — every byte of every
-//! server is cache. Each iteration scores all feasible (server, site)
-//! replica candidates:
+//! server is cache. Each iteration scores feasible (server, site) replica
+//! candidates:
 //!
 //! ```text
 //! benefit(i, j) =   (1 − h_j^(i)) · r_j^(i) · C(i, SN_j^(i))     // local gain
@@ -16,15 +16,28 @@
 //! where `h'` is the predicted hit ratio after the candidate replica steals
 //! `o_j` bytes from server `i`'s cache. The best positive candidate is
 //! materialised; the algorithm stops when none remains.
+//!
+//! The naive loop rescans all N·M candidates every iteration (O(N²M) total
+//! at paper scale, hopeless at internet scale). The default planner instead
+//! keeps every candidate's last score in a max-heap and, after accepting a
+//! replica, re-evaluates only the candidates whose inputs actually changed
+//! (see `stale-set` comments below and DESIGN.md §9.2). Because benefits
+//! here can *increase* after a placement (shrinking a cache raises other
+//! candidates' remote-gain factors), stale scores are not upper bounds à la
+//! CELF — so the planner eagerly refreshes the exact stale set instead of
+//! lazily re-checking heap tops, and remains bit-identical to the dense
+//! scan ([`HybridConfig::dense_scan`]) at any thread count.
 
 use crate::cost::predicted_cost;
-use crate::oracle::{HitRatioOracle, PaperOracle};
+use crate::oracle::{CheOracle, ClosedFormOracle, HitRatioOracle, PaperOracle};
 use crate::problem::PlacementProblem;
 use crate::solution::Placement;
-use cdn_lru_model::LruModel;
+use crate::Hops;
+use cdn_lru_model::{CheModel, ClosedFormLru, LruModel};
 use cdn_telemetry::{self as telemetry, Value};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Tunables of the hybrid run.
 #[derive(Debug, Clone, Copy)]
@@ -40,6 +53,11 @@ pub struct HybridConfig {
     /// magnitude at paper scale; kept as the reference implementation the
     /// fast path is tested against.
     pub exact_shrink_scan: bool,
+    /// Re-evaluate every feasible candidate each iteration (the literal
+    /// Figure 2 outer loop) instead of only the stale set. Kept as the
+    /// reference implementation the lazy planner is tested against — the
+    /// two must produce bit-identical replica traces.
+    pub dense_scan: bool,
 }
 
 impl Default for HybridConfig {
@@ -48,9 +66,21 @@ impl Default for HybridConfig {
             min_benefit: 0.0,
             max_replicas: usize::MAX,
             exact_shrink_scan: false,
+            dense_scan: false,
         }
     }
 }
+
+/// Bound on how far the incrementally tracked cost (initial − Σ benefits)
+/// may drift from the exactly recomputed final cost, as a fraction of the
+/// initial cost. Each accepted benefit is exact up to the oracle's
+/// quantisation (1%-relative K cells, plus the `ShrinkMemo`'s 0.5%-relative
+/// buffer buckets), and those per-step errors do not accumulate: the next
+/// iteration re-derives its scores from the refreshed `hits` rows, so the
+/// drift stays bounded by the quantisation error of the final
+/// configuration's rows rather than the sum over steps. 5% is an order of
+/// magnitude above anything observed (quick: <0.1%, large-ci: <1%).
+pub const COST_DRIFT_TOLERANCE: f64 = 0.05;
 
 /// Result of a hybrid (or pure-caching) run.
 #[derive(Debug, Clone)]
@@ -65,12 +95,24 @@ pub struct HybridOutcome {
     pub final_cost: f64,
     /// Benefit of each accepted replica, in order.
     pub benefits: Vec<f64>,
+    /// The `(server, site)` of each accepted replica, in placement order —
+    /// together with `benefits` this is the full greedy trace, which the
+    /// lazy and dense planners must agree on bit-for-bit.
+    pub replicas: Vec<(usize, usize)>,
 }
 
 impl HybridOutcome {
     /// Predicted hit ratio lookup usable with [`predicted_cost`].
     pub fn hit(&self, i: usize, j: usize) -> f64 {
         self.hit_ratios[i][j]
+    }
+
+    /// |(initial − Σ benefits) − final|: how far the incrementally tracked
+    /// cost drifted from the exact recomputation (bounded by
+    /// [`COST_DRIFT_TOLERANCE`] · initial).
+    pub fn cost_drift(&self) -> f64 {
+        let tracked = self.initial_cost - self.benefits.iter().sum::<f64>();
+        (tracked - self.final_cost).abs()
     }
 }
 
@@ -125,8 +167,9 @@ struct Candidate {
 /// changes and `S(B') = Σ_k h_k(B')·r_k·C_k` depends only on the shrunken
 /// buffer size. `S` is memoised per 0.5%-relative buffer bucket (the hit
 /// ratio varies smoothly in B, and the oracle already quantises K at 1%),
-/// so each candidate costs O(1) amortised. Entries are invalidated whenever
-/// the server's replica set, buffer, or any nearest-copy distance changes.
+/// so each candidate costs O(1) amortised. When a replica lands, cached
+/// entries are updated in place by the one term the placement changed
+/// (see [`ShrinkMemo::apply_replica`]) rather than invalidated wholesale.
 struct ShrinkMemo {
     /// `W` per server; `None` = needs recomputation.
     cur_w: Vec<Option<f64>>,
@@ -167,9 +210,66 @@ impl ShrinkMemo {
         }
     }
 
-    fn invalidate(&mut self, server: usize) {
-        self.cur_w[server] = None;
-        self.s[server].get_mut().clear();
+    /// Exact incremental maintenance after replica `(i, j)` is placed.
+    ///
+    /// Wholesale invalidation here is what kept hybrid planning off the
+    /// internet-scale tier: clearing a server's `S` map forces the next
+    /// scan to rebuild every bucket with an O(M) weighted sum of oracle
+    /// queries, and a single replica invalidates every server whose
+    /// nearest-copy distance improved — at N = 2000 that is hundreds of
+    /// millions of memo-table lookups per planning run, all through one
+    /// lock. But one replica changes each sum in exactly one term:
+    ///
+    /// * the replicator `i` now holds site `j`, so `j`'s term leaves every
+    ///   cached `S_i` bucket (`W_i` is rebuilt from the refreshed hits row
+    ///   — `S` never depends on the live row, only on the oracle at the
+    ///   bucket representative);
+    /// * a server whose nearest copy of `j` moved from `c_old` to `c_new`
+    ///   keeps every other term, so `W` and each cached `S` bucket shift
+    ///   by `h_j · r · (c_new − c_old)`.
+    ///
+    /// Bucket updates are independent of one another, so the (seeded,
+    /// per-process) `HashMap` iteration order cannot affect the resulting
+    /// values, and the oracle work is one memoised query per cached bucket
+    /// instead of M per rebuilt bucket.
+    #[allow(clippy::too_many_arguments)] // internal update hook; mirrors evaluate_candidate
+    fn apply_replica(
+        &mut self,
+        problem: &PlacementProblem,
+        placement: &Placement,
+        oracle: &dyn HitRatioOracle,
+        hits: &[Vec<f64>],
+        i: usize,
+        j: usize,
+        old_col: &[u32],
+        improved: &[usize],
+    ) {
+        self.cur_w[i] = None;
+        let r_ij = problem.requests(i, j) as f64;
+        let c_old_i = old_col[i] as f64;
+        if r_ij > 0.0 && c_old_i > 0.0 {
+            for (&bucket, s) in self.s[i].get_mut().iter_mut() {
+                let rep = Self::representative(bucket);
+                *s -= adjusted_hit(problem, oracle, i, j, rep) * r_ij * c_old_i;
+            }
+        }
+        for &k in improved {
+            if k == i {
+                continue;
+            }
+            let r = problem.requests(k, j) as f64;
+            if r == 0.0 {
+                continue;
+            }
+            let delta = placement.nearest_dist(problem, k, j) as f64 - old_col[k] as f64;
+            if let Some(w) = self.cur_w[k] {
+                self.cur_w[k] = Some(w + hits[k][j] * r * delta);
+            }
+            for (&bucket, s) in self.s[k].get_mut().iter_mut() {
+                let rep = Self::representative(bucket);
+                *s += adjusted_hit(problem, oracle, k, j, rep) * r * delta;
+            }
+        }
     }
 
     /// Recompute every stale `W` (sequential phase, between scans).
@@ -236,6 +336,22 @@ fn weighted_hit_sum(
     w
 }
 
+/// Servers that can still profit from a new replica of site `j`: those
+/// whose nearest copy is ≥ 2 hops away (a remote-gain term needs
+/// `dist(k, i) < cur`, and distinct servers are ≥ 1 hop apart). Sorted by
+/// descending current distance, ties to the lower index, so the remote-gain
+/// summation order is a pure function of the placement state — shared by
+/// the dense and lazy planners, independent of thread schedule. The list
+/// shrinks as replicas accumulate, which is what makes late-phase
+/// evaluations cheap at internet scale.
+fn contrib_column(problem: &PlacementProblem, placement: &Placement, j: usize) -> Vec<u32> {
+    let mut v: Vec<u32> = (0..problem.n_servers() as u32)
+        .filter(|&k| placement.nearest_dist(problem, k as usize, j) >= 2)
+        .collect();
+    v.sort_unstable_by_key(|&k| (Reverse(placement.nearest_dist(problem, k as usize, j)), k));
+    v
+}
+
 #[allow(clippy::needless_range_loop)] // k indexes hits alongside problem lookups
 #[allow(clippy::too_many_arguments)] // internal scan helper; grouping would obscure the formula
 fn evaluate_candidate(
@@ -244,10 +360,12 @@ fn evaluate_candidate(
     oracle: &dyn HitRatioOracle,
     hits: &[Vec<f64>],
     memo: &ShrinkMemo,
+    contrib: &[Vec<u32>],
     exact: bool,
+    cached_remote: Option<i64>,
     i: usize,
     j: usize,
-) -> f64 {
+) -> (f64, i64) {
     let c_ij = placement.nearest_dist(problem, i, j) as f64;
     let r_ij = problem.requests(i, j) as f64;
     // Local gain: site j's remote traffic from server i becomes free —
@@ -283,18 +401,146 @@ fn evaluate_candidate(
         b -= (w_cur - s_new) - j_term;
     }
 
-    // Remote gain: servers that would reroute site j to i.
-    for k in 0..problem.n_servers() {
-        if k == i || placement.is_replicated(k, j) {
-            continue;
+    // Remote gain: servers that would reroute site j's traffic to i.
+    // `contrib[j]` pre-filters to servers that can profit at all, in a
+    // fixed order (see `contrib_column`). Each term is quantised to fixed
+    // point and the sum kept in an integer, so it is a pure function of
+    // site j's column state with *exactly reversible* addition — the lazy
+    // planner caches the integer per candidate and applies exact deltas
+    // when a single contributor's hit ratio moves, instead of re-walking
+    // the whole contributor list (see `LazyPlanner::remote`).
+    let remote_q = cached_remote.unwrap_or_else(|| {
+        let mut r = 0i64;
+        for &k in &contrib[j] {
+            let k = k as usize;
+            if k == i {
+                continue;
+            }
+            let cur = placement.nearest_dist(problem, k, j) as f64;
+            let via_i = problem.dist_servers(k, i) as f64;
+            if via_i < cur {
+                r += quantize_remote_term(
+                    (cur - via_i) * (1.0 - hits[k][j]) * problem.requests(k, j) as f64,
+                );
+            }
         }
-        let cur = placement.nearest_dist(problem, k, j) as f64;
-        let via_i = problem.dist_servers(k, i) as f64;
-        if via_i < cur {
-            b += (cur - via_i) * (1.0 - hits[k][j]) * problem.requests(k, j) as f64;
+        r
+    });
+    (b + remote_q as f64 / REMOTE_SCALE, remote_q)
+}
+
+/// Fixed-point scale of the remote-gain accumulator: 2^20 ≈ 10^-6
+/// absolute granularity per term, invisible next to benefit magnitudes
+/// while keeping 2000-contributor sums far inside `i64` range.
+const REMOTE_SCALE: f64 = (1u64 << 20) as f64;
+
+/// One remote-gain term in fixed point. Deterministic rounding makes
+/// integer addition exactly reversible: `sum + q(new) - q(old)` lands on
+/// precisely the value a fresh summation with the new term produces,
+/// which is what lets the lazy planner delta-update cached sums without
+/// breaking bit-identity with the dense rescan.
+fn quantize_remote_term(x: f64) -> i64 {
+    (x * REMOTE_SCALE).round() as i64
+}
+
+/// Monotone map from (positive-or-negative, finite, non-NaN) `f64` to `u64`
+/// so benefits can live in an integer max-heap with the same order the
+/// dense scan's `(benefit, Reverse(flat))` comparison induces.
+fn benefit_key(b: f64) -> u64 {
+    let bits = b.to_bits();
+    if bits >> 63 == 0 {
+        bits | (1 << 63)
+    } else {
+        !bits
+    }
+}
+
+/// Mutable state of the incremental lazy-greedy planner.
+struct LazyPlanner {
+    /// Last evaluated benefit per flat candidate (`NEG_INFINITY` when the
+    /// candidate is infeasible or below `min_benefit`).
+    benefit: Vec<f64>,
+    /// Per-candidate staleness epoch: bumped every re-evaluation. Heap
+    /// entries carry the epoch they were pushed under and entries whose
+    /// epoch no longer matches are discarded on pop (lazy deletion).
+    epoch: Vec<u32>,
+    /// Max-heap of `(benefit key, Reverse(flat), epoch)` — larger benefit
+    /// first, ties to the smaller flat index, exactly the dense reduce.
+    heap: BinaryHeap<(u64, Reverse<u32>, u32)>,
+    /// Inverted distance index: per server, all other servers sorted by
+    /// `(dist_servers, index)` ascending. Used to enumerate the candidates
+    /// whose remote-gain term routes traffic of a perturbed hits row.
+    neighbors: Vec<Vec<u32>>,
+    /// Flat candidate indices to (re-)evaluate next iteration.
+    stale: Vec<u32>,
+    /// Cached fixed-point remote-gain sum per flat candidate (`i64::MIN` =
+    /// must recompute). The remote gain of `(i, j)` depends only on site
+    /// `j`'s column state (its contributor set, their nearest distances,
+    /// and their hit ratios at `j`), so a candidate staled for row-side
+    /// reasons — replicator and improved-server rows, the bulk of every
+    /// stale set — reuses the sum and re-evaluates in O(1) instead of
+    /// O(|contrib[j]|). The two column-side events are handled without a
+    /// full re-walk wherever possible: a placed replica voids exactly its
+    /// own site's column, and a hits-row change delta-updates the affected
+    /// sums in place (exact integer telescoping — the accumulator is
+    /// quantised precisely so this reversal is lossless).
+    remote: Vec<i64>,
+    /// Oracle fingerprint backing each current `hits` row (see
+    /// [`HitRatioOracle::buffer_signature`]).
+    row_sig: Vec<Option<u64>>,
+}
+
+impl LazyPlanner {
+    fn new(problem: &PlacementProblem, n: usize, m: usize) -> Self {
+        let neighbors = (0..n)
+            .map(|i| {
+                let mut v: Vec<u32> = (0..n as u32).filter(|&k| k as usize != i).collect();
+                v.sort_unstable_by_key(|&k| (problem.dist_servers(i, k as usize), k));
+                v
+            })
+            .collect();
+        Self {
+            benefit: vec![f64::NEG_INFINITY; n * m],
+            epoch: vec![0; n * m],
+            heap: BinaryHeap::new(),
+            neighbors,
+            // First iteration: every candidate is unscored.
+            stale: (0..(n * m) as u32).collect(),
+            remote: vec![i64::MIN; n * m],
+            row_sig: Vec::new(),
         }
     }
-    b
+
+    /// Discard superseded heap entries once the backlog exceeds ~2 full
+    /// candidate sets, bounding the heap at O(N·M) regardless of how many
+    /// re-evaluations the run performs.
+    fn compact(&mut self, nm: usize) {
+        if self.heap.len() > 2 * nm + 1024 {
+            let epoch = &self.epoch;
+            let live: Vec<_> = std::mem::take(&mut self.heap)
+                .into_iter()
+                .filter(|&(_, Reverse(flat), e)| epoch[flat as usize] == e)
+                .collect();
+            self.heap = BinaryHeap::from(live);
+        }
+    }
+
+    /// Best current-epoch candidate, discarding stale entries from the top.
+    /// The returned candidate is removed from the heap (its row is about to
+    /// be invalidated anyway).
+    fn pop_best(&mut self) -> Option<Candidate> {
+        while let Some(&(_, Reverse(flat), e)) = self.heap.peek() {
+            if self.epoch[flat as usize] == e {
+                self.heap.pop();
+                return Some(Candidate {
+                    benefit: self.benefit[flat as usize],
+                    flat: flat as usize,
+                });
+            }
+            self.heap.pop();
+        }
+        None
+    }
 }
 
 /// Run the hybrid algorithm with an explicit oracle.
@@ -307,6 +553,16 @@ pub fn hybrid_greedy(
     let m = problem.m_sites();
     let mut placement = Placement::primaries_only(problem);
 
+    // Opt-in heartbeat for internet-scale plans (they can run for many
+    // minutes with no output): set `CDN_PLAN_PROGRESS=<n>` to log every
+    // n-th greedy iteration to stderr. Reads the wall clock, so it stays
+    // strictly outside every deterministic output and counter.
+    let progress_every: usize = std::env::var("CDN_PLAN_PROGRESS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let started = std::time::Instant::now();
+
     // Lines 1–5 of Figure 2: all storage is cache; initial hit ratios and
     // initial cost.
     let mut hits: Vec<Vec<f64>> = (0..n)
@@ -318,12 +574,34 @@ pub fn hybrid_greedy(
     let initial_cost = predicted_cost(problem, &placement, |i, j| hits[i][j]);
     let mut cost = initial_cost;
     let mut benefits = Vec::new();
+    let mut replicas: Vec<(usize, usize)> = Vec::new();
     let mut memo = ShrinkMemo::new(n);
 
-    // Telemetry: the candidate scan runs on the pool, so the per-scan
-    // tally is a commutative atomic add; everything trace-visible is
-    // emitted from this (sequential) loop, keeping the stream independent
-    // of the thread schedule.
+    // Remote-gain contributor lists (shared by both planners); only the
+    // placed site's column ever changes, so columns are rebuilt one at a
+    // time. `contrib_column` assumes distinct servers are ≥ 1 hop apart.
+    debug_assert!((0..n).all(|a| (0..n).all(|b| a == b || problem.dist_servers(a, b) >= 1)));
+    let mut contrib: Vec<Vec<u32>> = (0..m)
+        .map(|j| contrib_column(problem, &placement, j))
+        .collect();
+
+    let mut lazy = (!config.dense_scan).then(|| {
+        let mut l = LazyPlanner::new(problem, n, m);
+        l.row_sig = (0..n)
+            .map(|i| oracle.buffer_signature(i, problem.buffer_objects(placement.free_bytes(i))))
+            .collect();
+        l
+    });
+
+    // How many candidates the dense scan would evaluate right now;
+    // maintained incrementally (only the replicator's row ever changes).
+    let mut feasible_now: u64 = (0..n * m)
+        .filter(|&flat| placement.fits(problem, flat / m, flat % m))
+        .count() as u64;
+
+    // Telemetry: the candidate scan runs on the pool, but the evaluated
+    // set (and hence every counter) is decided sequentially, keeping the
+    // stream independent of the thread schedule.
     let obs = telemetry::enabled();
     let span = if obs {
         telemetry::with_trace(|t| t.enter("placement.hybrid"))
@@ -346,53 +624,148 @@ pub fn hybrid_greedy(
         });
     }
 
+    let mut total_evaluated: u64 = 0;
+    if progress_every > 0 {
+        eprintln!(
+            "  [plan {:>8.1}s] initial state ready ({n} x {m} candidates); entering greedy loop",
+            started.elapsed().as_secs_f64(),
+        );
+    }
+
     while placement.replica_count() < config.max_replicas {
         memo.refresh_w(problem, &placement, &hits);
-        let scanned = AtomicU64::new(0);
-        let best = (0..n * m)
-            .into_par_iter()
-            .filter_map(|flat| {
-                let (i, j) = (flat / m, flat % m);
-                if !placement.fits(problem, i, j) {
-                    return None;
+
+        let (best, evaluated) = if let Some(l) = &mut lazy {
+            // Re-evaluate exactly the candidates whose inputs changed since
+            // their cached score was computed. Evaluation runs on the pool;
+            // the ordered collect + sequential merge keep the heap contents
+            // (and all counters) bit-identical at any thread count.
+            l.stale.sort_unstable();
+            l.stale.dedup();
+            let remote_cache: &[i64] = &l.remote;
+            let scores: Vec<(u32, Option<(f64, i64)>)> = l
+                .stale
+                .par_iter()
+                .map(|&flat| {
+                    let (i, j) = (flat as usize / m, flat as usize % m);
+                    if !placement.fits(problem, i, j) {
+                        return (flat, None);
+                    }
+                    let cached = remote_cache[flat as usize];
+                    let scored = evaluate_candidate(
+                        problem,
+                        &placement,
+                        oracle,
+                        &hits,
+                        &memo,
+                        &contrib,
+                        config.exact_shrink_scan,
+                        (cached != i64::MIN).then_some(cached),
+                        i,
+                        j,
+                    );
+                    (flat, Some(scored))
+                })
+                .collect();
+            l.stale.clear();
+            let mut evaluated = 0u64;
+            let mut remote_reused = 0u64;
+            for (flat, score) in scores {
+                let f = flat as usize;
+                l.epoch[f] = l.epoch[f].wrapping_add(1);
+                l.benefit[f] = f64::NEG_INFINITY;
+                if let Some((b, remote)) = score {
+                    evaluated += 1;
+                    if l.remote[f] != i64::MIN {
+                        remote_reused += 1;
+                    }
+                    l.remote[f] = remote;
+                    if b > config.min_benefit {
+                        l.benefit[f] = b;
+                        l.heap.push((benefit_key(b), Reverse(flat), l.epoch[f]));
+                    }
                 }
-                if obs {
-                    scanned.fetch_add(1, Ordering::Relaxed);
-                }
-                let benefit = evaluate_candidate(
-                    problem,
-                    &placement,
-                    oracle,
-                    &hits,
-                    &memo,
-                    config.exact_shrink_scan,
-                    i,
-                    j,
-                );
-                (benefit > config.min_benefit).then_some(Candidate { benefit, flat })
-            })
-            .reduce_with(|a, b| {
-                // Deterministic: larger benefit wins, ties to smaller index.
-                if (b.benefit, std::cmp::Reverse(b.flat)) > (a.benefit, std::cmp::Reverse(a.flat)) {
-                    b
-                } else {
-                    a
-                }
-            });
+            }
+            if obs && remote_reused > 0 {
+                telemetry::registry()
+                    .counter("placement.remote_gain_reused")
+                    .add(remote_reused);
+            }
+            l.compact(n * m);
+            (l.pop_best(), evaluated)
+        } else {
+            let best = (0..n * m)
+                .into_par_iter()
+                .filter_map(|flat| {
+                    let (i, j) = (flat / m, flat % m);
+                    if !placement.fits(problem, i, j) {
+                        return None;
+                    }
+                    let (benefit, _) = evaluate_candidate(
+                        problem,
+                        &placement,
+                        oracle,
+                        &hits,
+                        &memo,
+                        &contrib,
+                        config.exact_shrink_scan,
+                        None,
+                        i,
+                        j,
+                    );
+                    (benefit > config.min_benefit).then_some(Candidate { benefit, flat })
+                })
+                .reduce_with(|a, b| {
+                    // Deterministic: larger benefit wins, ties to smaller index.
+                    if (b.benefit, Reverse(b.flat)) > (a.benefit, Reverse(a.flat)) {
+                        b
+                    } else {
+                        a
+                    }
+                });
+            (best, feasible_now)
+        };
 
         if obs {
-            telemetry::registry()
-                .counter("placement.candidates_evaluated")
-                .add(scanned.load(Ordering::Relaxed));
-            telemetry::registry().counter("placement.iterations").inc();
+            let reg = telemetry::registry();
+            reg.counter("placement.candidates_evaluated").add(evaluated);
+            if lazy.is_some() {
+                reg.counter("placement.candidates_skipped_lazy")
+                    .add(feasible_now - evaluated);
+            }
+            reg.counter("placement.iterations").inc();
         }
         let Some(Candidate { benefit, flat }) = best else {
             break;
         };
         let (i, j) = (flat / m, flat % m);
+        let row_feasible = |placement: &Placement| -> u64 {
+            (0..m).filter(|&k| placement.fits(problem, i, k)).count() as u64
+        };
+        feasible_now -= row_feasible(&placement);
+        // Site j's nearest distances before the replica lands — the memo
+        // update below needs the old terms it is replacing.
+        let old_col: Vec<Hops> = (0..n)
+            .map(|k| placement.nearest_dist(problem, k, j))
+            .collect();
         let improved = placement.add_replica(problem, i, j);
+        feasible_now += row_feasible(&placement);
         cost -= benefit;
         benefits.push(benefit);
+        replicas.push((i, j));
+        total_evaluated += evaluated;
+        if progress_every > 0 && benefits.len() % progress_every == 0 {
+            eprintln!(
+                "  [plan {:>8.1}s] iter {:>6}: {} replicas, {} evaluated this iter \
+                 ({} total), benefit {:.3}",
+                started.elapsed().as_secs_f64(),
+                benefits.len(),
+                placement.replica_count(),
+                evaluated,
+                total_evaluated,
+                benefit,
+            );
+        }
         if obs {
             telemetry::registry()
                 .counter("placement.replicas_placed")
@@ -403,7 +776,7 @@ pub fn hybrid_greedy(
                     "placement.iter",
                     vec![
                         ("iter", Value::from(benefits.len())),
-                        ("candidates", Value::U64(scanned.load(Ordering::Relaxed))),
+                        ("candidates", Value::U64(evaluated)),
                         ("server", Value::from(i)),
                         ("site", Value::from(j)),
                         ("benefit", Value::from(benefit)),
@@ -413,20 +786,100 @@ pub fn hybrid_greedy(
             });
         }
         // Lines 22–23: refresh server i's hit ratios for its smaller cache,
-        // and drop every memo whose inputs changed: the replicator (new
-        // buffer + replica set) and every server whose nearest distance to
-        // site j improved.
+        // and shift every memoised sum by the one term this placement
+        // changed (replicator i and every server whose nearest distance to
+        // site j improved). The lazy planner reuses the whole row when the
+        // oracle fingerprints the shrunken buffer into the same
+        // quantisation cell, and records which entries actually changed —
+        // that set drives the hits-row part of the stale set below.
         let b = problem.buffer_objects(placement.free_bytes(i));
-        hits[i] = hit_row(problem, &placement, oracle, i, b);
-        memo.invalidate(i);
-        for k in improved {
-            memo.invalidate(k);
+        let changed_sites: Vec<(usize, f64, f64)> = if let Some(l) = &mut lazy {
+            let sig = oracle.buffer_signature(i, b);
+            let reused = sig.is_some() && sig == l.row_sig[i];
+            l.row_sig[i] = sig;
+            if reused {
+                if obs {
+                    telemetry::registry()
+                        .counter("placement.hit_rows_reused")
+                        .inc();
+                }
+                hits[i][j] = 0.0;
+                Vec::new()
+            } else {
+                let row = hit_row(problem, &placement, oracle, i, b);
+                // (site, old hit, new hit) — the delta pair the remote-gain
+                // cache update below needs to reverse the stale term exactly.
+                let changed = (0..m)
+                    .filter(|&k| k != j && row[k].to_bits() != hits[i][k].to_bits())
+                    .map(|k| (k, hits[i][k], row[k]))
+                    .collect();
+                hits[i] = row;
+                changed
+            }
+        } else {
+            hits[i] = hit_row(problem, &placement, oracle, i, b);
+            Vec::new()
+        };
+        memo.apply_replica(
+            problem, &placement, oracle, &hits, i, j, &old_col, &improved,
+        );
+        contrib[j] = contrib_column(problem, &placement, j);
+
+        if let Some(l) = &mut lazy {
+            // Stale set of this placement — everything whose evaluation
+            // inputs changed (and nothing else; see DESIGN.md §9.2 for the
+            // case analysis):
+            //  1. whole rows of the replicator and every improved server
+            //     (buffer, W/S memo, or a nearest distance changed);
+            //  2. the placed site's whole column (its nearest map and
+            //     remote-gain contributor set changed);
+            //  3. for each site whose hits[i][·] entry changed, the
+            //     candidates whose remote gain routes that traffic: servers
+            //     strictly closer to i than i's nearest copy of the site.
+            // Row-side staleness (cases 1): the remote-gain cache stays
+            // valid — nothing about those sites' columns changed.
+            for &r in improved.iter().chain(std::iter::once(&i)) {
+                let base = (r * m) as u32;
+                l.stale.extend(base..base + m as u32);
+            }
+            // Case 2, the placed site's column: its contributor set and
+            // nearest distances changed wholesale — void the remote-gain
+            // cache, the next scan re-walks the rebuilt contributor list.
+            for k in 0..n {
+                l.remote[k * m + j] = i64::MIN;
+                l.stale.push((k * m + j) as u32);
+            }
+            // Case 3, the hits-row fanout: exactly one contributor's hit
+            // ratio moved, so shift each still-cached sum by the exact
+            // fixed-point delta of that one term (same float expression as
+            // the scan's walk, so the quantised values cancel losslessly)
+            // instead of re-walking O(|contrib|) per candidate.
+            for &(jc, h_old, h_new) in &changed_sites {
+                let lim = placement.nearest_dist(problem, i, jc);
+                let cur = lim as f64;
+                let r_ijc = problem.requests(i, jc) as f64;
+                for &k in &l.neighbors[i] {
+                    let via = problem.dist_servers(i, k as usize);
+                    if via >= lim {
+                        break;
+                    }
+                    let f = k as usize * m + jc;
+                    if l.remote[f] != i64::MIN {
+                        let via = via as f64;
+                        l.remote[f] += quantize_remote_term((cur - via) * (1.0 - h_new) * r_ijc)
+                            - quantize_remote_term((cur - via) * (1.0 - h_old) * r_ijc);
+                    }
+                    l.stale.push(f as u32);
+                }
+            }
         }
     }
 
-    // The tracked cost drifts by at most the oracle's quantisation error;
-    // report the exactly recomputed value (read cost plus any update-
-    // propagation cost of the placed replicas).
+    // The tracked cost drifts from the exact recomputation by at most the
+    // oracle's quantisation error; report the exactly recomputed value
+    // (read cost plus any update-propagation cost of the placed replicas)
+    // and fail loudly if the planner's bookkeeping ever diverges beyond
+    // the documented bound.
     let final_cost = crate::cost::total_cost(problem, &placement, |i, j| hits[i][j]);
     if obs {
         telemetry::registry()
@@ -445,9 +898,10 @@ pub fn hybrid_greedy(
             telemetry::with_trace(|t| t.exit(id));
         }
     }
-    debug_assert!(
-        (final_cost - cost).abs() <= 0.05 * initial_cost.max(1.0),
-        "tracked cost {cost} drifted from exact {final_cost}"
+    assert!(
+        (final_cost - cost).abs() <= COST_DRIFT_TOLERANCE * initial_cost.max(1.0),
+        "tracked cost {cost} drifted from exact {final_cost} beyond \
+         {COST_DRIFT_TOLERANCE} * {initial_cost}"
     );
 
     HybridOutcome {
@@ -456,6 +910,7 @@ pub fn hybrid_greedy(
         initial_cost,
         final_cost,
         benefits,
+        replicas,
     }
 }
 
@@ -480,6 +935,26 @@ pub fn paper_oracle_for(problem: &PlacementProblem) -> PaperOracle {
     PaperOracle::new(model, &pops, &buffers)
 }
 
+/// Che's-approximation oracle for `problem`'s workload parameters (the
+/// model ablation's second backend).
+pub fn che_oracle_for(problem: &PlacementProblem) -> CheOracle {
+    let model = CheModel::new(problem.objects_per_site, problem.theta);
+    let pops: Vec<Vec<f64>> = (0..problem.n_servers())
+        .map(|i| problem.popularity_row(i))
+        .collect();
+    CheOracle::new(model, pops)
+}
+
+/// The closed-form characteristic-rank oracle for `problem`'s workload
+/// parameters (the model ablation's third backend).
+pub fn closed_form_oracle_for(problem: &PlacementProblem) -> ClosedFormOracle {
+    let model = ClosedFormLru::new(problem.objects_per_site, problem.theta);
+    let pops: Vec<Vec<f64>> = (0..problem.n_servers())
+        .map(|i| problem.popularity_row(i))
+        .collect();
+    ClosedFormOracle::new(model, &pops)
+}
+
 /// Pure caching: no replicas at all, every byte is cache. Included for the
 /// paper's three-way comparison.
 pub fn pure_caching(problem: &PlacementProblem, oracle: &dyn HitRatioOracle) -> HybridOutcome {
@@ -497,6 +972,7 @@ pub fn pure_caching(problem: &PlacementProblem, oracle: &dyn HitRatioOracle) -> 
         initial_cost: cost,
         final_cost: cost,
         benefits: Vec::new(),
+        replicas: Vec::new(),
     }
 }
 
@@ -511,6 +987,16 @@ mod tests {
         hybrid_greedy_paper(problem, &HybridConfig::default())
     }
 
+    fn run_dense(problem: &PlacementProblem) -> HybridOutcome {
+        hybrid_greedy_paper(
+            problem,
+            &HybridConfig {
+                dense_scan: true,
+                ..Default::default()
+            },
+        )
+    }
+
     #[test]
     fn outcome_invariants() {
         let p = line_problem(4, 6, 5000, 12_000, uniform_demand(4, 6, 50));
@@ -518,6 +1004,10 @@ mod tests {
         out.placement.validate(&p);
         assert!(out.final_cost <= out.initial_cost + 1e-9);
         assert!(out.benefits.iter().all(|&b| b > 0.0));
+        assert_eq!(out.benefits.len(), out.replicas.len());
+        for &(i, j) in &out.replicas {
+            assert!(out.placement.is_replicated(i, j));
+        }
         for i in 0..4 {
             for j in 0..6 {
                 let h = out.hit(i, j);
@@ -585,6 +1075,39 @@ mod tests {
     }
 
     #[test]
+    fn cost_drift_stays_within_documented_tolerance() {
+        // Regression for the cost-drift contract: the incrementally tracked
+        // cost must stay within COST_DRIFT_TOLERANCE of the recomputation
+        // on every instance, in both planner modes, including update-heavy
+        // problems where benefits carry a consistency charge.
+        for seed in 0..4u64 {
+            let mut demand = uniform_demand(4, 7, 30 + seed);
+            for (idx, d) in demand.iter_mut().enumerate() {
+                *d += (idx as u64 * 5 + seed) % 11;
+            }
+            let mut p = line_problem(4, 7, 3000 + 500 * seed, 13_000, demand);
+            if seed % 2 == 1 {
+                p.set_update_rates(vec![3 + seed; 7]);
+            }
+            for dense in [false, true] {
+                let out = hybrid_greedy_paper(
+                    &p,
+                    &HybridConfig {
+                        dense_scan: dense,
+                        ..Default::default()
+                    },
+                );
+                let bound = COST_DRIFT_TOLERANCE * out.initial_cost.max(1.0);
+                assert!(
+                    out.cost_drift() <= bound,
+                    "seed {seed} dense {dense}: drift {} > {bound}",
+                    out.cost_drift()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn deterministic() {
         let p = line_problem(4, 5, 3000, 9000, uniform_demand(4, 5, 20));
         let a = run(&p);
@@ -608,9 +1131,42 @@ mod tests {
         assert_eq!(bits(&a.benefits), bits(&one.benefits));
         assert_eq!(one.final_cost.to_bits(), four.final_cost.to_bits());
         assert_eq!(one.initial_cost.to_bits(), four.initial_cost.to_bits());
+        assert_eq!(one.replicas, four.replicas);
         for i in 0..4 {
             assert_eq!(one.placement.sites_at(i), four.placement.sites_at(i));
             assert_eq!(bits(&one.hit_ratios[i]), bits(&four.hit_ratios[i]));
+        }
+    }
+
+    #[test]
+    fn lazy_planner_matches_dense_scan_bit_for_bit() {
+        // The correctness contract of the incremental planner: identical
+        // (server, site, benefit) trace to the dense rescan, at 1 and 4
+        // threads. (tests/differential.rs drives this on random problems.)
+        let pool = |n: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .unwrap()
+        };
+        for seed in 0..3u64 {
+            let mut demand = uniform_demand(5, 7, 35 + seed);
+            for (idx, d) in demand.iter_mut().enumerate() {
+                *d += (idx as u64 * 3 + seed) % 9;
+            }
+            let p = line_problem(5, 7, 2500 + 400 * seed, 12_000, demand);
+            let dense = run_dense(&p);
+            let lazy1 = pool(1).install(|| run(&p));
+            let lazy4 = pool(4).install(|| run(&p));
+            let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            for lazy in [&lazy1, &lazy4] {
+                assert_eq!(dense.replicas, lazy.replicas, "seed {seed}");
+                assert_eq!(bits(&dense.benefits), bits(&lazy.benefits), "seed {seed}");
+                assert_eq!(dense.final_cost.to_bits(), lazy.final_cost.to_bits());
+                for i in 0..5 {
+                    assert_eq!(bits(&dense.hit_ratios[i]), bits(&lazy.hit_ratios[i]));
+                }
+            }
         }
     }
 
@@ -695,5 +1251,29 @@ mod tests {
         // Caching must beat a cache-less primaries-only system.
         let no_cache = replication_only_cost(&p, &out.placement);
         assert!(out.final_cost < no_cache);
+    }
+
+    #[test]
+    fn benefit_key_is_monotone() {
+        let xs = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.5,
+            -1e-300,
+            0.0,
+            1e-300,
+            1.0,
+            2.5,
+            1e300,
+            f64::INFINITY,
+        ];
+        for w in xs.windows(2) {
+            assert!(
+                benefit_key(w[0]) < benefit_key(w[1]),
+                "{} !< {}",
+                w[0],
+                w[1]
+            );
+        }
     }
 }

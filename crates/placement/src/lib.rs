@@ -44,7 +44,7 @@ pub use exhaustive::{exhaustive_optimal, ExhaustiveOutcome};
 pub use greedy_global::greedy_global;
 pub use greedy_local::greedy_local;
 pub use hybrid::{hybrid_greedy, HybridConfig, HybridOutcome};
-pub use oracle::{CheOracle, HitRatioOracle, PaperOracle};
+pub use oracle::{CheOracle, ClosedFormOracle, HitRatioOracle, PaperOracle};
 pub use problem::PlacementProblem;
 pub use solution::{Nearest, Placement, RankedHolder};
 

@@ -4,9 +4,11 @@
 //! `b` objects, what hit ratio does a site with popularity `p` achieve
 //! there?* [`PaperOracle`] answers with the paper's analytical model
 //! (Equations 1–2, memoised per the paper's pre-computation scheme);
-//! [`CheOracle`] answers with Che's approximation, for the model ablation.
+//! [`CheOracle`] answers with Che's approximation, for the model ablation;
+//! [`ClosedFormOracle`] answers with the closed-form characteristic-rank
+//! model — O(1) per query after a scalar solve per `(server, buffer)`.
 
-use cdn_lru_model::{CheModel, HitRatioTable, LruModel};
+use cdn_lru_model::{CheModel, ClosedFormLru, DemandScale, HitRatioTable, LruModel};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
@@ -15,6 +17,17 @@ pub trait HitRatioOracle: Sync + Send {
     /// Hit ratio of a site with popularity `p` (relative to all requests of
     /// server `server`) when that server's cache holds `b` objects.
     fn site_hit_ratio(&self, server: usize, p: f64, b: usize) -> f64;
+
+    /// Opaque fingerprint of the oracle's whole response surface at
+    /// `(server, b)`: if two buffer sizes return equal `Some` fingerprints,
+    /// `site_hit_ratio(server, p, ·)` is guaranteed bit-identical between
+    /// them for **every** `p`. `None` makes no such guarantee and callers
+    /// must recompute. The lazy hybrid planner uses this to skip whole
+    /// hit-ratio row refreshes when a buffer shrink stays inside one
+    /// quantisation cell.
+    fn buffer_signature(&self, _server: usize, _b: usize) -> Option<u64> {
+        None
+    }
 }
 
 /// The paper's model. Per the paper's implementation notes:
@@ -30,6 +43,13 @@ pub struct PaperOracle {
     table: HitRatioTable,
     /// Fixed-at-init p_B per server.
     p_b: Vec<f64>,
+    /// `K(B, p_B)` per `(server, buffer)`. The small-buffer horizon is an
+    /// exact O(B) summation and every oracle query needs the horizon just
+    /// to build its memo-table key, so planners re-probing the same
+    /// buffers would otherwise pay the summation millions of times.
+    /// Compute-once under the lock: the amount of model work stays a pure
+    /// function of the query set, independent of thread schedule.
+    horizons: Vec<Mutex<HashMap<usize, f64>>>,
 }
 
 impl PaperOracle {
@@ -43,10 +63,27 @@ impl PaperOracle {
             .zip(initial_buffers)
             .map(|(pops, &b)| model.top_b_mass(pops, b))
             .collect();
+        let horizons = (0..per_server_pops.len())
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect();
         Self {
             table: HitRatioTable::planner_default(model),
             p_b,
+            horizons,
         }
+    }
+
+    fn horizon(&self, server: usize, b: usize) -> f64 {
+        let mut memo = self.horizons[server].lock();
+        if let Some(&k) = memo.get(&b) {
+            return k;
+        }
+        let k = self
+            .table
+            .model()
+            .eviction_horizon_approx(b, self.p_b[server]);
+        memo.insert(b, k);
+        k
     }
 
     /// The fixed `p_B` of a server.
@@ -65,11 +102,20 @@ impl HitRatioOracle for PaperOracle {
         if b == 0 || p <= 0.0 {
             return 0.0;
         }
-        let k = self
-            .table
-            .model()
-            .eviction_horizon_approx(b, self.p_b[server]);
+        let k = self.horizon(server, b);
         self.table.site_hit_ratio(p, k)
+    }
+
+    fn buffer_signature(&self, server: usize, b: usize) -> Option<u64> {
+        // `b` only reaches the table through the quantised horizon, so the
+        // K cell is a complete fingerprint of the row this buffer produces.
+        // (`b == 0` short-circuits to an all-zero row, which the K≈0 cell 0
+        // also denotes — a harmless collision, both rows are identical.)
+        if b == 0 {
+            return Some(0);
+        }
+        let k = self.horizon(server, b);
+        Some(self.table.k_cell(k))
     }
 }
 
@@ -116,6 +162,58 @@ impl HitRatioOracle for CheOracle {
         }
         let t = self.characteristic_time(server, b);
         self.model.site_hit_ratio(p, t)
+    }
+}
+
+/// The closed-form model: per-site hit ratios in O(1) arithmetic once the
+/// shared characteristic scale `τ` of a `(server, buffer)` pair is known.
+/// The `τ` bisection costs O(M·64) and is memoised compute-once, so racing
+/// rayon workers never both pay for it and the amount of solver work is a
+/// pure function of the query set — independent of thread schedule.
+pub struct ClosedFormOracle {
+    model: ClosedFormLru,
+    /// Per-server demand geometry (site popularity mix).
+    scales: Vec<DemandScale>,
+    /// (server, b) → τ.
+    memo: Mutex<HashMap<(usize, usize), f64>>,
+}
+
+impl ClosedFormOracle {
+    pub fn new(model: ClosedFormLru, per_server_pops: &[Vec<f64>]) -> Self {
+        let scales = per_server_pops
+            .iter()
+            .map(|pops| model.demand_scale(pops))
+            .collect();
+        Self {
+            model,
+            scales,
+            memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying model (for instrumentation and ablations).
+    pub fn model(&self) -> &ClosedFormLru {
+        &self.model
+    }
+
+    fn characteristic_scale(&self, server: usize, b: usize) -> f64 {
+        let mut memo = self.memo.lock();
+        if let Some(&tau) = memo.get(&(server, b)) {
+            return tau;
+        }
+        let tau = self.model.characteristic_scale(b, &self.scales[server]);
+        memo.insert((server, b), tau);
+        tau
+    }
+}
+
+impl HitRatioOracle for ClosedFormOracle {
+    fn site_hit_ratio(&self, server: usize, p: f64, b: usize) -> f64 {
+        if b == 0 || p <= 0.0 {
+            return 0.0;
+        }
+        let tau = self.characteristic_scale(server, b);
+        self.model.site_hit_ratio_at(p, tau)
     }
 }
 
@@ -173,13 +271,33 @@ mod tests {
     fn oracles_roughly_agree() {
         let paper = paper_oracle();
         let che = CheOracle::new(CheModel::new(100, 1.0), pops());
+        let cf = ClosedFormOracle::new(ClosedFormLru::new(100, 1.0), &pops());
         for &(s, p, b) in &[(0usize, 0.3f64, 100usize), (1, 0.8, 60), (0, 0.2, 200)] {
             let hp = paper.site_hit_ratio(s, p, b);
             let hc = che.site_hit_ratio(s, p, b);
+            let hf = cf.site_hit_ratio(s, p, b);
             assert!(
                 (hp - hc).abs() < 0.12,
                 "server {s} p {p} b {b}: paper {hp} vs che {hc}"
             );
+            assert!(
+                (hp - hf).abs() < 0.15,
+                "server {s} p {p} b {b}: paper {hp} vs closed-form {hf}"
+            );
         }
+    }
+
+    #[test]
+    fn closed_form_oracle_memoises_and_degenerates() {
+        let o = ClosedFormOracle::new(ClosedFormLru::new(100, 1.0), &pops());
+        assert_eq!(o.site_hit_ratio(0, 0.5, 0), 0.0);
+        assert_eq!(o.site_hit_ratio(0, 0.0, 100), 0.0);
+        let a = o.site_hit_ratio(1, 0.8, 60);
+        let b = o.site_hit_ratio(1, 0.8, 60);
+        assert_eq!(a, b);
+        assert_eq!(o.memo.lock().len(), 1);
+        let bigger = o.site_hit_ratio(1, 0.8, 120);
+        assert_eq!(o.memo.lock().len(), 2);
+        assert!(bigger >= a, "more buffer can't hurt: {bigger} < {a}");
     }
 }

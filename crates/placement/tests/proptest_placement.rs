@@ -19,7 +19,12 @@ fn arb_problem() -> impl Strategy<Value = PlacementProblem> {
         let mut dist_ss = vec![0u32; n * n];
         for i in 0..n {
             for k in 0..n {
-                dist_ss[i * n + k] = (coords[i] - coords[k]).unsigned_abs() as u32;
+                if i != k {
+                    // +1: servers are distinct nodes, so they are at least
+                    // one hop apart (the metric stays triangle-respecting:
+                    // both sides of the inequality gain at least as much).
+                    dist_ss[i * n + k] = (coords[i] - coords[k]).unsigned_abs() as u32 + 1;
+                }
             }
         }
         let mut dist_sp = vec![0u32; n * m];

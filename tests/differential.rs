@@ -14,7 +14,7 @@
 //! margin. Keep the two in sync when tuning either.
 
 use cdn_cache::{Cache, LruCache, ObjectKey};
-use cdn_lru_model::{CheModel, LruModel};
+use cdn_lru_model::{CheModel, ClosedFormLru, LruModel};
 use cdn_placement::hybrid::hybrid_greedy_paper;
 use cdn_placement::{
     exhaustive_optimal, greedy_global, replication_cost_lower_bound, replication_only_cost,
@@ -95,11 +95,14 @@ proptest! {
         let paper = LruModel::from_zipf(zipf.clone());
         let che = CheModel::from_zipf(zipf.clone());
 
+        let closed = ClosedFormLru::from_zipf(zipf.clone());
+
         let h_paper = paper_aggregate_hit_ratio(&paper, &site_pops, b);
         let h_che = che.aggregate_hit_ratio(&site_pops, b);
+        let h_closed = closed.aggregate_hit_ratio(&site_pops, b);
         let h_trace = trace_lru_hit_ratio(&site_pops, &zipf, b, seed);
 
-        for h in [h_paper, h_che, h_trace] {
+        for h in [h_paper, h_che, h_closed, h_trace] {
             prop_assert!((0.0..=1.0).contains(&h), "hit ratio {h} out of [0,1]");
         }
         // Che's approximation is near-exact under IRM; the trace is the
@@ -112,6 +115,13 @@ proptest! {
             "paper {h_paper:.4} vs che {h_che:.4} (b={b}, θ={theta:.2}, sites={n_sites}, L={l})");
         prop_assert!((h_paper - h_trace).abs() <= 0.15,
             "paper {h_paper:.4} vs trace {h_trace:.4} (b={b}, θ={theta:.2}, sites={n_sites}, L={l})");
+        // The closed-form model replaces the paper's tabulated series with
+        // O(1) arithmetic; it must stay within the same band of the table
+        // model it substitutes for (DESIGN.md documents the calibration).
+        prop_assert!((h_closed - h_paper).abs() <= 0.15,
+            "closed-form {h_closed:.4} vs paper {h_paper:.4} (b={b}, θ={theta:.2}, sites={n_sites}, L={l})");
+        prop_assert!((h_closed - h_trace).abs() <= 0.15,
+            "closed-form {h_closed:.4} vs trace {h_trace:.4} (b={b}, θ={theta:.2}, sites={n_sites}, L={l})");
     }
 }
 
@@ -196,6 +206,45 @@ proptest! {
             + update_cost(&problem, &hybrid.placement);
         prop_assert!(hybrid_cost + 1e-9 >= optimal.cost,
             "hybrid {hybrid_cost} below exhaustive optimum {}", optimal.cost);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 2b: the incremental lazy-greedy hybrid planner vs. the dense
+// Figure-2 rescan — same problem, same oracle, two independently written
+// inner loops. The contract is bit-identicality of the full greedy trace,
+// not approximate agreement: the lazy planner re-evaluates exactly the
+// candidates whose inputs changed, so any divergence means its stale-set
+// bookkeeping missed an invalidation.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn lazy_hybrid_matches_dense_hybrid_bit_for_bit(
+        n in 2usize..=4,
+        m in 3usize..=6,
+        seed in any::<u64>(),
+        with_updates in any::<bool>(),
+    ) {
+        let problem = random_problem(n, m, seed, with_updates);
+        let lazy = hybrid_greedy_paper(&problem, &HybridConfig::default());
+        let dense = hybrid_greedy_paper(&problem, &HybridConfig {
+            dense_scan: true,
+            ..HybridConfig::default()
+        });
+        prop_assert_eq!(&lazy.replicas, &dense.replicas);
+        let (a, b): (Vec<u64>, Vec<u64>) = (
+            lazy.benefits.iter().map(|x| x.to_bits()).collect(),
+            dense.benefits.iter().map(|x| x.to_bits()).collect(),
+        );
+        prop_assert_eq!(a, b, "benefit traces diverge");
+        prop_assert_eq!(lazy.initial_cost.to_bits(), dense.initial_cost.to_bits());
+        prop_assert_eq!(lazy.final_cost.to_bits(), dense.final_cost.to_bits());
+        for (ra, rb) in lazy.hit_ratios.iter().zip(&dense.hit_ratios) {
+            for (ha, hb) in ra.iter().zip(rb) {
+                prop_assert_eq!(ha.to_bits(), hb.to_bits(), "hit rows diverge");
+            }
+        }
     }
 }
 
