@@ -342,16 +342,30 @@ fn check_max_seconds(current: &Json, max: f64, table: &mut Vec<String>) -> Vec<S
     }
 }
 
-/// Append the delta tables as Markdown to `$GITHUB_STEP_SUMMARY`, if set.
-/// Plain-text tables go inside a code fence — exact alignment, zero markup
-/// escaping concerns — with the verdict as a heading.
+/// Append the delta tables as Markdown to `$GITHUB_STEP_SUMMARY`, or print
+/// them to stdout when the variable is unset/empty (local runs get the same
+/// report CI does). Plain-text tables go inside a code fence — exact
+/// alignment, zero markup escaping concerns — with the verdict as a heading.
 fn write_step_summary(tier: &str, sections: &[(&str, &[String])], failures: &[String]) {
-    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
-        return;
-    };
+    let body = render_step_summary(tier, sections, failures);
+    let path = std::env::var("GITHUB_STEP_SUMMARY").unwrap_or_default();
     if path.is_empty() {
+        print!("{body}");
         return;
     }
+    use std::io::Write as _;
+    match std::fs::OpenOptions::new().append(true).open(&path) {
+        Ok(mut f) => {
+            if let Err(e) = f.write_all(body.as_bytes()) {
+                eprintln!("perf_gate: writing step summary: {e}");
+            }
+        }
+        Err(e) => eprintln!("perf_gate: opening step summary {path}: {e}"),
+    }
+}
+
+/// The Markdown body [`write_step_summary`] emits.
+fn render_step_summary(tier: &str, sections: &[(&str, &[String])], failures: &[String]) -> String {
     let mut body = String::new();
     body.push_str(&format!(
         "### perf gate (`{tier}` tier): {}\n\n",
@@ -376,15 +390,7 @@ fn write_step_summary(tier: &str, sections: &[(&str, &[String])], failures: &[St
         }
         body.push('\n');
     }
-    use std::io::Write as _;
-    match std::fs::OpenOptions::new().append(true).open(&path) {
-        Ok(mut f) => {
-            if let Err(e) = f.write_all(body.as_bytes()) {
-                eprintln!("perf_gate: writing step summary: {e}");
-            }
-        }
-        Err(e) => eprintln!("perf_gate: opening step summary {path}: {e}"),
-    }
+    body
 }
 
 fn main() -> ExitCode {
@@ -494,5 +500,28 @@ fn main() -> ExitCode {
             println!("  - {f}");
         }
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::render_step_summary;
+
+    #[test]
+    fn step_summary_renders_verdict_sections_and_failures() {
+        let work = ["  counter  1  1  ok".to_string()];
+        let body = render_step_summary(
+            "quick",
+            &[("Deterministic work counters (exact)", &work[..])],
+            &[],
+        );
+        assert!(
+            body.contains("### perf gate (`quick` tier): PASS"),
+            "{body}"
+        );
+        assert!(body.contains("```text\n  counter  1  1  ok\n```"), "{body}");
+        let body = render_step_summary("quick", &[], &["counter drifted".to_string()]);
+        assert!(body.contains("FAIL"), "{body}");
+        assert!(body.contains("- counter drifted"), "{body}");
     }
 }

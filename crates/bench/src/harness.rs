@@ -87,6 +87,11 @@ pub struct BenchArgs {
     /// Sample every Nth simulated request into `results/<bin>_samples.jsonl`
     /// (`--sample-every <n>`). Deterministic: keyed on stream index.
     pub sample_every: Option<u64>,
+    /// Virtual-time window width for the windowed timeline
+    /// (`--window <n>`), written to `results/<bin>_timeline.json` and
+    /// `.csv`. `--window 0` is the documented off switch, so unlike
+    /// `--sample-every` a zero value parses cleanly.
+    pub window: Option<u64>,
     /// Suppress the stderr progress heartbeats (`--quiet`).
     pub quiet: bool,
 }
@@ -104,7 +109,8 @@ pub enum ArgError {
 pub fn usage(bin: &str) -> String {
     format!(
         "usage: {bin} [--scale <tier>] [--quick] [--threads <n>] [--trace-out <path>]\n\
-         \x20          [--metrics-out <path>] [--profile-out <path>] [--sample-every <n>] [--quiet]\n\
+         \x20          [--metrics-out <path>] [--profile-out <path>] [--sample-every <n>]\n\
+         \x20          [--window <n>] [--quiet]\n\
          \n\
          \x20 --scale <tier>        quick | paper | large | large-ci (default: paper)\n\
          \x20 --quick               shorthand for --scale quick\n\
@@ -114,6 +120,8 @@ pub fn usage(bin: &str) -> String {
          \x20 --profile-out <path>  write a wall-clock Chrome trace profile to <path>\n\
          \x20                       (load in chrome://tracing or Perfetto)\n\
          \x20 --sample-every <n>    sample every Nth request into <bin>_samples.jsonl\n\
+         \x20 --window <n>          bucket measured requests into n-tick virtual-time\n\
+         \x20                       windows, written to <bin>_timeline.json/.csv (0 = off)\n\
          \x20 --quiet               suppress stderr progress heartbeats\n\
          \x20 --help                print this message\n"
     )
@@ -133,6 +141,7 @@ impl BenchArgs {
             metrics_out: None,
             profile_out: None,
             sample_every: None,
+            window: None,
             quiet: false,
         };
         let mut it = args.into_iter();
@@ -161,6 +170,16 @@ impl BenchArgs {
                         return Err(ArgError::Bad("--sample-every must be at least 1".into()));
                     }
                     out.sample_every = Some(n);
+                }
+                "--window" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError::Bad("--window needs a value".into()))?;
+                    let n: u64 = v
+                        .parse()
+                        .map_err(|_| ArgError::Bad(format!("--window: bad value `{v}`")))?;
+                    // 0 is valid: it is the documented timeline off switch.
+                    out.window = Some(n);
                 }
                 "--profile-out" => {
                     let v = it
@@ -250,6 +269,7 @@ impl BenchArgs {
     pub fn config(&self, capacity: f64, lambda: f64, mode: LambdaMode) -> ScenarioConfig {
         let mut cfg = self.scale.config(capacity, lambda, mode);
         cfg.sim.sample_every = self.sample_every;
+        cfg.sim.window = self.window;
         cfg
     }
 
@@ -279,6 +299,20 @@ impl BenchArgs {
         };
         if !samples.is_empty() {
             write_json(&format!("{bin}_samples.jsonl"), &samples);
+        }
+        let timelines = {
+            let mut sink = lock_timelines();
+            std::mem::take(&mut *sink)
+        };
+        if !timelines.is_empty() {
+            write_json(
+                &format!("{bin}_timeline.json"),
+                &cdn_sim::render_timeline_json(&timelines),
+            );
+            write_json(
+                &format!("{bin}_timeline.csv"),
+                &cdn_sim::render_timeline_csv(&timelines),
+            );
         }
         if let Some(path) = &self.profile_out {
             let profile = telemetry::profile::drain_chrome_trace().unwrap_or_default();
@@ -325,6 +359,27 @@ pub fn record_samples(run: &str, report: &SimReport) {
     }
     let mut sink = lock_samples();
     cdn_sim::render_samples_jsonl(run, report, &mut sink);
+}
+
+fn timelines_sink() -> &'static Mutex<Vec<(String, cdn_sim::Timeline)>> {
+    static SINK: OnceLock<Mutex<Vec<(String, cdn_sim::Timeline)>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn lock_timelines() -> std::sync::MutexGuard<'static, Vec<(String, cdn_sim::Timeline)>> {
+    timelines_sink()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Append `report`'s windowed timeline (if enabled) to the process-wide
+/// timeline sink, tagged with `run`; [`BenchArgs::finish`] writes the sink
+/// to `results/<bin>_timeline.json` and `.csv`.
+pub fn record_timeline(run: &str, report: &SimReport) {
+    let Some(tl) = &report.timeline else {
+        return;
+    };
+    lock_timelines().push((run.to_string(), tl.clone()));
 }
 
 /// Write `body` to `path`, exiting with a contextful message on failure
@@ -485,6 +540,7 @@ pub fn run_strategies(scenario: &Scenario, strategies: &[Strategy]) -> Vec<Strat
             };
             let sim_seconds = t1.elapsed().as_secs_f64();
             record_samples(&format!("r{run}:{}", strategy.name()), &report);
+            record_timeline(&format!("r{run}:{}", strategy.name()), &report);
             println!(
                 "  {:<16} plan {:>6.1}s  sim {:>6.1}s  mean {:>8.2} ms  local {:>5.1}%  replicas {}",
                 strategy.name(),
@@ -699,6 +755,7 @@ mod tests {
         assert_eq!(a.metrics_out, None);
         assert_eq!(a.profile_out, None);
         assert_eq!(a.sample_every, None);
+        assert_eq!(a.window, None);
         assert!(!a.quiet);
     }
 
@@ -716,6 +773,8 @@ mod tests {
             "/tmp/p.json",
             "--sample-every",
             "1000",
+            "--window",
+            "256",
             "--quiet",
         ])
         .unwrap();
@@ -725,7 +784,20 @@ mod tests {
         assert_eq!(a.metrics_out.as_deref(), Some(Path::new("/tmp/m.json")));
         assert_eq!(a.profile_out.as_deref(), Some(Path::new("/tmp/p.json")));
         assert_eq!(a.sample_every, Some(1000));
+        assert_eq!(a.window, Some(256));
         assert!(a.quiet);
+    }
+
+    #[test]
+    fn window_zero_is_accepted_as_off_switch() {
+        // Unlike --sample-every, --window 0 is a documented no-op.
+        assert_eq!(parse(&["--window", "0"]).unwrap().window, Some(0));
+        assert!(matches!(parse(&["--window"]), Err(ArgError::Bad(_))));
+        assert!(matches!(
+            parse(&["--window", "wide"]),
+            Err(ArgError::Bad(_))
+        ));
+        assert!(usage("fig3").contains("--window"));
     }
 
     #[test]
@@ -736,8 +808,10 @@ mod tests {
             None
         );
         a.sample_every = Some(64);
+        a.window = Some(128);
         let cfg = a.config(0.1, 0.0, LambdaMode::Uncacheable);
         assert_eq!(cfg.sim.sample_every, Some(64));
+        assert_eq!(cfg.sim.window, Some(128));
         // The sampler rides along without touching the scale parameters.
         assert_eq!(
             cfg.hosts.n_servers,

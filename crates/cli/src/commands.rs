@@ -23,7 +23,8 @@ USAGE:
   hybrid-cdn topology [--scale small|paper|large] [--seed N] [--dot FILE] [--csv FILE]
   hybrid-cdn workload [--theta 1.0] [--sites 15] [--objects 200] [--seed N]
   hybrid-cdn report   [--metrics FILE] [--profile FILE] [--samples FILE]
-                      [--trace FILE] [--top N]
+                      [--trace FILE] [--timeline FILE] [--top N]
+                      [--format text|json|openmetrics]
   hybrid-cdn help
 
 FAULT OPTIONS (enable fault injection / failover routing in the simulator):
@@ -38,13 +39,20 @@ bytes at any --threads value):
   --metrics-out FILE    write the counters/gauges/histograms snapshot to FILE
   --sample-every N      sample every Nth request per server stream
   --samples-out FILE    write sampled request paths (JSONL) to FILE
+  --window N            bucket measured requests into N-tick virtual-time
+                        windows (0 = off); timelines are byte-identical at
+                        any --threads value and any shard count
+  --timeline-out FILE   write the windowed timeline JSON to FILE
   --profile-out FILE    write a WALL-CLOCK Chrome trace profile to FILE
                         (load in chrome://tracing or Perfetto; timed data
                         lives only here — the files above stay byte-identical)
 
 `hybrid-cdn report` renders these artifacts: a latency-attribution table
 plus percentile ladder from --metrics, per-phase self-time from --profile,
-cause mix and slowest requests from --samples, span tallies from --trace.
+cause mix and slowest requests from --samples, span tallies from --trace,
+per-window sparklines and a per-server hotspot table from --timeline.
+`--format json` emits the report machine-readable; `--format openmetrics`
+re-exports the --metrics snapshot in OpenMetrics text format.
 
 STRATEGIES (for --strategy):
   hybrid | replication | caching | popularity | greedy-local | backtrack
@@ -67,6 +75,8 @@ pub const SCENARIO_KEYS: &[&str] = &[
     "profile-out",
     "sample-every",
     "samples-out",
+    "window",
+    "timeline-out",
 ];
 
 /// Observability outputs requested on the command line. Constructing it
@@ -83,6 +93,10 @@ struct Observability {
     samples_out: Option<String>,
     /// Rendered sampled-request JSONL, accumulated via [`Self::record_samples`].
     samples: String,
+    timeline_out: Option<String>,
+    /// Windowed timelines buffered via [`Self::record_timeline`], rendered
+    /// to JSON at flush time.
+    timelines: Vec<(String, cdn_core::sim::Timeline)>,
 }
 
 impl Observability {
@@ -93,6 +107,8 @@ impl Observability {
             profile_out: a.get("profile-out").map(str::to_string),
             samples_out: a.get("samples-out").map(str::to_string),
             samples: String::new(),
+            timeline_out: a.get("timeline-out").map(str::to_string),
+            timelines: Vec::new(),
         };
         if obs.trace_out.is_some() || obs.metrics_out.is_some() {
             telemetry::reset_metrics();
@@ -114,6 +130,15 @@ impl Observability {
         }
     }
 
+    /// Buffer one simulation's windowed timeline under `run`.
+    fn record_timeline(&mut self, run: &str, report: &cdn_core::sim::SimReport) {
+        if self.timeline_out.is_some() {
+            if let Some(tl) = &report.timeline {
+                self.timelines.push((run.to_string(), tl.clone()));
+            }
+        }
+    }
+
     fn flush(&self) -> Result<(), String> {
         if let Some(path) = &self.metrics_out {
             std::fs::write(path, telemetry::registry().snapshot_json())
@@ -128,6 +153,11 @@ impl Observability {
         if let Some(path) = &self.samples_out {
             std::fs::write(path, &self.samples).map_err(|e| format!("writing {path}: {e}"))?;
             println!("wrote sampled requests to {path}");
+        }
+        if let Some(path) = &self.timeline_out {
+            let body = cdn_core::sim::render_timeline_json(&self.timelines);
+            std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote windowed timeline to {path}");
         }
         if let Some(path) = &self.profile_out {
             let profile = telemetry::profile::drain_chrome_trace().unwrap_or_default();
@@ -246,6 +276,11 @@ fn scenario_config(a: &Args) -> Result<ScenarioConfig, String> {
         }
         cfg.sim.sample_every = Some(n);
     }
+    if a.has("window") {
+        // 0 is valid: it is the documented timeline off switch, and the
+        // `Some(0)` path is bit-identical to `None`.
+        cfg.sim.window = Some(a.get_u64("window", 0)?);
+    }
     Ok(cfg)
 }
 
@@ -325,6 +360,7 @@ pub fn compare(a: &Args) -> Result<(), String> {
     let mut obs = obs;
     for row in &cmp.rows {
         obs.record_samples(&row.strategy.name(), &row.report);
+        obs.record_timeline(&row.strategy.name(), &row.report);
     }
     println!("\n{}", cmp.summary_table());
     if cfg.sim.faults.is_some() {
@@ -543,6 +579,18 @@ mod tests {
     fn parse_scenario(args: &[&str]) -> Result<ScenarioConfig, String> {
         let a = Args::parse(args.iter().map(|s| s.to_string()), SCENARIO_KEYS).unwrap();
         scenario_config(&a)
+    }
+
+    #[test]
+    fn window_flag_populates_sim_config_and_accepts_zero() {
+        let cfg = parse_scenario(&["--window", "512"]).unwrap();
+        assert_eq!(cfg.sim.window, Some(512));
+        // --window 0 is the documented off switch, never an error.
+        let cfg = parse_scenario(&["--window", "0"]).unwrap();
+        assert_eq!(cfg.sim.window, Some(0));
+        let cfg = parse_scenario(&[]).unwrap();
+        assert_eq!(cfg.sim.window, None);
+        assert!(parse_scenario(&["--window", "wide"]).is_err());
     }
 
     #[test]

@@ -8,10 +8,13 @@
 
 use crate::args::Args;
 use cdn_telemetry::json::{self, Json};
+use cdn_telemetry::timeline::{render_openmetrics, sparkline};
 use std::fmt::Write as _;
 
 /// The `--key`s accepted by `hybrid-cdn report`.
-pub const REPORT_KEYS: &[&str] = &["metrics", "profile", "samples", "trace", "top"];
+pub const REPORT_KEYS: &[&str] = &[
+    "metrics", "profile", "samples", "trace", "timeline", "top", "format",
+];
 
 /// Fixed cause order — mirrors `cdn_sim::Cause::ALL` so tables line up
 /// with the simulator's own accounting.
@@ -29,6 +32,28 @@ pub fn report(a: &Args) -> Result<(), String> {
     if top == 0 {
         return Err("--top must be at least 1".into());
     }
+    match a.get("format").unwrap_or("text") {
+        "text" => {}
+        "json" => {
+            let path = a
+                .get("metrics")
+                .ok_or("--format json needs --metrics FILE")?;
+            print!("{}", metrics_json(&load_json(path)?, path)?);
+            return Ok(());
+        }
+        "openmetrics" => {
+            let path = a
+                .get("metrics")
+                .ok_or("--format openmetrics needs --metrics FILE")?;
+            print!("{}", render_openmetrics(&load_json(path)?)?);
+            return Ok(());
+        }
+        other => {
+            return Err(format!(
+                "unknown --format '{other}' (text | json | openmetrics)"
+            ))
+        }
+    }
     let mut sections = Vec::new();
     if let Some(path) = a.get("metrics") {
         sections.push(metrics_section(&load_json(path)?, path)?);
@@ -42,9 +67,13 @@ pub fn report(a: &Args) -> Result<(), String> {
     if let Some(path) = a.get("trace") {
         sections.push(trace_section(&load_text(path)?, path, top)?);
     }
+    if let Some(path) = a.get("timeline") {
+        sections.push(timeline_section(&load_json(path)?, path, top)?);
+    }
     if sections.is_empty() {
         return Err(
-            "report needs at least one input: --metrics, --profile, --samples, or --trace".into(),
+            "report needs at least one input: --metrics, --profile, --samples, --trace, or --timeline"
+                .into(),
         );
     }
     print!("{}", sections.join("\n"));
@@ -157,6 +186,106 @@ fn metrics_section(doc: &Json, path: &str) -> Result<String, String> {
         let _ = write!(out, "{}", percentile_ladder(h));
     }
     Ok(out)
+}
+
+/// Machine-readable twin of [`metrics_section`] (`--format json`): the
+/// cause-attribution table plus the percentile ladder as one JSON object.
+fn metrics_json(doc: &Json, path: &str) -> Result<String, String> {
+    let counters = doc
+        .get("counters")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| format!("{path}: no \"counters\" object — not a metrics snapshot"))?;
+    let get = |name: &str| counters.get(name).and_then(Json::as_u64);
+    let total: u64 = CAUSES
+        .iter()
+        .filter_map(|c| get(&format!("sim.cause.{c}")))
+        .sum();
+    let mut out = String::from("{\n\"causes\": [");
+    for (i, c) in CAUSES.iter().enumerate() {
+        let requests = get(&format!("sim.cause.{c}")).unwrap_or(0);
+        let ms = get(&format!("sim.cause.{c}_latency_us")).unwrap_or(0) as f64 / 1000.0;
+        let share = if total > 0 {
+            requests as f64 / total as f64
+        } else {
+            0.0
+        };
+        let mean = if requests > 0 {
+            ms / requests as f64
+        } else {
+            0.0
+        };
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n{{\"cause\": \"{c}\", \"requests\": {requests}, \"share\": {share:.6}, \
+             \"latency_ms\": {ms:.3}, \"mean_ms\": {mean:.3}}}"
+        );
+    }
+    let _ = write!(out, "\n],\n\"causes_total\": {total}");
+    if let Some(us) = get("sim.cause.failover_surcharge_us") {
+        let _ = write!(
+            out,
+            ",\n\"failover_surcharge_ms\": {:.3}",
+            us as f64 / 1000.0
+        );
+    }
+    if let Some(measured) = get("sim.requests_measured") {
+        let _ = write!(
+            out,
+            ",\n\"requests_measured\": {measured},\n\"cross_check\": \"{}\"",
+            if measured == total { "ok" } else { "mismatch" }
+        );
+    }
+    if let Some(h) = doc
+        .get("histograms")
+        .and_then(|hs| hs.get("sim.latency_ms"))
+    {
+        if let Some(ladder) = percentile_ladder_json(h) {
+            let _ = write!(out, ",\n\"percentiles_ms\": {ladder}");
+        }
+    }
+    out.push_str("\n}\n");
+    Ok(out)
+}
+
+/// The percentile ladder as a JSON object (`null` = beyond the last bin).
+fn percentile_ladder_json(h: &Json) -> Option<String> {
+    let bin_width = h.get("bin_width").and_then(Json::as_f64)?;
+    let counts: Vec<u64> = h
+        .get("counts")
+        .and_then(Json::as_arr)?
+        .iter()
+        .filter_map(Json::as_u64)
+        .collect();
+    let overflow = h.get("overflow").and_then(Json::as_u64).unwrap_or(0);
+    let total: u64 = counts.iter().sum::<u64>() + overflow;
+    if total == 0 {
+        return None;
+    }
+    let mut out = String::from("{");
+    for (i, &(label, p)) in [("p50", 0.50), ("p90", 0.90), ("p95", 0.95), ("p99", 0.99)]
+        .iter()
+        .enumerate()
+    {
+        let rank = ((p * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        let mut rendered = String::from("null");
+        for (b, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                rendered = format!("{:.1}", (b as f64 + 1.0) * bin_width);
+                break;
+            }
+        }
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{label}\": {rendered}");
+    }
+    out.push('}');
+    Some(out)
 }
 
 /// p50/p90/p95/p99 from the `sim.latency_ms` registry histogram
@@ -342,6 +471,136 @@ fn trace_section(body: &str, path: &str, top: usize) -> Result<String, String> {
     Ok(out)
 }
 
+/// Per-window sparklines plus a per-server hotspot table from a windowed
+/// timeline export (`<bin>_timeline.json` or `--timeline-out`).
+fn timeline_section(doc: &Json, path: &str, top: usize) -> Result<String, String> {
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: no \"runs\" array — not a timeline export"))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "== windowed timeline ({path}) ==");
+    if runs.is_empty() {
+        let _ = writeln!(out, "  no runs — was --window passed to the run?");
+        return Ok(out);
+    }
+    for run in runs {
+        let name = run.get("run").and_then(Json::as_str).unwrap_or("?");
+        let width = run.get("window_width").and_then(Json::as_u64).unwrap_or(0);
+        let u64s = |key: &str| -> Vec<u64> {
+            run.get(key)
+                .and_then(Json::as_arr)
+                .map(|a| a.iter().filter_map(Json::as_u64).collect())
+                .unwrap_or_default()
+        };
+        let f64s = |key: &str| -> Vec<f64> {
+            run.get(key)
+                .and_then(Json::as_arr)
+                .map(|a| a.iter().filter_map(Json::as_f64).collect())
+                .unwrap_or_default()
+        };
+        let windows = u64s("windows");
+        let _ = writeln!(
+            out,
+            "  run {name}: {} windows x {width} ticks",
+            windows.len()
+        );
+        if windows.is_empty() {
+            continue;
+        }
+        let lanes: &[(&str, Vec<f64>)] = &[
+            (
+                "requests",
+                u64s("requests").iter().map(|&v| v as f64).collect(),
+            ),
+            ("mean_ms", f64s("mean_ms")),
+            ("p99_ms", f64s("p99_ms")),
+            (
+                "evictions",
+                u64s("evictions").iter().map(|&v| v as f64).collect(),
+            ),
+        ];
+        for (label, vals) in lanes {
+            let peak = vals.iter().fold(0.0f64, |m, &v| m.max(v));
+            let _ = writeln!(out, "    {label:<10} {}  peak {peak:.1}", sparkline(vals));
+        }
+        // The busiest window's hottest site — per-window site attribution.
+        let top_sites = u64s("top_site");
+        let top_counts = u64s("top_site_requests");
+        if let Some(hot) = (0..windows.len().min(top_counts.len()))
+            .max_by_key(|&i| (top_counts[i], std::cmp::Reverse(windows[i])))
+        {
+            let _ = writeln!(
+                out,
+                "    hottest site: site {} with {} request(s) in window {}",
+                top_sites.get(hot).copied().unwrap_or(0),
+                top_counts[hot],
+                windows[hot]
+            );
+        }
+        // Hotspot attribution: the top server-windows by request volume.
+        let mut hotspots: Vec<(u64, usize, u64, f64, u64, u64, u64)> = Vec::new();
+        for server in run
+            .get("servers")
+            .and_then(Json::as_arr)
+            .unwrap_or_default()
+        {
+            let id = server.get("server").and_then(Json::as_u64).unwrap_or(0) as usize;
+            let col = |key: &str| -> Vec<u64> {
+                server
+                    .get(key)
+                    .and_then(Json::as_arr)
+                    .map(|a| a.iter().filter_map(Json::as_u64).collect())
+                    .unwrap_or_default()
+            };
+            let (wins, reqs) = (col("windows"), col("requests"));
+            let p99: Vec<f64> = server
+                .get("p99_ms")
+                .and_then(Json::as_arr)
+                .map(|a| a.iter().filter_map(Json::as_f64).collect())
+                .unwrap_or_default();
+            let (used, evic, fail) = (
+                col("cache_used_bytes"),
+                col("evictions"),
+                col("failover_fetches"),
+            );
+            for i in 0..wins.len().min(reqs.len()) {
+                hotspots.push((
+                    reqs[i],
+                    id,
+                    wins[i],
+                    p99.get(i).copied().unwrap_or(0.0),
+                    used.get(i).copied().unwrap_or(0),
+                    evic.get(i).copied().unwrap_or(0),
+                    fail.get(i).copied().unwrap_or(0),
+                ));
+            }
+        }
+        if !hotspots.is_empty() {
+            // Busiest first; ties resolve to the lower server id, then the
+            // earlier window, so the table is deterministic.
+            hotspots.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+            let _ = writeln!(
+                out,
+                "    hotspots (top {} server-windows by requests):",
+                top.min(hotspots.len())
+            );
+            let _ = writeln!(
+                out,
+                "    {:>6} {:>8} {:>10} {:>10} {:>12} {:>10} {:>9}",
+                "server", "window", "requests", "p99_ms", "cache_bytes", "evictions", "failovers"
+            );
+            for (reqs, id, win, p99, used, evic, fail) in hotspots.iter().take(top) {
+                let _ = writeln!(
+                    out,
+                    "    {id:>6} {win:>8} {reqs:>10} {p99:>10.1} {used:>12} {evic:>10} {fail:>9}"
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -473,5 +732,130 @@ mod tests {
         assert!(report(&a).unwrap_err().contains("at least one input"));
         let a = Args::parse(["--top", "0"].iter().map(|s| s.to_string()), REPORT_KEYS).unwrap();
         assert!(report(&a).unwrap_err().contains("--top"));
+    }
+
+    #[test]
+    fn json_format_emits_machine_readable_attribution() {
+        let doc = json::parse(SNAPSHOT).unwrap();
+        let body = metrics_json(&doc, "m.json").unwrap();
+        // The output must itself parse as JSON and carry the same facts
+        // the text table renders.
+        let parsed = json::parse(&body).unwrap();
+        let causes = parsed.get("causes").unwrap().as_arr().unwrap();
+        assert_eq!(causes.len(), CAUSES.len());
+        let replica = causes
+            .iter()
+            .find(|c| c.get("cause").and_then(Json::as_str) == Some("replica_hit"))
+            .unwrap();
+        assert_eq!(replica.get("requests").unwrap().as_u64(), Some(40));
+        assert!((replica.get("share").unwrap().as_f64().unwrap() - 0.4).abs() < 1e-9);
+        assert_eq!(parsed.get("causes_total").unwrap().as_u64(), Some(100));
+        assert_eq!(
+            parsed.get("cross_check").unwrap().as_str(),
+            Some("ok"),
+            "{body}"
+        );
+        let pct = parsed.get("percentiles_ms").unwrap();
+        assert_eq!(pct.get("p50").unwrap().as_f64(), Some(2.0));
+        // p95 lands in the overflow bin: JSON null, not a fake number.
+        assert!(matches!(pct.get("p95"), Some(Json::Null)), "{body}");
+        assert!(metrics_json(&json::parse("{}").unwrap(), "m.json").is_err());
+    }
+
+    #[test]
+    fn unknown_format_is_rejected() {
+        let a = Args::parse(
+            ["--format", "yaml"].iter().map(|s| s.to_string()),
+            REPORT_KEYS,
+        )
+        .unwrap();
+        assert!(report(&a).unwrap_err().contains("--format"));
+        // json/openmetrics need a metrics snapshot to render.
+        for f in ["json", "openmetrics"] {
+            let a =
+                Args::parse(["--format", f].iter().map(|s| s.to_string()), REPORT_KEYS).unwrap();
+            assert!(report(&a).unwrap_err().contains("--metrics"), "{f}");
+        }
+    }
+
+    /// A two-window, two-server timeline export in the exact shape
+    /// `cdn_sim::render_timeline_json` produces.
+    const TIMELINE: &str = r#"{
+"runs": [
+{
+"run": "hybrid",
+"window_width": 512,
+"windows": [3, 4],
+"requests": [100, 140],
+"local_requests": [60, 80],
+"cache_hits": [40, 50],
+"replica_hits": [20, 30],
+"origin_fetches": [30, 40],
+"peer_fetches": [10, 20],
+"failover_fetches": [0, 0],
+"failed_requests": [0, 0],
+"cost_hops": [300, 400],
+"total_bytes": [9000, 9500],
+"origin_bytes": [4000, 4100],
+"cache_used_bytes": [800, 900],
+"evictions": [5, 9],
+"mean_ms": [40.000, 45.000],
+"p50_ms": [30.000, 32.000],
+"p90_ms": [80.000, 90.000],
+"p99_ms": [120.000, 140.000],
+"max_ms": [150.000, 180.000],
+"top_site": [7, 2],
+"top_site_requests": [33, 61],
+"servers": [
+{"server":0,
+"windows": [3, 4], "requests": [90, 10],
+"local_requests": [50, 5], "cache_hits": [35, 3], "replica_hits": [15, 2],
+"origin_fetches": [25, 3], "peer_fetches": [5, 2], "failover_fetches": [0, 0],
+"failed_requests": [0, 0], "cost_hops": [250, 30], "total_bytes": [8000, 500],
+"origin_bytes": [3500, 100], "cache_used_bytes": [700, 100], "evictions": [5, 0],
+"mean_ms": [41.000, 30.000], "p50_ms": [31.000, 25.000], "p90_ms": [82.000, 40.000],
+"p99_ms": [125.000, 50.000], "max_ms": [150.000, 60.000]},
+{"server":1,
+"windows": [3, 4], "requests": [10, 130],
+"local_requests": [10, 75], "cache_hits": [5, 47], "replica_hits": [5, 28],
+"origin_fetches": [5, 37], "peer_fetches": [5, 18], "failover_fetches": [0, 0],
+"failed_requests": [0, 0], "cost_hops": [50, 370], "total_bytes": [1000, 9000],
+"origin_bytes": [500, 4000], "cache_used_bytes": [100, 800], "evictions": [0, 9],
+"mean_ms": [35.000, 46.000], "p50_ms": [28.000, 33.000], "p90_ms": [70.000, 92.000],
+"p99_ms": [100.000, 141.000], "max_ms": [120.000, 180.000]}
+]
+}
+]
+}"#;
+
+    #[test]
+    fn timeline_section_renders_sparklines_and_hotspots() {
+        let doc = json::parse(TIMELINE).unwrap();
+        let s = timeline_section(&doc, "tl.json", 2).unwrap();
+        assert!(s.contains("run hybrid: 2 windows x 512 ticks"), "{s}");
+        for lane in ["requests", "mean_ms", "p99_ms", "evictions"] {
+            assert!(s.contains(lane), "{lane} lane missing: {s}");
+        }
+        // Sparklines scale to the lane maximum.
+        assert!(s.contains('█'), "{s}");
+        assert!(
+            s.contains("hottest site: site 2 with 61 request(s) in window 4"),
+            "{s}"
+        );
+        // Hotspot table ranks server-windows by requests: server 1 window 4
+        // (130 requests) first, then server 0 window 3 (90).
+        let hot1 = s.find("     1        4        130").expect(&s);
+        let hot0 = s.find("     0        3         90").expect(&s);
+        assert!(hot1 < hot0, "{s}");
+        // top 2 truncates the remaining two server-windows.
+        assert!(!s.contains("        10 "), "top must truncate: {s}");
+        assert!(timeline_section(&json::parse("{}").unwrap(), "tl.json", 2).is_err());
+    }
+
+    #[test]
+    fn empty_timeline_degrades_gracefully() {
+        let doc = json::parse(r#"{"runs": []}"#).unwrap();
+        let s = timeline_section(&doc, "tl.json", 3).unwrap();
+        assert!(s.contains("no runs"), "{s}");
     }
 }

@@ -389,7 +389,7 @@ mod tests {
             let m = ModelBackend::by_name(name).unwrap_or_else(|e| panic!("{e}"));
             assert_eq!(m.name(), name);
         }
-        let err = ModelBackend::by_name("ttl").err().expect("must reject");
+        let err = ModelBackend::by_name("ttl").expect_err("must reject");
         assert!(err.contains("unknown hit-ratio model 'ttl'"), "{err}");
         assert!(err.contains("closed-form"), "{err}");
         assert_eq!(ModelBackend::default(), ModelBackend::Paper);

@@ -3,6 +3,7 @@
 use crate::fault::FaultSchedule;
 use crate::metrics::{Cause, CauseBreakdown, LatencyHistogram, RequestSample};
 use crate::plan::{ConsistencyMode, ServerPlan, SimConfig};
+use crate::timeline::{ServerTimeline, TimelineAcc};
 use cdn_cache::{Cache, CacheStats, ObjectKey};
 use cdn_telemetry as telemetry;
 use cdn_workload::{Flavor, Request};
@@ -69,6 +70,10 @@ pub struct ServerReport {
     /// 1-in-N sampled request paths (empty unless
     /// [`SimConfig::sample_every`] is set), in stream order.
     pub samples: Vec<RequestSample>,
+    /// Windowed timeline of this server's measured requests (`None` unless
+    /// [`SimConfig::window`] is a positive width). Purely observational:
+    /// enabling it never perturbs any other report field.
+    pub timeline: Option<ServerTimeline>,
 }
 
 /// Attribution label for a routed request — mirrors exactly the disjoint
@@ -350,14 +355,31 @@ where
         obs: None,
         cause: CauseBreakdown::default(),
         samples: Vec::new(),
+        timeline: None,
     };
     let sample_every = config.sample_every.unwrap_or(0);
+    // `None` and `Some(0)` both disable the timeline (`--window 0` is the
+    // CLI's off switch); the disabled path is bit-identical to a build
+    // without the feature.
+    let window_width = config.window.unwrap_or(0);
+    let mut timeline: Option<TimelineAcc> =
+        (window_width > 0).then(|| TimelineAcc::new(window_width));
     // Per-site tallies: local to this server's loop, so plain (non-atomic)
     // counts; gated once per run on the global telemetry flag.
     let mut site_obs: Option<Vec<SiteObs>> =
         telemetry::enabled().then(|| vec![SiteObs::default(); plan.replicated.len()]);
 
     for req in requests {
+        let tick = report.total_requests;
+        if let Some(tl) = timeline.as_mut() {
+            // Roll windows *before* resolution mutates the cache, so a
+            // closing window's occupancy/eviction snapshots exclude this
+            // request. Only measured ticks open windows: they form a
+            // contiguous suffix of the stream, so the lazy close is exact.
+            if tick >= warmup {
+                tl.roll(tick, cache.as_ref());
+            }
+        }
         let bytes = object_bytes(req.site, req.object);
         let routed = match schedule {
             None => {
@@ -377,10 +399,9 @@ where
                 bytes,
                 config.consistency,
                 schedule,
-                report.total_requests,
+                tick,
             ),
         };
-        let tick = report.total_requests;
         report.total_requests += 1;
         if report.total_requests <= warmup {
             continue;
@@ -434,6 +455,44 @@ where
                 penalty_ms,
             });
         }
+        if let Some(tl) = timeline.as_mut() {
+            // Mirror the run-level accounting below, bucket by window, on
+            // the identical code path — windowed counters summed over all
+            // windows therefore equal the run-level counters exactly.
+            tl.tally_site(req.site);
+            let win = tl.current();
+            win.requests += 1;
+            if failed {
+                win.failed_requests += 1;
+            } else {
+                win.latency_sum_ms += latency;
+                win.sketch.record(latency);
+                win.cost_hops += routed.hops as u64;
+                win.total_bytes += bytes;
+                match routed.resolution {
+                    Resolution::Replica => {
+                        win.replica_hits += 1;
+                        win.local_requests += 1;
+                    }
+                    Resolution::CacheHit => {
+                        win.cache_hits += 1;
+                        win.local_requests += 1;
+                    }
+                    _ => {
+                        if routed.dead_skipped > 0 {
+                            win.failover_fetches += 1;
+                        } else if routed.from_origin {
+                            win.origin_fetches += 1;
+                        } else {
+                            win.peer_fetches += 1;
+                        }
+                        if routed.from_origin {
+                            win.origin_bytes += bytes;
+                        }
+                    }
+                }
+            }
+        }
         if failed {
             // Nothing was delivered: no bytes, no hops, no latency sample.
             report.failed_requests += 1;
@@ -473,6 +532,7 @@ where
             Resolution::Failed => unreachable!("failed requests handled above"),
         }
     }
+    report.timeline = timeline.map(|tl| tl.finish(plan.server, cache.as_ref()));
     report.obs = site_obs.map(|per_site| EngineObs {
         per_site,
         cache: *cache.stats(),
@@ -632,6 +692,96 @@ mod tests {
         // The warm-up miss populated the cache; the measured request hits.
         assert_eq!(report.cache_hits, 1);
         assert_eq!(report.cost_hops, 0);
+    }
+
+    #[test]
+    fn windowed_timeline_mirrors_run_level_accounting() {
+        let p = plan(vec![true, false], vec![0, 3], 1000);
+        let cfg = SimConfig {
+            window: Some(2),
+            ..Default::default()
+        };
+        let stream = vec![
+            req(0, 1, Flavor::Normal),      // tick 0: replica
+            req(1, 1, Flavor::Normal),      // tick 1: miss
+            req(1, 1, Flavor::Normal),      // tick 2: hit
+            req(1, 2, Flavor::Uncacheable), // tick 3: bypass
+            req(0, 2, Flavor::Normal),      // tick 4: replica
+        ];
+        let report = simulate_server(
+            &p,
+            &cfg,
+            stream.into_iter(),
+            0,
+            |_, _| 10,
+            Box::new(Lru::new(p.cache_bytes)),
+        );
+        let tl = report
+            .timeline
+            .as_ref()
+            .expect("window>0 builds a timeline");
+        assert_eq!(tl.server, 0);
+        let ids: Vec<u64> = tl.windows.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        // Windowed counters sum to the run-level ones exactly.
+        let sum = |f: fn(&crate::timeline::WindowStats) -> u64| {
+            tl.windows.iter().map(|(_, w)| f(w)).sum::<u64>()
+        };
+        assert_eq!(sum(|w| w.requests), report.measured_requests);
+        assert_eq!(sum(|w| w.cache_hits), report.cache_hits);
+        assert_eq!(sum(|w| w.replica_hits), report.replica_hits);
+        assert_eq!(sum(|w| w.cost_hops), report.cost_hops);
+        assert_eq!(sum(|w| w.total_bytes), report.total_bytes);
+        // Hot-site attribution: ties break toward the lower site id.
+        assert_eq!(tl.windows[0].1.top_site, Some((0, 1)));
+        assert_eq!(tl.windows[1].1.top_site, Some((1, 2)));
+        assert_eq!(tl.windows[2].1.top_site, Some((0, 1)));
+        // The cached object (10 bytes) is resident at every window close.
+        assert!(tl.windows.iter().all(|(_, w)| w.cache_used_bytes == 10));
+        // Disabled (None and Some(0) alike) leaves the field empty.
+        for window in [None, Some(0)] {
+            let cfg = SimConfig {
+                window,
+                ..Default::default()
+            };
+            let stream = vec![req(0, 1, Flavor::Normal)];
+            let r = simulate_server(
+                &p,
+                &cfg,
+                stream.into_iter(),
+                0,
+                |_, _| 10,
+                Box::new(Lru::new(p.cache_bytes)),
+            );
+            assert!(r.timeline.is_none());
+        }
+    }
+
+    #[test]
+    fn timeline_windows_are_keyed_on_stream_ticks_not_measured_index() {
+        // Warm-up ticks advance the window clock without recording: with
+        // warmup 3 and width 2, the first measured tick (3) lands in
+        // window 1, and window 0 never materialises.
+        let p = plan(vec![false], vec![3], 1000);
+        let cfg = SimConfig {
+            window: Some(2),
+            ..Default::default()
+        };
+        let stream: Vec<_> = (0..6).map(|o| req(0, o, Flavor::Normal)).collect();
+        let report = simulate_server(
+            &p,
+            &cfg,
+            stream.into_iter(),
+            3,
+            |_, _| 10,
+            Box::new(Lru::new(p.cache_bytes)),
+        );
+        let tl = report.timeline.as_ref().unwrap();
+        let ids: Vec<u64> = tl.windows.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(tl.windows[0].1.requests, 1); // tick 3
+        assert_eq!(tl.windows[1].1.requests, 2); // ticks 4, 5
+        assert_eq!(report.measured_requests, 3);
     }
 
     /// One server (0), one site with three holders: peer 1 at 2 hops, peer

@@ -28,6 +28,10 @@
 //! * [`shard`] — contiguous server shards and the determinism contract
 //!   that keeps sharded runs bit-identical at any thread or shard count.
 //! * [`runner`] — whole-system simulation, parallel across server shards.
+//! * [`timeline`] — virtual-time windowed telemetry: per-window counters,
+//!   latency quantile sketches, and per-server hotspot attribution, merged
+//!   across shards in global server order so timelines are byte-identical
+//!   at any thread or shard count.
 
 pub mod engine;
 pub mod fault;
@@ -35,6 +39,7 @@ pub mod metrics;
 pub mod plan;
 pub mod runner;
 pub mod shard;
+pub mod timeline;
 
 pub use engine::{resolve_faulted, simulate_server, simulate_server_faulted, Routed, ServerReport};
 pub use fault::{FaultParams, FaultSchedule};
@@ -45,3 +50,6 @@ pub use metrics::{
 pub use plan::{ConsistencyMode, Holder, ServerPlan, SimConfig};
 pub use runner::{simulate_system, simulate_system_streams};
 pub use shard::{shard_ranges, MAX_DEFAULT_SHARDS};
+pub use timeline::{
+    render_timeline_csv, render_timeline_json, ServerTimeline, Timeline, WindowStats,
+};

@@ -448,6 +448,10 @@ pub struct SimReport {
     /// 1-in-N sampled request paths (empty unless
     /// [`crate::SimConfig::sample_every`] is set), in server order.
     pub samples: Vec<RequestSample>,
+    /// Virtual-time windowed timeline (`None` unless
+    /// [`crate::SimConfig::window`] is a positive width). Observational
+    /// only — enabling it perturbs no other field.
+    pub timeline: Option<crate::timeline::Timeline>,
 }
 
 impl SimReport {
@@ -753,6 +757,7 @@ mod tests {
             per_server: Vec::new(),
             cause: CauseBreakdown::default(),
             samples: Vec::new(),
+            timeline: None,
         };
         assert_eq!(r.local_ratio(), 0.0);
         assert_eq!(r.cache_hit_ratio(), 0.0);

@@ -119,6 +119,15 @@ pub struct SimConfig {
     /// identical at any thread count. Sampling never perturbs the
     /// simulation or its deterministic outputs.
     pub sample_every: Option<u64>,
+    /// Virtual-time window width, in per-server stream ticks, for the
+    /// windowed timeline ([`crate::timeline::Timeline`]). `None` *and*
+    /// `Some(0)` both disable the timeline entirely — `--window 0` on the
+    /// CLI is the documented off switch, and the disabled path is
+    /// bit-identical to a build without the feature. Windows are keyed by
+    /// `tick / width` on the same deterministic per-stream index the
+    /// sampler uses, so timelines are byte-identical at any thread or
+    /// shard count.
+    pub window: Option<u64>,
     /// Number of engine shards (contiguous server ranges run as parallel
     /// units). `None` picks `min(n_servers, 64)`. The shard count is part
     /// of the configuration, never derived from the thread count, so
@@ -138,6 +147,7 @@ impl Default for SimConfig {
             consistency: ConsistencyMode::Strong,
             faults: None,
             sample_every: None,
+            window: None,
             shards: None,
         }
     }
@@ -248,6 +258,17 @@ mod tests {
     fn default_config_is_papers() {
         let c = SimConfig::default();
         assert_eq!(c.hop_delay_ms, 20.0);
+        c.validate();
+    }
+
+    #[test]
+    fn zero_window_is_a_valid_off_switch() {
+        // Unlike sample_every/shards, `window: Some(0)` is the documented
+        // way to force the timeline off and must validate cleanly.
+        let c = SimConfig {
+            window: Some(0),
+            ..Default::default()
+        };
         c.validate();
     }
 

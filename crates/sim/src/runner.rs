@@ -172,6 +172,7 @@ pub(crate) struct ServerStats {
     fail_n: u64,
     cause: CauseBreakdown,
     cache: Option<cdn_cache::CacheStats>,
+    timeline: Option<crate::timeline::ServerTimeline>,
 }
 
 impl ServerStats {
@@ -262,6 +263,7 @@ impl ShardAccum {
             fail_n: report.failover_histogram.count(),
             cause: report.cause,
             cache: report.obs.as_ref().map(|o| o.cache),
+            timeline: report.timeline,
         });
     }
 }
@@ -277,6 +279,9 @@ struct SystemAccum {
     /// Folded per server in server order — shared by the registry counters
     /// and the report so both see the identical float fold.
     cause: CauseBreakdown,
+    /// Global windowed timeline, folded from the per-server series in
+    /// server order (so its one float fold is shard-count independent).
+    timeline: Option<crate::timeline::Timeline>,
     lanes: Vec<TraceBuffer>,
 }
 
@@ -321,6 +326,15 @@ fn merge_shards(shards: Vec<ShardAccum>, config: &SimConfig) -> SystemAccum {
         hist_n += s.hist_n;
         fail_n += s.fail_n;
     }
+    // The timeline fold is per server in the same global order: `stats` is
+    // shard-concatenated and shards are contiguous ascending ranges.
+    let timeline = match config.window.unwrap_or(0) {
+        0 => None,
+        width => Some(crate::timeline::Timeline::from_per_server(
+            width,
+            stats.iter_mut().filter_map(|s| s.timeline.take()).collect(),
+        )),
+    };
     SystemAccum {
         stats,
         histogram: LatencyHistogram::from_parts(
@@ -341,6 +355,7 @@ fn merge_shards(shards: Vec<ShardAccum>, config: &SimConfig) -> SystemAccum {
         ),
         samples,
         cause,
+        timeline,
         lanes,
     }
 }
@@ -514,6 +529,7 @@ fn assemble_report(merged: SystemAccum, _config: &SimConfig) -> SimReport {
         failover_histogram,
         samples,
         cause,
+        timeline,
         ..
     } = merged;
     let per_server: Vec<crate::metrics::ServerSummary> = stats
@@ -567,6 +583,7 @@ fn assemble_report(merged: SystemAccum, _config: &SimConfig) -> SimReport {
         per_server,
         cause,
         samples,
+        timeline,
     }
 }
 
@@ -837,6 +854,7 @@ mod tests {
         assert_eq!(a.failover_histogram.count(), b.failover_histogram.count());
         assert_eq!(a.cause, b.cause);
         assert_eq!(a.samples, b.samples);
+        assert_eq!(a.timeline, b.timeline);
         for (x, y) in a.per_server.iter().zip(&b.per_server) {
             assert_eq!(x.measured_requests, y.measured_requests);
             assert_eq!(x.mean_latency_ms.to_bits(), y.mean_latency_ms.to_bits());
@@ -857,6 +875,7 @@ mod tests {
             let cfg = SimConfig {
                 faults: Some(faulty_params()),
                 sample_every: Some(7),
+                window: Some(64),
                 shards,
                 ..Default::default()
             };
@@ -1112,6 +1131,77 @@ mod tests {
         assert_eq!(one.samples, sampled.samples);
         assert_eq!(four.samples, sampled.samples);
         assert_reports_identical(&one, &four);
+    }
+
+    #[test]
+    fn timeline_is_observational_and_sums_to_run_level() {
+        use crate::timeline::WindowStats;
+        let (problem, catalog, trace) = scenario(0.1, LambdaMode::Expired);
+        let pl = cdn_placement::greedy_global(&problem).placement;
+        let plain = SimConfig {
+            faults: Some(faulty_params()),
+            ..Default::default()
+        };
+        let windowed_cfg = SimConfig {
+            window: Some(128),
+            ..plain
+        };
+        let base = simulate_system(&problem, &pl, &catalog, &trace, &plain, None);
+        let windowed = simulate_system(&problem, &pl, &catalog, &trace, &windowed_cfg, None);
+        // Observational: enabling the timeline changes no measured bit.
+        assert!(base.timeline.is_none());
+        assert_eq!(
+            base.mean_latency_ms.to_bits(),
+            windowed.mean_latency_ms.to_bits()
+        );
+        assert_eq!(base.cache_hits, windowed.cache_hits);
+        assert_eq!(base.failed_requests, windowed.failed_requests);
+        assert_eq!(base.cause, windowed.cause);
+        // `Some(0)` is the off switch and matches `None` bit for bit.
+        let zero_cfg = SimConfig {
+            window: Some(0),
+            ..plain
+        };
+        let zero = simulate_system(&problem, &pl, &catalog, &trace, &zero_cfg, None);
+        assert!(zero.timeline.is_none());
+        assert_reports_identical(&base, &zero);
+        // Windowed counters sum to the run-level counters exactly, both
+        // globally and per server.
+        let tl = windowed.timeline.as_ref().expect("timeline enabled");
+        assert_eq!(tl.width, 128);
+        assert!(tl.windows.len() > 1, "scenario too small to window");
+        let sum = |f: fn(&WindowStats) -> u64| tl.windows.iter().map(|(_, w)| f(w)).sum::<u64>();
+        assert_eq!(sum(|w| w.requests), windowed.measured_requests);
+        assert_eq!(sum(|w| w.local_requests), windowed.local_requests);
+        assert_eq!(sum(|w| w.cache_hits), windowed.cache_hits);
+        assert_eq!(sum(|w| w.replica_hits), windowed.replica_hits);
+        assert_eq!(sum(|w| w.origin_fetches), windowed.origin_fetches);
+        assert_eq!(sum(|w| w.peer_fetches), windowed.peer_fetches);
+        assert_eq!(sum(|w| w.failover_fetches), windowed.failover_fetches);
+        assert_eq!(sum(|w| w.failed_requests), windowed.failed_requests);
+        assert_eq!(sum(|w| w.total_bytes), windowed.total_bytes);
+        assert_eq!(sum(|w| w.origin_bytes), windowed.origin_bytes);
+        assert_eq!(
+            sum(|w| w.sketch.count()),
+            windowed.measured_requests - windowed.failed_requests
+        );
+        assert_eq!(tl.per_server.len(), problem.n_servers());
+        for (i, st) in tl.per_server.iter().enumerate() {
+            assert_eq!(st.server, i);
+            let measured: u64 = st.windows.iter().map(|(_, w)| w.requests).sum();
+            assert_eq!(measured, windowed.per_server[i].measured_requests);
+        }
+        // Every recorded window attributes a hottest site.
+        assert!(tl.windows.iter().all(|(_, w)| w.top_site.is_some()));
+        // Per-window sketch quantiles respect the advertised error bound
+        // against the run-level histogram's range.
+        for (_, w) in &tl.windows {
+            if w.served() > 0 {
+                let p99 = w.quantile_ms(0.99);
+                assert!(p99 >= w.quantile_ms(0.50));
+                assert!(p99 <= w.max_ms() * (1.0 + cdn_telemetry::RELATIVE_ERROR));
+            }
+        }
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!   spans exported as Chrome Trace Event Format JSON. Deliberately
 //!   non-deterministic, so its output lives strictly in its own file
 //!   (`--profile-out`) and never in anything byte-diffed.
+//! * [`timeline`] — virtual-time windowed telemetry primitives: a
+//!   [`WindowGrid`] bucketing per-window state by virtual tick, a
+//!   [`QuantileSketch`] with deterministic bit-manipulation bucket layout,
+//!   and an OpenMetrics snapshot exporter.
 //!
 //! ## Determinism contract
 //!
@@ -43,10 +47,12 @@ mod event;
 pub mod json;
 pub mod profile;
 mod registry;
+pub mod timeline;
 mod trace;
 
 pub use event::Value;
 pub use registry::{Counter, Gauge, Histogram, Registry};
+pub use timeline::{QuantileSketch, WindowGrid, RELATIVE_ERROR};
 pub use trace::{SpanId, Trace, TraceBuffer};
 
 use std::sync::atomic::{AtomicBool, Ordering};

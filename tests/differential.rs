@@ -375,6 +375,147 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Oracle 3b: the windowed timeline vs. the run-level counters — the same
+// stream tallied by two independent accumulators (per-window grid vs. flat
+// report fields). Summing every window must reproduce the run totals
+// exactly, whatever eviction policy backs the cache.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn windowed_counters_sum_to_run_level_for_every_policy(
+        m in 2usize..=4,
+        width in 1u64..=64,
+        seed in any::<u64>(),
+    ) {
+        const REQUESTS: usize = 1_000;
+        const WARMUP: u64 = 200;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = random_server_plan(m, &mut rng);
+        let requests = random_requests(m, REQUESTS, &mut rng);
+        let object_bytes = |site: u32, object: u32| 1 + (site as u64 * 131 + object as u64 * 17) % 64;
+        let config = SimConfig {
+            window: Some(width),
+            ..Default::default()
+        };
+        for name in cdn_cache::POLICY_NAMES {
+            let cache = cdn_cache::by_name(name, plan.cache_bytes)
+                .unwrap_or_else(|e| panic!("{e}"));
+            let r = simulate_server_faulted(
+                &plan,
+                &config,
+                requests.iter().copied(),
+                WARMUP,
+                object_bytes,
+                cache,
+                None,
+            );
+            let tl = r.timeline.as_ref().expect("timeline enabled");
+            let sum = |f: fn(&cdn_sim::WindowStats) -> u64| -> u64 {
+                tl.windows.iter().map(|(_, w)| f(w)).sum()
+            };
+            prop_assert_eq!(sum(|w| w.requests), r.measured_requests, "{}", name);
+            prop_assert_eq!(sum(|w| w.local_requests), r.local_requests, "{}", name);
+            prop_assert_eq!(sum(|w| w.cache_hits), r.cache_hits, "{}", name);
+            prop_assert_eq!(sum(|w| w.replica_hits), r.replica_hits, "{}", name);
+            prop_assert_eq!(sum(|w| w.origin_fetches), r.origin_fetches, "{}", name);
+            prop_assert_eq!(sum(|w| w.peer_fetches), r.peer_fetches, "{}", name);
+            prop_assert_eq!(sum(|w| w.failover_fetches), r.failover_fetches, "{}", name);
+            prop_assert_eq!(sum(|w| w.failed_requests), r.failed_requests, "{}", name);
+            prop_assert_eq!(sum(|w| w.cost_hops), r.cost_hops, "{}", name);
+            prop_assert_eq!(sum(|w| w.total_bytes), r.total_bytes, "{}", name);
+            prop_assert_eq!(sum(|w| w.origin_bytes), r.origin_bytes, "{}", name);
+            // Every served (non-failed) request records exactly one latency
+            // sample in its window's sketch.
+            prop_assert_eq!(
+                tl.windows.iter().map(|(_, w)| w.sketch.count()).sum::<u64>(),
+                r.measured_requests - r.failed_requests,
+                "{}", name
+            );
+            // Window ids are strictly increasing and keyed on stream ticks.
+            for w in tl.windows.windows(2) {
+                prop_assert!(w[0].0 < w[1].0, "{}: window ids not increasing", name);
+            }
+        }
+    }
+}
+
+/// System-level twin of the oracle above, at the thread counts CI exercises:
+/// the full parallel runner, each eviction policy, 1 vs. 4 rayon threads.
+/// The timeline must be identical at both thread counts and still sum to
+/// the run-level counters.
+#[test]
+fn windowed_counters_survive_the_parallel_runner_at_1_and_4_threads() {
+    use cdn_core::{Scenario, ScenarioConfig, Strategy};
+
+    let mut cfg = ScenarioConfig::small();
+    cfg.sim.window = Some(256);
+    let scenario = Scenario::generate(&cfg);
+    let plan = scenario.plan(Strategy::Hybrid);
+    for name in cdn_cache::POLICY_NAMES {
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    scenario.simulate_with_cache(&plan.placement, &|bytes| {
+                        cdn_cache::by_name(name, bytes).unwrap_or_else(|e| panic!("{e}"))
+                    })
+                })
+        };
+        let (t1, t4) = (run(1), run(4));
+        let tl = t1
+            .timeline
+            .as_ref()
+            .unwrap_or_else(|| panic!("{name}: no timeline"));
+        assert_eq!(
+            Some(tl),
+            t4.timeline.as_ref(),
+            "{name}: thread-dependent timeline"
+        );
+        let sum = |f: fn(&cdn_sim::WindowStats) -> u64| -> u64 {
+            tl.windows.iter().map(|(_, w)| f(w)).sum()
+        };
+        assert_eq!(sum(|w| w.requests), t1.measured_requests, "{name}");
+        assert_eq!(sum(|w| w.cache_hits), t1.cache_hits, "{name}");
+        assert_eq!(sum(|w| w.failed_requests), t1.failed_requests, "{name}");
+        assert_eq!(sum(|w| w.total_bytes), t1.total_bytes, "{name}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 3c: the deterministic quantile sketch vs. exact order statistics —
+// every reported percentile must sit within the advertised relative error
+// bound of the true (sorted) value, under the same rank convention.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn quantile_sketch_stays_within_relative_error_of_exact(
+        raw in proptest::collection::vec(0.05f64..50_000.0, 1..400),
+        qs in proptest::collection::vec(0.0f64..=1.0, 1..8),
+    ) {
+        let mut sketch = cdn_telemetry::QuantileSketch::default();
+        for &v in &raw {
+            sketch.record(v);
+        }
+        let mut sorted = raw.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len() as u64;
+        for &q in &qs {
+            let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+            let exact = sorted[(rank - 1) as usize];
+            let got = sketch.percentile(q).expect("non-empty sketch");
+            prop_assert!(
+                (got - exact).abs() <= exact * cdn_telemetry::RELATIVE_ERROR,
+                "q={q}: sketch {got} vs exact {exact} (n={n})"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Oracle 4: metamorphic eviction-policy invariants over random op sequences.
 // ---------------------------------------------------------------------------
 

@@ -26,7 +26,12 @@ struct Observed {
 }
 
 /// Full pipeline pass on a dedicated pool with the requested observers.
-fn run_observed(threads: usize, profiled: bool, sample_every: Option<u64>) -> Observed {
+fn run_observed(
+    threads: usize,
+    profiled: bool,
+    sample_every: Option<u64>,
+    window: Option<u64>,
+) -> Observed {
     telemetry::reset_metrics();
     telemetry::install_trace();
     if profiled {
@@ -39,6 +44,7 @@ fn run_observed(threads: usize, profiled: bool, sample_every: Option<u64>) -> Ob
     let report = pool.install(|| {
         let mut cfg = ScenarioConfig::small();
         cfg.sim.sample_every = sample_every;
+        cfg.sim.window = window;
         let scenario = Scenario::generate(&cfg);
         let plan = scenario.plan(Strategy::Hybrid);
         scenario.simulate(&plan)
@@ -65,8 +71,8 @@ fn run_observed(threads: usize, profiled: bool, sample_every: Option<u64>) -> Ob
 
 #[test]
 fn trace_and_metrics_bytes_are_thread_count_invariant() {
-    let base_1 = run_observed(1, false, None);
-    let base_4 = run_observed(4, false, None);
+    let base_1 = run_observed(1, false, None, None);
+    let base_4 = run_observed(4, false, None, None);
     let (trace_1, metrics_1) = (&base_1.trace, &base_1.metrics);
 
     // The streams must be non-trivial before identical means anything.
@@ -110,13 +116,13 @@ fn trace_and_metrics_bytes_are_thread_count_invariant() {
     }
 
     // And a re-run at the same thread count is reproducible outright.
-    let base_1b = run_observed(1, false, None);
+    let base_1b = run_observed(1, false, None, None);
     assert_eq!(*trace_1, base_1b.trace);
     assert_eq!(*metrics_1, base_1b.metrics);
 
     // -- Profiling + sampling never perturb the deterministic artifacts. --
     assert!(base_1.samples.is_empty(), "sampling off must yield nothing");
-    let probed = run_observed(4, true, Some(97));
+    let probed = run_observed(4, true, Some(97), None);
     assert_eq!(
         *trace_1, probed.trace,
         "enabling the profiler/sampler changed the deterministic trace"
@@ -138,10 +144,23 @@ fn trace_and_metrics_bytes_are_thread_count_invariant() {
         assert_eq!(index % 97, 0, "sample off the 1-in-97 grid");
         assert!(doc.get("cause").is_some(), "sample without cause");
     }
-    let probed_1 = run_observed(1, true, Some(97));
+    let probed_1 = run_observed(1, true, Some(97), None);
     assert_eq!(
         probed.samples, probed_1.samples,
         "sampled set differs between thread counts"
+    );
+
+    // The windowed timeline is purely observational too: with it on, the
+    // trace and metrics snapshots stay byte-identical — it feeds nothing
+    // into the registry or the event stream.
+    let windowed = run_observed(4, false, None, Some(64));
+    assert_eq!(
+        *trace_1, windowed.trace,
+        "enabling the timeline changed the deterministic trace"
+    );
+    assert_eq!(
+        *metrics_1, windowed.metrics,
+        "enabling the timeline changed the metrics snapshot"
     );
 
     // The wall-clock profile is valid Chrome trace JSON covering the
@@ -156,4 +175,83 @@ fn trace_and_metrics_bytes_are_thread_count_invariant() {
     for needle in ["scenario.generate", "scenario.plan", "sim.system"] {
         assert!(profile.contains(needle), "profile lacks `{needle}`");
     }
+}
+
+/// Full pipeline pass on a dedicated pool with a timeline configuration.
+/// Unlike [`run_observed`] this touches no process-global telemetry state
+/// (the timeline flows through the report alone), so the timeline tests
+/// below can run as independent `#[test]`s.
+fn run_timeline(
+    threads: usize,
+    shards: Option<usize>,
+    window: Option<u64>,
+) -> cdn_core::sim::SimReport {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("build pool");
+    pool.install(|| {
+        let mut cfg = ScenarioConfig::small();
+        cfg.sim.window = window;
+        cfg.sim.shards = shards;
+        let scenario = Scenario::generate(&cfg);
+        let plan = scenario.plan(Strategy::Hybrid);
+        scenario.simulate(&plan)
+    })
+}
+
+/// The rendered timeline artifact — JSON *and* CSV — is byte-identical at
+/// every shard count in {1, 2, 4, 8} crossed with every thread count in
+/// {1, 4}. This is the artifact-level pin of the §9.1 extension: windows
+/// are keyed on per-server stream ticks and merged in global server order,
+/// so neither knob can move a byte.
+#[test]
+fn timeline_bytes_are_shard_and_thread_count_invariant() {
+    let reference = run_timeline(1, Some(1), Some(128));
+    let tl = reference.timeline.as_ref().expect("timeline enabled");
+    assert!(tl.windows.len() > 1, "scenario too small to window");
+    assert!(!tl.per_server.is_empty(), "no per-server timelines");
+    let runs = vec![("hybrid".to_string(), tl.clone())];
+    let (json_ref, csv_ref) = (
+        cdn_core::sim::render_timeline_json(&runs),
+        cdn_core::sim::render_timeline_csv(&runs),
+    );
+    assert!(json_ref.contains("\"top_site\""), "{json_ref}");
+    for shards in [1usize, 2, 4, 8] {
+        for threads in [1usize, 4] {
+            let r = run_timeline(threads, Some(shards), Some(128));
+            let runs = vec![("hybrid".to_string(), r.timeline.expect("timeline enabled"))];
+            assert_eq!(
+                json_ref,
+                cdn_core::sim::render_timeline_json(&runs),
+                "timeline JSON differs at {shards} shard(s), {threads} thread(s)"
+            );
+            assert_eq!(
+                csv_ref,
+                cdn_core::sim::render_timeline_csv(&runs),
+                "timeline CSV differs at {shards} shard(s), {threads} thread(s)"
+            );
+        }
+    }
+}
+
+/// `--window 0` is the documented off switch: its report is bit-identical
+/// to a run with no window configured at all.
+#[test]
+fn zero_window_is_bit_identical_to_no_window() {
+    let off = run_timeline(2, None, None);
+    let zero = run_timeline(2, None, Some(0));
+    assert!(off.timeline.is_none());
+    assert!(zero.timeline.is_none());
+    assert_eq!(
+        off.mean_latency_ms.to_bits(),
+        zero.mean_latency_ms.to_bits()
+    );
+    assert_eq!(off.histogram.cdf(), zero.histogram.cdf());
+    assert_eq!(off.measured_requests, zero.measured_requests);
+    assert_eq!(off.cache_hits, zero.cache_hits);
+    assert_eq!(off.replica_hits, zero.replica_hits);
+    assert_eq!(off.total_bytes, zero.total_bytes);
+    assert_eq!(off.cause, zero.cause);
+    assert_eq!(off.samples, zero.samples);
 }
