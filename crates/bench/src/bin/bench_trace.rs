@@ -1,0 +1,170 @@
+//! Trace ingestion + delayed-hit benchmark: `BENCH_trace.json`.
+//!
+//! Exercises the real-trace pipeline end to end: obtain a `.events` trace
+//! (replay the file given with `--trace-in`, or export the scenario's own
+//! synthetic workload through the binary format — an ingest round-trip),
+//! then replay it through the hybrid plan at a sweep of remote-fetch
+//! latencies. Asserts two invariants in-process:
+//!
+//! * **Off-switch identity** — fetch latency 0 is bit-identical to the
+//!   instant-fetch path (`fetch_latency: None`).
+//! * **Coalescing accounting** — at positive latency, delayed hits appear
+//!   and every cause bucket still sums to the measured request count.
+//!
+//! Emits `BENCH_trace.json` (replay stats + wall-clock) and
+//! `bench_trace.csv` (one row per fetch latency: delayed hits, origin
+//! fetches, mean latency) under the results directory.
+//!
+//! Usage: `bench_trace [--scale <tier>] [--quick] [--trace-in <path>]
+//!                     [--threads <n>] [--quiet] ...`
+
+use cdn_bench::harness::{banner, progress, write_csv, write_json, BenchArgs, PhaseTimings};
+use cdn_core::{export_events, replay_events, Scenario, Strategy};
+use cdn_sim::SimReport;
+use cdn_workload::TraceEvent;
+use std::fmt::Write as _;
+
+/// The remote-fetch latencies (in ticks) the sweep replays at. 0 is the
+/// off switch (asserted bit-identical to `None`); the rest show coalescing
+/// rising with the in-flight window.
+const FETCH_LATENCIES: [u64; 4] = [0, 16, 64, 256];
+
+fn replay_at(
+    scenario: &mut Scenario,
+    plan: &cdn_core::PlanResult,
+    events: &[TraceEvent],
+    fetch_latency: Option<u64>,
+) -> SimReport {
+    scenario.config.sim.fetch_latency = fetch_latency;
+    replay_events(scenario, plan, events.to_vec())
+}
+
+/// Bitwise equality of the fields that summarise a replay.
+fn reports_identical(a: &SimReport, b: &SimReport) -> bool {
+    a.mean_latency_ms.to_bits() == b.mean_latency_ms.to_bits()
+        && a.mean_cost_hops.to_bits() == b.mean_cost_hops.to_bits()
+        && a.total_requests == b.total_requests
+        && a.cache_hits == b.cache_hits
+        && a.replica_hits == b.replica_hits
+        && a.delayed_hits == b.delayed_hits
+        && a.origin_fetches == b.origin_fetches
+        && a.peer_fetches == b.peer_fetches
+        && a.cause == b.cause
+        && a.histogram.cdf() == b.histogram.cdf()
+}
+
+fn main() {
+    let args = BenchArgs::parse("bench_trace");
+    let scale = args.scale;
+    banner("bench_trace: .events replay + delayed-hit sweep", scale);
+
+    let config = args.config(0.05, 0.0, cdn_workload::LambdaMode::Uncacheable);
+    let mut timings = PhaseTimings::new(args.threads.unwrap_or_else(rayon::current_num_threads));
+    let mut scenario = timings.time("scenario", || Scenario::generate(&config));
+
+    let (events, source) = timings.time("ingest", || match &args.trace_in {
+        Some(path) => {
+            progress(&format!("reading trace {}", path.display()));
+            let events = cdn_workload::read_events_file(path).unwrap_or_else(|e| {
+                eprintln!("error: reading {}: {e}", path.display());
+                std::process::exit(1);
+            });
+            (events, path.display().to_string())
+        }
+        None => {
+            // Ingest round-trip on the synthetic workload: export through
+            // the binary codec and decode back, so the format sits on the
+            // replay path even without an external trace.
+            progress("exporting synthetic workload to .events");
+            let encoded = cdn_workload::encode_events(&export_events(&scenario));
+            let events = cdn_workload::decode_events(&encoded).expect("round-trip decode");
+            (events, "synthetic (ingest round-trip)".to_string())
+        }
+    });
+    println!("  trace: {} events from {source}", events.len());
+    assert!(!events.is_empty(), "empty trace");
+
+    let plan = timings.time("placement", || scenario.plan(Strategy::Hybrid));
+
+    progress("replay: instant-fetch baseline");
+    let instant = timings.time("replay_instant", || {
+        replay_at(&mut scenario, &plan, &events, None)
+    });
+    let mut rows = Vec::new();
+    let mut sweep = Vec::new();
+    for latency in FETCH_LATENCIES {
+        progress(&format!("replay: fetch latency {latency}"));
+        let report = timings.time(&format!("replay_l{latency}"), || {
+            replay_at(&mut scenario, &plan, &events, Some(latency))
+        });
+        rows.push(format!(
+            "{latency},{},{},{},{},{:.3}",
+            report.delayed_hits,
+            report.origin_fetches,
+            report.peer_fetches,
+            report.cache_hits,
+            report.mean_latency_ms
+        ));
+        println!(
+            "  fetch latency {latency:>4}: {:>8} delayed hits, {:>8} origin fetches, mean {:.2} ms",
+            report.delayed_hits, report.origin_fetches, report.mean_latency_ms
+        );
+        sweep.push((latency, report));
+    }
+
+    // Invariant 1: latency 0 is the off switch, bit-identical to None.
+    let zero = &sweep[0].1;
+    let off_identical = reports_identical(&instant, zero);
+    println!("  fetch latency 0 bit-identical to instant fetch: {off_identical}");
+
+    // Invariant 2: with a positive latency, delayed hits appear and the
+    // cause buckets still account for every measured request.
+    let mut coalesced = false;
+    for (latency, report) in &sweep {
+        let bucket_sum = report.cache_hits
+            + report.replica_hits
+            + report.delayed_hits
+            + report.origin_fetches
+            + report.peer_fetches
+            + report.failover_fetches
+            + report.failed_requests;
+        assert_eq!(
+            bucket_sum, report.measured_requests,
+            "cause buckets must sum to measured requests at latency {latency}"
+        );
+        assert_eq!(report.cause.total_requests(), report.measured_requests);
+        if *latency > 0 && report.delayed_hits > 0 {
+            coalesced = true;
+        }
+    }
+    println!("  positive latencies produced delayed hits: {coalesced}");
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", scale.label());
+    let _ = writeln!(json, "  \"events\": {},", events.len());
+    let _ = writeln!(json, "  \"off_switch_identical\": {off_identical},");
+    let _ = writeln!(json, "  \"coalesced\": {coalesced},");
+    let _ = writeln!(json, "  \"sweep\": [");
+    for (idx, (latency, report)) in sweep.iter().enumerate() {
+        let comma = if idx + 1 < sweep.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"fetch_latency\": {latency}, \"delayed_hits\": {}, \
+             \"origin_fetches\": {}, \"mean_latency_ms\": {:.6}}}{comma}",
+            report.delayed_hits, report.origin_fetches, report.mean_latency_ms
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"wall_clock\": {}", timings.to_json());
+    json.push_str("}\n");
+    write_json("BENCH_trace.json", &json);
+    write_csv(
+        "bench_trace.csv",
+        "fetch_latency,delayed_hits,origin_fetches,peer_fetches,cache_hits,mean_latency_ms",
+        &rows,
+    );
+    args.finish("bench_trace");
+
+    assert!(off_identical, "fetch latency 0 diverged from instant fetch");
+    assert!(coalesced, "no delayed hits at any positive fetch latency");
+}

@@ -92,6 +92,10 @@ pub struct BenchArgs {
     /// `.csv`. `--window 0` is the documented off switch, so unlike
     /// `--sample-every` a zero value parses cleanly.
     pub window: Option<u64>,
+    /// Replay a binary `.events` trace file instead of the synthetic
+    /// workload (`--trace-in <path>`). Only `bench_trace` consumes this;
+    /// the figure binaries ignore it.
+    pub trace_in: Option<PathBuf>,
     /// Suppress the stderr progress heartbeats (`--quiet`).
     pub quiet: bool,
 }
@@ -110,7 +114,7 @@ pub fn usage(bin: &str) -> String {
     format!(
         "usage: {bin} [--scale <tier>] [--quick] [--threads <n>] [--trace-out <path>]\n\
          \x20          [--metrics-out <path>] [--profile-out <path>] [--sample-every <n>]\n\
-         \x20          [--window <n>] [--quiet]\n\
+         \x20          [--window <n>] [--trace-in <path>] [--quiet]\n\
          \n\
          \x20 --scale <tier>        quick | paper | large | large-ci (default: paper)\n\
          \x20 --quick               shorthand for --scale quick\n\
@@ -122,6 +126,8 @@ pub fn usage(bin: &str) -> String {
          \x20 --sample-every <n>    sample every Nth request into <bin>_samples.jsonl\n\
          \x20 --window <n>          bucket measured requests into n-tick virtual-time\n\
          \x20                       windows, written to <bin>_timeline.json/.csv (0 = off)\n\
+         \x20 --trace-in <path>     replay a binary .events trace instead of the\n\
+         \x20                       synthetic workload (bench_trace only)\n\
          \x20 --quiet               suppress stderr progress heartbeats\n\
          \x20 --help                print this message\n"
     )
@@ -142,6 +148,7 @@ impl BenchArgs {
             profile_out: None,
             sample_every: None,
             window: None,
+            trace_in: None,
             quiet: false,
         };
         let mut it = args.into_iter();
@@ -199,6 +206,12 @@ impl BenchArgs {
                         return Err(ArgError::Bad("--threads must be at least 1".into()));
                     }
                     out.threads = Some(n);
+                }
+                "--trace-in" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError::Bad("--trace-in needs a path".into()))?;
+                    out.trace_in = Some(PathBuf::from(v));
                 }
                 "--trace-out" => {
                     let v = it
@@ -756,6 +769,7 @@ mod tests {
         assert_eq!(a.profile_out, None);
         assert_eq!(a.sample_every, None);
         assert_eq!(a.window, None);
+        assert_eq!(a.trace_in, None);
         assert!(!a.quiet);
     }
 
@@ -775,6 +789,8 @@ mod tests {
             "1000",
             "--window",
             "256",
+            "--trace-in",
+            "/tmp/t.events",
             "--quiet",
         ])
         .unwrap();
@@ -785,6 +801,7 @@ mod tests {
         assert_eq!(a.profile_out.as_deref(), Some(Path::new("/tmp/p.json")));
         assert_eq!(a.sample_every, Some(1000));
         assert_eq!(a.window, Some(256));
+        assert_eq!(a.trace_in.as_deref(), Some(Path::new("/tmp/t.events")));
         assert!(a.quiet);
     }
 
@@ -871,6 +888,7 @@ mod tests {
         ));
         assert!(matches!(parse(&["--threads", "0"]), Err(ArgError::Bad(_))));
         assert!(matches!(parse(&["--trace-out"]), Err(ArgError::Bad(_))));
+        assert!(matches!(parse(&["--trace-in"]), Err(ArgError::Bad(_))));
         assert!(matches!(parse(&["--metrics-out"]), Err(ArgError::Bad(_))));
         assert!(matches!(parse(&["--profile-out"]), Err(ArgError::Bad(_))));
         assert!(matches!(parse(&["--sample-every"]), Err(ArgError::Bad(_))));

@@ -18,9 +18,15 @@ use std::collections::{HashMap, VecDeque};
 #[derive(Debug)]
 pub struct DelayedLruCache {
     inner: LruCache,
-    history: HashMap<ObjectKey, ()>,
-    history_order: VecDeque<ObjectKey>,
+    /// Once-seen keys awaiting their second touch, each mapped to the
+    /// sequence number of its live entry in `history_order`. A queue entry
+    /// whose sequence no longer matches is stale (its key was admitted, or
+    /// re-seen later) and is skipped on pop instead of evicting the key's
+    /// newer entry.
+    history: HashMap<ObjectKey, u64>,
+    history_order: VecDeque<(u64, ObjectKey)>,
     history_cap: usize,
+    next_seq: u64,
 }
 
 impl DelayedLruCache {
@@ -39,6 +45,7 @@ impl DelayedLruCache {
             history: HashMap::new(),
             history_order: VecDeque::new(),
             history_cap: history_entries.max(1),
+            next_seq: 0,
         }
     }
 
@@ -49,17 +56,33 @@ impl DelayedLruCache {
 
     fn note_seen(&mut self, key: ObjectKey) -> bool {
         if self.history.remove(&key).is_some() {
-            // Second touch: admit. (Stale queue entry removed lazily.)
+            // Second touch: admit. The key's queue entry is now stale; its
+            // sequence number no longer resolves in `history`, so pops skip
+            // it rather than dropping a future re-seen entry for this key.
             return true;
         }
-        self.history.insert(key, ());
-        self.history_order.push_back(key);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.history.insert(key, seq);
+        self.history_order.push_back((seq, key));
         while self.history.len() > self.history_cap {
-            if let Some(old) = self.history_order.pop_front() {
-                self.history.remove(&old);
-            } else {
-                break;
+            match self.history_order.pop_front() {
+                // Tombstone skip: only a queue entry that still owns its
+                // key may evict it from the history.
+                Some((s, old)) => {
+                    if self.history.get(&old) == Some(&s) {
+                        self.history.remove(&old);
+                    }
+                }
+                None => break,
             }
+        }
+        // Stale entries make the queue longer than the live history; keep
+        // the overhead bounded by compacting once it doubles.
+        if self.history_order.len() > self.history_cap.saturating_mul(2) {
+            let history = &self.history;
+            self.history_order
+                .retain(|(s, k)| history.get(k) == Some(s));
         }
         false
     }
@@ -93,6 +116,7 @@ impl Cache for DelayedLruCache {
         self.inner.clear();
         self.history.clear();
         self.history_order.clear();
+        self.next_seq = 0;
     }
 
     fn used_bytes(&self) -> u64 {
@@ -177,6 +201,56 @@ mod tests {
         // k(0) aged out of history: a second touch is treated as first.
         c.insert(k(0), 1);
         assert!(!c.contains(k(0)));
+    }
+
+    #[test]
+    fn premature_drop_of_reseen_key_regression() {
+        // Regression: admission used to leave the admitted key's queue
+        // entry behind. If the key was later evicted and seen again, the
+        // queue held the key twice; overflowing the history then popped the
+        // STALE front entry, which erased the key's fresh history entry —
+        // even though it was not the oldest live one — so the genuine
+        // second touch was treated as a first touch, while the key that
+        // should have aged out (the true FIFO victim) survived.
+        let mut c = DelayedLruCache::with_history(100, 2);
+        c.insert(k(1), 1);
+        c.insert(k(1), 1); // admitted; queue entry for k(1) is now stale
+        assert!(c.contains(k(1)));
+        assert!(c.remove(k(1)), "evict the admitted copy");
+        c.insert(k(2), 1); // oldest live entry — the rightful FIFO victim
+        c.insert(k(1), 1); // re-seen: fresh entry, NEWER than k(2)'s
+        c.insert(k(3), 1); // overflow (3 live > cap 2): pop must skip the
+                           // stale k(1) front entry and age out k(2)
+        assert!(c.history_len() <= 2, "bound counts live entries");
+        c.insert(k(1), 1); // k(1)'s genuine second touch
+        assert!(
+            c.contains(k(1)),
+            "re-seen key lost its fresh history entry to a stale pop"
+        );
+        // And the rightful victim really aged out: k(2)'s next touch is a
+        // first touch again.
+        c.insert(k(2), 1);
+        assert!(!c.contains(k(2)), "k(2) should have been the FIFO victim");
+    }
+
+    #[test]
+    fn queue_overhead_stays_bounded_under_admission_churn() {
+        // Admit/evict the same keys repeatedly: every admission strands a
+        // stale queue entry; compaction must keep the queue near the cap.
+        let mut c = DelayedLruCache::with_history(10, 8);
+        for round in 0..1000u32 {
+            let key = k(round % 16);
+            c.insert(key, 1);
+            if c.contains(key) {
+                c.remove(key);
+            }
+        }
+        assert!(c.history_len() <= 8);
+        assert!(
+            c.history_order.len() <= 16,
+            "queue grew unboundedly: {}",
+            c.history_order.len()
+        );
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! The CLI subcommands.
 
 use crate::args::Args;
-use cdn_core::{compare_strategies_with_options, ModelBackend, Scenario, ScenarioConfig, Strategy};
+use cdn_core::{
+    compare_strategies_with_options, export_events, parse_csv_trace, replay_events, ModelBackend,
+    Scenario, ScenarioConfig, Strategy,
+};
 use cdn_telemetry as telemetry;
 use cdn_topology::metrics::compute_metrics;
 use cdn_topology::{export, TransitStubConfig, TransitStubTopology};
@@ -15,17 +18,35 @@ USAGE:
   hybrid-cdn compare  [--capacity 0.05] [--lambda 0] [--mode uncacheable|expired]
                       [--scale small|paper|large|large-ci] [--seed N] [--threads N]
                       [--cache-policy lru|delayed-lru|fifo|lfu|clock|gdsf]
-                      [--model paper|che|closed-form] [fault options]
+                      [--model paper|che|closed-form] [--trace-in FILE.events]
+                      [fault options]
   hybrid-cdn plan     [--strategy hybrid] [--model paper|che|closed-form]
                       [--capacity 0.05] [--lambda 0] [--mode uncacheable|expired]
                       [--scale small|paper|large|large-ci] [--seed N]
                       [--threads N] [fault options]
   hybrid-cdn topology [--scale small|paper|large] [--seed N] [--dot FILE] [--csv FILE]
   hybrid-cdn workload [--theta 1.0] [--sites 15] [--objects 200] [--seed N]
+  hybrid-cdn ingest   --out FILE.events [--csv FILE] [scenario flags]
   hybrid-cdn report   [--metrics FILE] [--profile FILE] [--samples FILE]
                       [--trace FILE] [--timeline FILE] [--top N]
                       [--format text|json|openmetrics]
   hybrid-cdn help
+
+TRACES (the versioned binary .events format: (key, timestamp_us) pairs):
+  `hybrid-cdn ingest --csv trace.csv --out trace.events` converts a text
+  trace (rows `timestamp_us,key` or `timestamp_us,site,object`; a header
+  row is skipped) to .events; without --csv it exports the synthetic
+  workload of the selected scenario instead. `compare --trace-in
+  trace.events` then replays the file through every strategy: requests
+  are partitioned across servers by a deterministic key hash and clamped
+  into the scenario's catalog, so any trace replays against any scale.
+
+DELAYED HITS (compare, plan, and trace replay):
+  --fetch-latency N     remote fetches complete N ticks after the miss
+                        that started them; requests for the same object
+                        arriving earlier coalesce onto the pending fetch
+                        as `delayed_hit`s instead of separate fetches
+                        (0 = instant fetches, the off switch)
 
 FAULT OPTIONS (enable fault injection / failover routing in the simulator):
   --mttf TICKS          mean requests between server crashes (default: never)
@@ -77,6 +98,7 @@ pub const SCENARIO_KEYS: &[&str] = &[
     "samples-out",
     "window",
     "timeline-out",
+    "fetch-latency",
 ];
 
 /// Observability outputs requested on the command line. Constructing it
@@ -281,6 +303,11 @@ fn scenario_config(a: &Args) -> Result<ScenarioConfig, String> {
         // `Some(0)` path is bit-identical to `None`.
         cfg.sim.window = Some(a.get_u64("window", 0)?);
     }
+    if a.has("fetch-latency") {
+        // Same contract as --window: 0 is the documented off switch and
+        // the `Some(0)` path is bit-identical to `None`.
+        cfg.sim.fetch_latency = Some(a.get_u64("fetch-latency", 0)?);
+    }
     Ok(cfg)
 }
 
@@ -350,13 +377,33 @@ pub fn compare(a: &Args) -> Result<(), String> {
         println!("hit-ratio model: {}", model.name());
     }
     let scenario = Scenario::generate(&cfg);
-    let cmp = compare_strategies_with_options(
-        &scenario,
-        &[Strategy::Replication, Strategy::Caching, Strategy::Hybrid],
-        policy,
-        model,
-    )
-    .map_err(|e| format!("--cache-policy: {e}"))?;
+    let strategies = [Strategy::Replication, Strategy::Caching, Strategy::Hybrid];
+    let cmp = if let Some(path) = a.get("trace-in") {
+        if policy.is_some() {
+            return Err("--trace-in replays with each strategy's default cache; \
+                        --cache-policy is not supported here"
+                .into());
+        }
+        let events = cdn_workload::read_events_file(std::path::Path::new(path))
+            .map_err(|e| format!("reading {path}: {e}"))?;
+        println!("replaying {} events from {path}", events.len());
+        let rows = strategies
+            .iter()
+            .map(|&strategy| {
+                let plan = scenario.plan_with_model(strategy, model);
+                let report = replay_events(&scenario, &plan, events.clone());
+                cdn_core::ComparisonRow {
+                    strategy,
+                    plan,
+                    report,
+                }
+            })
+            .collect();
+        cdn_core::StrategyComparison { rows }
+    } else {
+        compare_strategies_with_options(&scenario, &strategies, policy, model)
+            .map_err(|e| format!("--cache-policy: {e}"))?
+    };
     let mut obs = obs;
     for row in &cmp.rows {
         obs.record_samples(&row.strategy.name(), &row.report);
@@ -490,6 +537,47 @@ pub fn workload(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `hybrid-cdn ingest` — produce a binary `.events` trace file, either by
+/// converting a CSV text trace (`--csv`) or by exporting the synthetic
+/// workload of the selected scenario (no `--csv`).
+pub fn ingest(a: &Args) -> Result<(), String> {
+    let out = a
+        .get("out")
+        .ok_or("ingest needs --out FILE.events to know where to write")?;
+    let (events, source) = match a.get("csv") {
+        Some(csv) => {
+            let text = std::fs::read_to_string(csv).map_err(|e| format!("reading {csv}: {e}"))?;
+            (parse_csv_trace(&text)?, format!("csv {csv}"))
+        }
+        None => {
+            let cfg = scenario_config(a)?;
+            let scenario = Scenario::generate(&cfg);
+            (
+                export_events(&scenario),
+                format!(
+                    "synthetic scenario ({} servers, seed {})",
+                    cfg.hosts.n_servers, cfg.seed
+                ),
+            )
+        }
+    };
+    if events.is_empty() {
+        return Err("trace is empty — nothing to write".into());
+    }
+    cdn_workload::write_events_file(std::path::Path::new(out), &events)
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    let distinct: std::collections::HashSet<u64> = events.iter().map(|e| e.key).collect();
+    let span_us = events.last().map(|e| e.timestamp_us).unwrap_or(0)
+        - events.first().map(|e| e.timestamp_us).unwrap_or(0);
+    println!(
+        "wrote {} events ({} distinct keys, {:.3} s span) from {source} to {out}",
+        events.len(),
+        distinct.len(),
+        span_us as f64 / 1e6
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -591,6 +679,62 @@ mod tests {
         let cfg = parse_scenario(&[]).unwrap();
         assert_eq!(cfg.sim.window, None);
         assert!(parse_scenario(&["--window", "wide"]).is_err());
+    }
+
+    #[test]
+    fn fetch_latency_flag_populates_sim_config_and_accepts_zero() {
+        let cfg = parse_scenario(&["--fetch-latency", "64"]).unwrap();
+        assert_eq!(cfg.sim.fetch_latency, Some(64));
+        // --fetch-latency 0 is the documented off switch, never an error.
+        let cfg = parse_scenario(&["--fetch-latency", "0"]).unwrap();
+        assert_eq!(cfg.sim.fetch_latency, Some(0));
+        let cfg = parse_scenario(&[]).unwrap();
+        assert_eq!(cfg.sim.fetch_latency, None);
+        assert!(parse_scenario(&["--fetch-latency", "slow"]).is_err());
+    }
+
+    #[test]
+    fn ingest_round_trips_csv_and_synthetic_traces() {
+        let dir = std::env::temp_dir().join("cdn-cli-ingest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("trace.csv");
+        let out = dir.join("trace.events");
+        std::fs::write(&csv, "timestamp_us,site,object\n20,1,3\n10,0,5\n").unwrap();
+        let a = Args::parse(
+            [
+                "--csv",
+                csv.to_str().unwrap(),
+                "--out",
+                out.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+            &["csv", "out"],
+        )
+        .unwrap();
+        ingest(&a).unwrap();
+        let events = cdn_workload::read_events_file(&out).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].timestamp_us, 10, "sorted by timestamp");
+
+        // Without --csv the selected scenario's synthetic workload exports.
+        let synth = dir.join("synth.events");
+        let mut keys = vec!["csv", "out"];
+        keys.extend_from_slice(SCENARIO_KEYS);
+        let a = Args::parse(
+            ["--out", synth.to_str().unwrap(), "--seed", "7"]
+                .iter()
+                .map(|s| s.to_string()),
+            &keys,
+        )
+        .unwrap();
+        ingest(&a).unwrap();
+        let events = cdn_workload::read_events_file(&synth).unwrap();
+        assert!(!events.is_empty());
+
+        // Missing --out is a contextful error, not a panic.
+        let a = Args::parse(std::iter::empty::<String>(), &["csv", "out"]).unwrap();
+        assert!(ingest(&a).unwrap_err().contains("--out"));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! hybrid-cdn workload [--theta 1.0] [--sites N] [--objects L] [--seed N]
 //! hybrid-cdn report   [--metrics FILE] [--profile FILE] [--samples FILE]
 //!                     [--trace FILE] [--top N]
+//! hybrid-cdn ingest   --out FILE.events [--csv FILE] [scenario flags]
 //! ```
 
 mod args;
@@ -26,9 +27,14 @@ fn main() {
     let command = raw.remove(0);
     let result = match command.as_str() {
         "compare" => {
-            let mut keys = vec!["cache-policy", "model"];
+            let mut keys = vec!["cache-policy", "model", "trace-in"];
             keys.extend_from_slice(commands::SCENARIO_KEYS);
             Args::parse(raw, &keys).and_then(|a| commands::compare(&a))
+        }
+        "ingest" => {
+            let mut keys = vec!["csv", "out"];
+            keys.extend_from_slice(commands::SCENARIO_KEYS);
+            Args::parse(raw, &keys).and_then(|a| commands::ingest(&a))
         }
         "plan" => {
             let mut keys = vec!["strategy", "model"];
@@ -59,7 +65,9 @@ mod tests {
     // this smoke test just keeps `main`'s dispatch table in sync with USAGE.
     #[test]
     fn usage_mentions_every_command() {
-        for cmd in ["compare", "plan", "topology", "workload", "report"] {
+        for cmd in [
+            "compare", "plan", "topology", "workload", "report", "ingest",
+        ] {
             assert!(
                 crate::commands::USAGE.contains(cmd),
                 "{cmd} missing from USAGE"

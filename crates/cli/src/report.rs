@@ -21,6 +21,7 @@ pub const REPORT_KEYS: &[&str] = &[
 const CAUSES: &[&str] = &[
     "replica_hit",
     "cache_hit",
+    "delayed_hit",
     "remote_replica",
     "origin_fetch",
     "failover",
@@ -506,6 +507,14 @@ fn timeline_section(doc: &Json, path: &str, top: usize) -> Result<String, String
             windows.len()
         );
         if windows.is_empty() {
+            // A run can legitimately complete zero windows (e.g. --window
+            // wider than the measured stream, or no measured requests at
+            // all); say so instead of rendering empty lanes.
+            let _ = writeln!(
+                out,
+                "    no complete windows — stream shorter than one window, \
+                 or the run measured no requests"
+            );
             continue;
         }
         let lanes: &[(&str, Vec<f64>)] = &[
@@ -608,6 +617,7 @@ mod tests {
     const SNAPSHOT: &str = r#"{
   "counters": {
     "sim.cause.cache_hit": 30, "sim.cause.cache_hit_latency_us": 600000,
+    "sim.cause.delayed_hit": 0, "sim.cause.delayed_hit_latency_us": 0,
     "sim.cause.failed": 0, "sim.cause.failed_latency_us": 0,
     "sim.cause.failover": 10, "sim.cause.failover_latency_us": 2400000,
     "sim.cause.failover_surcharge_us": 2000000,
@@ -627,6 +637,7 @@ mod tests {
         let doc = json::parse(SNAPSHOT).unwrap();
         let s = metrics_section(&doc, "m.json").unwrap();
         assert!(s.contains("replica_hit"), "{s}");
+        assert!(s.contains("delayed_hit"), "delayed-hit row renders: {s}");
         assert!(s.contains("40.00%"), "replica share: {s}");
         // Mean of the failover rows: 2400 ms over 10 requests.
         assert!(s.contains("240.000"), "{s}");
@@ -857,5 +868,43 @@ mod tests {
         let doc = json::parse(r#"{"runs": []}"#).unwrap();
         let s = timeline_section(&doc, "tl.json", 3).unwrap();
         assert!(s.contains("no runs"), "{s}");
+    }
+
+    #[test]
+    fn zero_complete_windows_render_cleanly() {
+        // A run is present but completed no windows (stream shorter than
+        // one window): the section must say so, render no lanes for that
+        // run, and still render subsequent runs in full.
+        let doc = json::parse(&TIMELINE.replace(
+            "\"runs\": [\n{",
+            r#""runs": [
+{
+"run": "warmup-only",
+"window_width": 100000,
+"windows": [],
+"requests": [],
+"mean_ms": [],
+"p99_ms": [],
+"evictions": [],
+"top_site": [],
+"top_site_requests": [],
+"servers": []
+},
+{"#,
+        ))
+        .unwrap();
+        let s = timeline_section(&doc, "tl.json", 2).unwrap();
+        assert!(
+            s.contains("run warmup-only: 0 windows x 100000 ticks"),
+            "{s}"
+        );
+        assert!(s.contains("no complete windows"), "{s}");
+        // The empty run renders no sparklines or hotspots of its own…
+        let empty_part = &s[..s.find("run hybrid").expect(&s)];
+        assert!(!empty_part.contains("hotspots"), "{s}");
+        assert!(!empty_part.contains('█'), "{s}");
+        // …while the populated run after it still renders fully.
+        assert!(s.contains("run hybrid: 2 windows x 512 ticks"), "{s}");
+        assert!(s.contains("hotspots"), "{s}");
     }
 }

@@ -40,6 +40,7 @@ pub use cdn_topology as topology;
 pub use cdn_workload as workload;
 
 pub mod analysis;
+pub mod replay;
 pub mod scenario;
 pub mod strategy;
 
@@ -47,5 +48,6 @@ pub use analysis::{
     compare_strategies, compare_strategies_with_options, compare_strategies_with_policy,
     ComparisonRow, StrategyComparison,
 };
+pub use replay::{export_events, parse_csv_trace, replay_events, ReplayStreams};
 pub use scenario::{CapacityProfile, Scenario, ScenarioConfig};
 pub use strategy::{ModelBackend, PlanResult, Strategy, MODEL_NAMES};

@@ -1,0 +1,378 @@
+//! Real-trace replay: drive the simulator from a `.events` trace file
+//! instead of a generated stream, and export synthetic scenarios to the
+//! same format.
+//!
+//! The binary format itself ([`cdn_workload::trace_file`]) stores
+//! `(key, timestamp_us)` pairs; this module gives them simulation
+//! semantics:
+//!
+//! * **Export** — [`export_events`] walks a synthetic scenario's
+//!   per-server streams in a deterministic round-robin interleave and
+//!   packs each request as `key = (site << 32) | object` with a
+//!   strictly increasing timestamp, so any scenario can be round-tripped
+//!   through a trace file.
+//! * **Ingest** — [`parse_csv_trace`] converts text traces (either
+//!   `timestamp_us,key` or `timestamp_us,site,object` columns) into
+//!   events, sorting stably by timestamp.
+//! * **Replay** — [`ReplayStreams::from_events`] partitions events
+//!   across servers by a deterministic key hash (all requests for an
+//!   object land on one server, the regime where delayed-hit coalescing
+//!   matters) and clamps sites/objects into the replaying scenario's
+//!   catalog, so any trace replays against any scenario. The resulting
+//!   per-server streams feed [`cdn_sim::simulate_system_streams`], which
+//!   keeps replay byte-identical at any thread or shard count (DESIGN.md
+//!   §9.1: per-server state is keyed on the deterministic stream tick).
+
+use crate::scenario::Scenario;
+use crate::strategy::{PlanResult, Strategy};
+use cdn_cache::Cache;
+use cdn_sim::{simulate_system_streams, SimReport};
+use cdn_workload::{pack_key, unpack_key, Flavor, Request, TraceEvent};
+
+/// Deterministic 64-bit mix (splitmix64 finaliser) for the key → server
+/// partition. Not a security hash; just a stable spreader.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Export a scenario's synthetic workload as a timestamped event list.
+///
+/// Per-server streams are interleaved round-robin (server 0's tick t,
+/// server 1's tick t, …, then tick t+1), which is deterministic and gives
+/// every event a unique, strictly increasing timestamp:
+/// `t * 1000 + server` microseconds — i.e. a virtual 1 ms between
+/// consecutive ticks of one server.
+pub fn export_events(scenario: &Scenario) -> Vec<TraceEvent> {
+    let n = scenario.trace.n_servers();
+    let mut streams: Vec<_> = (0..n)
+        .map(|s| scenario.trace.stream_for_server(s))
+        .collect();
+    let mut events = Vec::new();
+    let mut tick: u64 = 0;
+    loop {
+        let mut any = false;
+        for (server, stream) in streams.iter_mut().enumerate() {
+            if let Some(req) = stream.next() {
+                any = true;
+                events.push(TraceEvent {
+                    key: pack_key(req.site, req.object),
+                    timestamp_us: tick * 1000 + server as u64,
+                });
+            }
+        }
+        if !any {
+            break;
+        }
+        tick += 1;
+    }
+    events
+}
+
+/// Parse a CSV trace into events. Accepted row shapes (header rows and
+/// blank lines are skipped):
+///
+/// * `timestamp_us,key` — the key is used verbatim;
+/// * `timestamp_us,site,object` — packed via [`pack_key`].
+///
+/// Events are sorted stably by timestamp, so out-of-order inputs ingest
+/// deterministically.
+pub fn parse_csv_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').map(str::trim).collect();
+        let parse = |s: &str| s.parse::<u64>().ok();
+        let event = match cols.as_slice() {
+            [ts, key] => parse(ts)
+                .zip(parse(key))
+                .map(|(timestamp_us, key)| TraceEvent { key, timestamp_us }),
+            [ts, site, object] => match (parse(ts), parse(site), parse(object)) {
+                (Some(timestamp_us), Some(site), Some(object)) => {
+                    if site > u64::from(u32::MAX) || object > u64::from(u32::MAX) {
+                        return Err(format!(
+                            "line {}: site/object out of u32 range: {line}",
+                            lineno + 1
+                        ));
+                    }
+                    Some(TraceEvent {
+                        key: pack_key(site as u32, object as u32),
+                        timestamp_us,
+                    })
+                }
+                _ => None,
+            },
+            _ => {
+                return Err(format!(
+                    "line {}: expected 2 or 3 comma-separated columns, got {}: {line}",
+                    lineno + 1,
+                    cols.len()
+                ))
+            }
+        };
+        match event {
+            Some(e) => events.push(e),
+            // A non-numeric first row is a header; anywhere else it is data
+            // corruption worth reporting.
+            None if lineno == 0 => continue,
+            None => return Err(format!("line {}: non-numeric field: {line}", lineno + 1)),
+        }
+    }
+    events.sort_by_key(|e| e.timestamp_us);
+    Ok(events)
+}
+
+/// Per-server request streams rebuilt from a trace, ready to feed
+/// [`cdn_sim::simulate_system_streams`].
+pub struct ReplayStreams {
+    streams: Vec<Vec<Request>>,
+}
+
+impl ReplayStreams {
+    /// Partition `events` into per-server streams.
+    ///
+    /// * Server: `mix64(key) % n_servers` — all requests for one object
+    ///   land on one server, deterministically.
+    /// * Site/object: the packed halves of the key, clamped into the
+    ///   replaying catalog (`site % m_sites`, `object % objects_per_site`),
+    ///   so any trace replays against any scenario.
+    /// * Order: stable by timestamp (ties keep input order), so replay is
+    ///   independent of how the trace was produced or stored.
+    ///
+    /// All requests replay as [`Flavor::Normal`]; the `.events` format
+    /// carries no uncacheable/expired flags.
+    pub fn from_events(
+        mut events: Vec<TraceEvent>,
+        n_servers: usize,
+        m_sites: usize,
+        objects_per_site: usize,
+    ) -> Self {
+        assert!(n_servers > 0, "need at least one server");
+        assert!(m_sites > 0, "need at least one site");
+        assert!(objects_per_site > 0, "need at least one object per site");
+        events.sort_by_key(|e| e.timestamp_us);
+        let mut streams = vec![Vec::new(); n_servers];
+        for e in &events {
+            let (site, object) = unpack_key(e.key);
+            let server = (mix64(e.key) % n_servers as u64) as usize;
+            streams[server].push(Request {
+                site: site % m_sites as u32,
+                object: object % objects_per_site as u32,
+                flavor: Flavor::Normal,
+            });
+        }
+        Self { streams }
+    }
+
+    /// Stream lengths per server (the warm-up sizing input).
+    pub fn lengths(&self) -> Vec<u64> {
+        self.streams.iter().map(|s| s.len() as u64).collect()
+    }
+
+    /// Total events across all servers.
+    pub fn total_events(&self) -> u64 {
+        self.streams.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Iterate one server's stream (cloned requests, cheap `Copy` items).
+    pub fn stream_for_server(&self, server: usize) -> impl Iterator<Item = Request> + '_ {
+        self.streams[server].iter().copied()
+    }
+}
+
+/// Replay a trace against a planned scenario: the placement and catalog
+/// come from the scenario, the requests from the trace. Cache policy
+/// mirrors [`Scenario::simulate`]: pure replication runs cache-less, every
+/// other strategy uses the default LRU sized to each server's leftover
+/// space.
+pub fn replay_events(scenario: &Scenario, plan: &PlanResult, events: Vec<TraceEvent>) -> SimReport {
+    let streams = ReplayStreams::from_events(
+        events,
+        scenario.problem.n_servers(),
+        scenario.problem.m_sites(),
+        scenario.config.workload.objects_per_site,
+    );
+    let lengths = streams.lengths();
+    let make_zero: &(dyn Fn(u64) -> Box<dyn Cache> + Sync) =
+        &|_| Box::new(cdn_cache::LruCache::new(0));
+    let factory = match plan.strategy {
+        Strategy::Replication => Some(make_zero),
+        _ => None,
+    };
+    simulate_system_streams(
+        &scenario.problem,
+        &plan.placement,
+        &scenario.catalog,
+        &scenario.config.sim,
+        factory,
+        &lengths,
+        |server| streams.stream_for_server(server),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+    use crate::Strategy;
+
+    #[test]
+    fn export_is_deterministic_and_timestamp_ordered() {
+        let s = Scenario::generate(&ScenarioConfig::small());
+        let a = export_events(&s);
+        let b = export_events(&s);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let total: u64 = (0..s.trace.n_servers())
+            .map(|i| s.trace.len_for_server(i))
+            .sum();
+        assert_eq!(a.len() as u64, total);
+        for w in a.windows(2) {
+            assert!(
+                w[0].timestamp_us < w[1].timestamp_us || {
+                    // Round-robin interleave: within a tick, server order.
+                    w[0].timestamp_us / 1000 == w[1].timestamp_us / 1000
+                }
+            );
+        }
+        // Sorting by timestamp must be a no-op modulo stability.
+        let mut sorted = a.clone();
+        sorted.sort_by_key(|e| e.timestamp_us);
+        assert_eq!(sorted, a);
+    }
+
+    #[test]
+    fn csv_two_and_three_column_rows_parse() {
+        let text = "timestamp_us,site,object\n30,2,7\n10,1,5\n20,0,0\n";
+        let events = parse_csv_trace(text).unwrap();
+        assert_eq!(events.len(), 3);
+        // Sorted by timestamp.
+        assert_eq!(
+            events[0],
+            TraceEvent {
+                key: pack_key(1, 5),
+                timestamp_us: 10
+            }
+        );
+        assert_eq!(events[2].key, pack_key(2, 7));
+        let packed = format!("ts,key\n5,{}\n", pack_key(3, 9));
+        let events = parse_csv_trace(&packed).unwrap();
+        assert_eq!(
+            events,
+            vec![TraceEvent {
+                key: pack_key(3, 9),
+                timestamp_us: 5
+            }]
+        );
+    }
+
+    #[test]
+    fn csv_errors_are_contextful() {
+        let err = parse_csv_trace("1,2,3\nnope,2,3\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse_csv_trace("1,2,3,4\n").unwrap_err();
+        assert!(err.contains("2 or 3"), "{err}");
+        let err = parse_csv_trace(&format!("1,{},0\n", u64::from(u32::MAX) + 1)).unwrap_err();
+        assert!(err.contains("u32 range"), "{err}");
+    }
+
+    #[test]
+    fn replay_clamps_into_catalog_and_covers_every_event() {
+        let s = Scenario::generate(&ScenarioConfig::small());
+        let m = s.problem.m_sites() as u32;
+        let l = s.config.workload.objects_per_site as u32;
+        // Keys far outside the catalog must wrap, not panic.
+        let events: Vec<TraceEvent> = (0..200u64)
+            .map(|i| TraceEvent {
+                key: pack_key(m * 3 + i as u32, l * 5 + i as u32),
+                timestamp_us: i,
+            })
+            .collect();
+        let streams =
+            ReplayStreams::from_events(events, s.problem.n_servers(), m as usize, l as usize);
+        assert_eq!(streams.total_events(), 200);
+        for server in 0..s.problem.n_servers() {
+            for req in streams.stream_for_server(server) {
+                assert!(req.site < m);
+                assert!(req.object < l);
+            }
+        }
+        let plan = s.plan(Strategy::Hybrid);
+        let report = replay_events(
+            &s,
+            &plan,
+            (0..200u64)
+                .map(|i| TraceEvent {
+                    key: pack_key(i as u32 % (2 * m), i as u32 % (2 * l)),
+                    timestamp_us: i,
+                })
+                .collect(),
+        );
+        assert_eq!(report.total_requests, 200);
+    }
+
+    #[test]
+    fn replay_is_bit_identical_across_shards_and_threads() {
+        // The ISSUE acceptance grid: shards {1,2,4,8} x threads {1,4}.
+        let mut cfg = ScenarioConfig::small();
+        cfg.sim.fetch_latency = Some(16);
+        let s = Scenario::generate(&cfg);
+        let plan = s.plan(Strategy::Hybrid);
+        let events = export_events(&s);
+        let run = |shards: Option<usize>| {
+            let mut sc = s.config.clone();
+            sc.sim.shards = shards;
+            let mut scenario_shards = Scenario::generate(&sc);
+            // Same generated instance; only the shard count differs.
+            scenario_shards.config.sim.shards = shards;
+            replay_events(&scenario_shards, &plan, events.clone())
+        };
+        let base = run(Some(1));
+        assert!(base.measured_requests > 0);
+        assert!(base.delayed_hits > 0, "replay never coalesced");
+        for shards in [2, 4, 8] {
+            let r = run(Some(shards));
+            assert_eq!(base.mean_latency_ms.to_bits(), r.mean_latency_ms.to_bits());
+            assert_eq!(base.cache_hits, r.cache_hits);
+            assert_eq!(base.delayed_hits, r.delayed_hits);
+            assert_eq!(base.histogram.cdf(), r.histogram.cdf());
+            assert_eq!(base.cause, r.cause);
+        }
+        let pool = |n: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .unwrap()
+        };
+        let one = pool(1).install(|| run(Some(4)));
+        let four = pool(4).install(|| run(Some(4)));
+        assert_eq!(
+            one.mean_latency_ms.to_bits(),
+            four.mean_latency_ms.to_bits()
+        );
+        assert_eq!(one.cause, four.cause);
+        assert_eq!(one.histogram.cdf(), four.histogram.cdf());
+    }
+
+    #[test]
+    fn export_replay_round_trip_reuses_every_request() {
+        let s = Scenario::generate(&ScenarioConfig::small());
+        let plan = s.plan(Strategy::Hybrid);
+        let events = export_events(&s);
+        let report = replay_events(&s, &plan, events.clone());
+        assert_eq!(report.total_requests, events.len() as u64);
+        // Deterministic: same trace, same report.
+        let again = replay_events(&s, &plan, events);
+        assert_eq!(
+            report.mean_latency_ms.to_bits(),
+            again.mean_latency_ms.to_bits()
+        );
+        assert_eq!(report.cause, again.cause);
+    }
+}

@@ -7,13 +7,19 @@ use crate::timeline::{ServerTimeline, TimelineAcc};
 use cdn_cache::{Cache, CacheStats, ObjectKey};
 use cdn_telemetry as telemetry;
 use cdn_workload::{Flavor, Request};
+use std::collections::HashMap;
+
+/// In-flight fetch state for delayed-hit coalescing: the configured fetch
+/// latency plus a map of object -> (tick the fetch completes, fetch hops).
+type InflightTable = (u64, HashMap<ObjectKey, (u64, u32)>);
 
 /// Per-site tallies over one server's *measured* requests, gathered only
 /// when telemetry is enabled. Everything here is deterministic: the
 /// request stream, routing, and fault schedule are all seed-derived.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SiteObs {
-    /// Served locally (replica hit or fresh cache hit).
+    /// Served locally (replica hit, fresh cache hit, or a delayed hit
+    /// riding a pending fetch that lands at this server).
     pub local_hits: u64,
     /// Travelled to a holder with no dead copies skipped.
     pub remote_fetches: u64,
@@ -44,6 +50,10 @@ pub struct ServerReport {
     pub local_requests: u64,
     pub cache_hits: u64,
     pub replica_hits: u64,
+    /// Measured requests coalesced onto an in-flight fetch of the same
+    /// object (delayed hits; zero unless [`SimConfig::fetch_latency`] is
+    /// positive). Disjoint from every other bucket.
+    pub delayed_hits: u64,
     /// Measured requests that travelled to a primary (origin) site.
     pub origin_fetches: u64,
     /// Measured requests served by another CDN server's replica.
@@ -345,6 +355,7 @@ where
         local_requests: 0,
         cache_hits: 0,
         replica_hits: 0,
+        delayed_hits: 0,
         origin_fetches: 0,
         peer_fetches: 0,
         failover_fetches: 0,
@@ -368,6 +379,17 @@ where
     // counts; gated once per run on the global telemetry flag.
     let mut site_obs: Option<Vec<SiteObs>> =
         telemetry::enabled().then(|| vec![SiteObs::default(); plan.replicated.len()]);
+    // In-flight fetch table for delayed-hit coalescing: object -> (tick
+    // the pending fetch completes, hops that fetch travels). Allocated
+    // only for a positive fetch latency; `None` and `Some(0)` take the
+    // exact instant-fetch code path, bit for bit. The table is keyed on
+    // the deterministic per-server stream tick, so it is byte-identical
+    // at any thread or shard count, and entries are retired lazily when
+    // the object is next touched.
+    let mut inflight: Option<InflightTable> = config
+        .fetch_latency
+        .filter(|&l| l > 0)
+        .map(|l| (l, HashMap::new()));
 
     for req in requests {
         let tick = report.total_requests;
@@ -402,6 +424,34 @@ where
                 tick,
             ),
         };
+        // Delayed-hit coalescing: any request for an object whose fetch is
+        // still in flight rides that fetch — whether the cache already
+        // admitted the object (a hit before the fetch landed) or declined
+        // or evicted it (a miss re-requesting a pending object). A miss on
+        // a non-pending object starts a new fetch; touching an object whose
+        // fetch completed retires the table entry.
+        let delayed_fetch = match inflight.as_mut() {
+            Some((fetch_ticks, table))
+                if matches!(
+                    routed.resolution,
+                    Resolution::CacheHit | Resolution::CacheMiss
+                ) =>
+            {
+                let key = ObjectKey::new(req.site, req.object);
+                match table.get(&key) {
+                    Some(&(ready, fetch_hops)) if tick < ready => Some(fetch_hops),
+                    _ => {
+                        if routed.resolution == Resolution::CacheMiss {
+                            table.insert(key, (tick + *fetch_ticks, routed.hops));
+                        } else {
+                            table.remove(&key);
+                        }
+                        None
+                    }
+                }
+            }
+            _ => None,
+        };
         report.total_requests += 1;
         if report.total_requests <= warmup {
             continue;
@@ -411,6 +461,7 @@ where
             let o = &mut obs[req.site as usize];
             match routed.resolution {
                 Resolution::Failed => o.failed += 1,
+                _ if delayed_fetch.is_some() => o.local_hits += 1,
                 Resolution::Replica | Resolution::CacheHit => o.local_hits += 1,
                 _ if routed.dead_skipped > 0 => o.failovers += 1,
                 _ => o.remote_fetches += 1,
@@ -420,18 +471,26 @@ where
         // With zero faults `dead_skipped` is 0 and the penalty term adds an
         // exact +0.0, keeping fault-free latencies bit-identical. A failed
         // request delivers nothing, so it is attributed zero latency.
-        let penalty_ms = if failed {
+        let penalty_ms = if failed || delayed_fetch.is_some() {
             0.0
         } else {
             retry_penalty_ms * routed.dead_skipped as f64
         };
         let latency = if failed {
             0.0
+        } else if let Some(fetch_hops) = delayed_fetch {
+            // The coalesced request rides the pending fetch: it pays that
+            // fetch's transfer delay and no retry penalty of its own.
+            config.hop_delay_ms * (1.0 + fetch_hops as f64)
         } else {
             config.hop_delay_ms * (1.0 + routed.hops as f64)
                 + retry_penalty_ms * routed.dead_skipped as f64
         };
-        let cause = cause_of(&routed);
+        let cause = if delayed_fetch.is_some() {
+            Cause::DelayedHit
+        } else {
+            cause_of(&routed)
+        };
         report.cause.record(cause, latency);
         if cause == Cause::Failover {
             report.cause.failover_surcharge_ms += penalty_ms;
@@ -448,9 +507,12 @@ where
                 hops: routed.hops,
                 dead_skipped: routed.dead_skipped,
                 // `Routed::from_origin` is only meaningful for remote
-                // resolutions; mask it for local/failed ones.
+                // resolutions; mask it for local/coalesced/failed ones.
                 from_origin: routed.from_origin
-                    && !matches!(cause, Cause::ReplicaHit | Cause::CacheHit | Cause::Failed),
+                    && !matches!(
+                        cause,
+                        Cause::ReplicaHit | Cause::CacheHit | Cause::DelayedHit | Cause::Failed
+                    ),
                 latency_ms: latency,
                 penalty_ms,
             });
@@ -464,6 +526,13 @@ where
             win.requests += 1;
             if failed {
                 win.failed_requests += 1;
+            } else if delayed_fetch.is_some() {
+                // Coalesced: bytes reach the client, but no hops or origin
+                // traffic of this request's own.
+                win.latency_sum_ms += latency;
+                win.sketch.record(latency);
+                win.total_bytes += bytes;
+                win.delayed_hits += 1;
             } else {
                 win.latency_sum_ms += latency;
                 win.sketch.record(latency);
@@ -496,6 +565,16 @@ where
         if failed {
             // Nothing was delivered: no bytes, no hops, no latency sample.
             report.failed_requests += 1;
+            continue;
+        }
+        if delayed_fetch.is_some() {
+            // Coalesced onto the pending fetch: the bytes are delivered to
+            // the client, but the request adds no network traffic (hops)
+            // and no origin bytes of its own — that is the whole point of
+            // delayed hits.
+            report.total_bytes += bytes;
+            report.histogram.record(latency);
+            report.delayed_hits += 1;
             continue;
         }
         report.cost_hops += routed.hops as u64;
@@ -1070,6 +1149,136 @@ mod tests {
         // Failed request delivered nothing.
         assert_eq!(report.total_bytes, 30);
         assert_eq!(report.cost_hops, 5 + 2);
+    }
+
+    #[test]
+    fn delayed_hits_coalesce_onto_pending_fetch() {
+        // Non-replicated site 3 hops away, fetch takes 2 ticks: the miss at
+        // tick 0 puts the fetch in flight until tick 2, so the hit at
+        // tick 1 is a delayed hit and the hit at tick 2 is a plain one.
+        let p = plan(vec![false], vec![3], 1000);
+        let cfg = SimConfig {
+            fetch_latency: Some(2),
+            ..Default::default()
+        };
+        let stream = vec![
+            req(0, 1, Flavor::Normal), // tick 0: miss, fetch ready at 2
+            req(0, 1, Flavor::Normal), // tick 1: delayed hit (rides fetch)
+            req(0, 1, Flavor::Normal), // tick 2: fetch landed -> cache hit
+        ];
+        let report = simulate_server(
+            &p,
+            &cfg,
+            stream.into_iter(),
+            0,
+            |_, _| 10,
+            Box::new(Lru::new(p.cache_bytes)),
+        );
+        assert_eq!(report.origin_fetches, 1);
+        assert_eq!(report.delayed_hits, 1);
+        assert_eq!(report.cache_hits, 1);
+        assert_eq!(report.local_requests, 1, "delayed hits are not local");
+        // The delayed hit pays the pending fetch's transfer delay but adds
+        // no hops of its own.
+        assert_eq!(report.cost_hops, 3);
+        assert_eq!(report.total_bytes, 30, "all three requests deliver");
+        assert!((report.cause.delayed_hit.latency_ms - 80.0).abs() < 1e-9);
+        // Causes stay disjoint and sum to measured.
+        assert_eq!(report.cause.total_requests(), report.measured_requests);
+        assert_eq!(
+            report.delayed_hits + report.local_requests + report.origin_fetches,
+            report.measured_requests
+        );
+    }
+
+    #[test]
+    fn zero_capacity_cache_still_coalesces_pending_fetches() {
+        // With no cache at all, back-to-back requests for the same object
+        // are all misses under instant fetch — but with a fetch in flight
+        // the later ones coalesce, which is exactly the miss-reduction
+        // delayed hits exist to model.
+        let p = plan(vec![false], vec![2], 0);
+        let cfg = SimConfig {
+            fetch_latency: Some(3),
+            ..Default::default()
+        };
+        let stream = vec![
+            req(0, 1, Flavor::Normal), // tick 0: miss, ready at 3
+            req(0, 1, Flavor::Normal), // tick 1: miss, but pending -> delayed
+            req(0, 1, Flavor::Normal), // tick 2: delayed again
+            req(0, 1, Flavor::Normal), // tick 3: fetch done -> fresh miss
+        ];
+        let report = simulate_server(
+            &p,
+            &cfg,
+            stream.into_iter(),
+            0,
+            |_, _| 10,
+            Box::new(Lru::new(p.cache_bytes)),
+        );
+        assert_eq!(report.origin_fetches, 2);
+        assert_eq!(report.delayed_hits, 2);
+        assert_eq!(report.cache_hits, 0);
+        assert_eq!(report.cost_hops, 4, "only the two real fetches travel");
+        assert_eq!(report.origin_bytes, 20, "coalesced bytes skip the origin");
+    }
+
+    #[test]
+    fn fetch_latency_off_switches_are_equivalent() {
+        // `None` and `Some(0)` must both run the instant-fetch path.
+        let p = plan(vec![false], vec![3], 1000);
+        let stream: Vec<_> = (0..20).map(|i| req(0, i % 4, Flavor::Normal)).collect();
+        let run = |fetch_latency| {
+            let cfg = SimConfig {
+                fetch_latency,
+                ..Default::default()
+            };
+            simulate_server(
+                &p,
+                &cfg,
+                stream.clone().into_iter(),
+                4,
+                |_, _| 10,
+                Box::new(Lru::new(p.cache_bytes)),
+            )
+        };
+        let off = run(None);
+        let zero = run(Some(0));
+        assert_eq!(off.delayed_hits, 0);
+        assert_eq!(zero.delayed_hits, 0);
+        assert_eq!(off.cache_hits, zero.cache_hits);
+        assert_eq!(off.cost_hops, zero.cost_hops);
+        assert_eq!(off.histogram.bin_counts(), zero.histogram.bin_counts());
+        assert_eq!(off.cause, zero.cause);
+    }
+
+    #[test]
+    fn delayed_hits_appear_in_timeline_windows() {
+        let p = plan(vec![false], vec![3], 1000);
+        let cfg = SimConfig {
+            fetch_latency: Some(2),
+            window: Some(2),
+            ..Default::default()
+        };
+        let stream = vec![
+            req(0, 1, Flavor::Normal), // tick 0: miss
+            req(0, 1, Flavor::Normal), // tick 1: delayed hit
+            req(0, 1, Flavor::Normal), // tick 2: cache hit
+            req(0, 2, Flavor::Normal), // tick 3: miss
+        ];
+        let report = simulate_server(
+            &p,
+            &cfg,
+            stream.into_iter(),
+            0,
+            |_, _| 10,
+            Box::new(Lru::new(p.cache_bytes)),
+        );
+        let tl = report.timeline.as_ref().unwrap();
+        let sum: u64 = tl.windows.iter().map(|(_, w)| w.delayed_hits).sum();
+        assert_eq!(sum, report.delayed_hits);
+        assert_eq!(tl.windows[0].1.delayed_hits, 1);
+        assert_eq!(tl.windows[1].1.delayed_hits, 0);
     }
 
     #[test]

@@ -198,6 +198,11 @@ pub enum Cause {
     ReplicaHit,
     /// Served by the first-hop server's cache.
     CacheHit,
+    /// Coalesced onto an in-flight fetch of the same object (the "delayed
+    /// hit" of Atre et al.); pays the remaining fetch latency but adds no
+    /// network traffic of its own. Only occurs with a positive
+    /// [`crate::SimConfig::fetch_latency`].
+    DelayedHit,
     /// Fetched from another CDN server's replica.
     RemoteReplica,
     /// Fetched from the primary (origin) site.
@@ -211,9 +216,10 @@ pub enum Cause {
 
 impl Cause {
     /// Every cause, in reporting order.
-    pub const ALL: [Cause; 6] = [
+    pub const ALL: [Cause; 7] = [
         Cause::ReplicaHit,
         Cause::CacheHit,
+        Cause::DelayedHit,
         Cause::RemoteReplica,
         Cause::OriginFetch,
         Cause::Failover,
@@ -225,6 +231,7 @@ impl Cause {
         match self {
             Cause::ReplicaHit => "replica_hit",
             Cause::CacheHit => "cache_hit",
+            Cause::DelayedHit => "delayed_hit",
             Cause::RemoteReplica => "remote_replica",
             Cause::OriginFetch => "origin_fetch",
             Cause::Failover => "failover",
@@ -246,6 +253,7 @@ pub struct CauseLatency {
 pub struct CauseBreakdown {
     pub replica_hit: CauseLatency,
     pub cache_hit: CauseLatency,
+    pub delayed_hit: CauseLatency,
     pub remote_replica: CauseLatency,
     pub origin_fetch: CauseLatency,
     pub failover: CauseLatency,
@@ -260,6 +268,7 @@ impl CauseBreakdown {
         match cause {
             Cause::ReplicaHit => self.replica_hit,
             Cause::CacheHit => self.cache_hit,
+            Cause::DelayedHit => self.delayed_hit,
             Cause::RemoteReplica => self.remote_replica,
             Cause::OriginFetch => self.origin_fetch,
             Cause::Failover => self.failover,
@@ -271,6 +280,7 @@ impl CauseBreakdown {
         match cause {
             Cause::ReplicaHit => &mut self.replica_hit,
             Cause::CacheHit => &mut self.cache_hit,
+            Cause::DelayedHit => &mut self.delayed_hit,
             Cause::RemoteReplica => &mut self.remote_replica,
             Cause::OriginFetch => &mut self.origin_fetch,
             Cause::Failover => &mut self.failover,
@@ -424,6 +434,11 @@ pub struct SimReport {
     pub cache_hits: u64,
     /// Measured requests served by a site replica at the first hop.
     pub replica_hits: u64,
+    /// Measured requests coalesced onto an in-flight fetch of the same
+    /// object (delayed hits). Disjoint from every other bucket: excluded
+    /// from `local_requests`/`cache_hits`, and zero unless
+    /// [`crate::SimConfig::fetch_latency`] is positive.
+    pub delayed_hits: u64,
     /// Measured requests that had to travel to a primary (origin) site —
     /// the traffic a CDN exists to absorb.
     pub origin_fetches: u64,
@@ -695,6 +710,7 @@ mod tests {
             [
                 "replica_hit",
                 "cache_hit",
+                "delayed_hit",
                 "remote_replica",
                 "origin_fetch",
                 "failover",
@@ -747,6 +763,7 @@ mod tests {
             local_requests: 0,
             cache_hits: 0,
             replica_hits: 0,
+            delayed_hits: 0,
             origin_fetches: 0,
             peer_fetches: 0,
             failover_fetches: 0,

@@ -128,6 +128,17 @@ pub struct SimConfig {
     /// sampler uses, so timelines are byte-identical at any thread or
     /// shard count.
     pub window: Option<u64>,
+    /// Remote-fetch completion latency, in per-server stream ticks, for
+    /// delayed-hit coalescing. With a positive value, a cache miss puts the
+    /// object's fetch *in flight* for that many ticks; requests for the
+    /// same object arriving before it completes coalesce onto the pending
+    /// fetch as [`crate::Cause::DelayedHit`]s instead of counting as
+    /// independent hits/misses. `None` *and* `Some(0)` both run the exact
+    /// instant-fetch code path (bit-identical to a build without the
+    /// feature) — `--fetch-latency 0` is the documented off switch. The
+    /// table is per server and keyed on the deterministic stream tick, so
+    /// results stay byte-identical at any thread or shard count.
+    pub fetch_latency: Option<u64>,
     /// Number of engine shards (contiguous server ranges run as parallel
     /// units). `None` picks `min(n_servers, 64)`. The shard count is part
     /// of the configuration, never derived from the thread count, so
@@ -148,6 +159,7 @@ impl Default for SimConfig {
             faults: None,
             sample_every: None,
             window: None,
+            fetch_latency: None,
             shards: None,
         }
     }
@@ -267,6 +279,17 @@ mod tests {
         // way to force the timeline off and must validate cleanly.
         let c = SimConfig {
             window: Some(0),
+            ..Default::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn zero_fetch_latency_is_a_valid_off_switch() {
+        // `fetch_latency: Some(0)` disables delayed-hit coalescing exactly
+        // like `None` — `--fetch-latency 0` must validate cleanly.
+        let c = SimConfig {
+            fetch_latency: Some(0),
             ..Default::default()
         };
         c.validate();

@@ -159,6 +159,7 @@ pub(crate) struct ServerStats {
     local_requests: u64,
     cache_hits: u64,
     replica_hits: u64,
+    delayed_hits: u64,
     origin_fetches: u64,
     peer_fetches: u64,
     failover_fetches: u64,
@@ -250,6 +251,7 @@ impl ShardAccum {
             local_requests: report.local_requests,
             cache_hits: report.cache_hits,
             replica_hits: report.replica_hits,
+            delayed_hits: report.delayed_hits,
             origin_fetches: report.origin_fetches,
             peer_fetches: report.peer_fetches,
             failover_fetches: report.failover_fetches,
@@ -371,6 +373,7 @@ fn server_trace_buffer(report: &ServerReport) -> TraceBuffer {
         ("local", Value::U64(report.local_requests)),
         ("cache_hits", Value::U64(report.cache_hits)),
         ("replica_hits", Value::U64(report.replica_hits)),
+        ("delayed_hits", Value::U64(report.delayed_hits)),
         ("origin_fetches", Value::U64(report.origin_fetches)),
         ("peer_fetches", Value::U64(report.peer_fetches)),
         ("failover_fetches", Value::U64(report.failover_fetches)),
@@ -573,6 +576,7 @@ fn assemble_report(merged: SystemAccum, _config: &SimConfig) -> SimReport {
         local_requests: sum(|s| s.local_requests),
         cache_hits: sum(|s| s.cache_hits),
         replica_hits: sum(|s| s.replica_hits),
+        delayed_hits: sum(|s| s.delayed_hits),
         origin_fetches: sum(|s| s.origin_fetches),
         peer_fetches: sum(|s| s.peer_fetches),
         failover_fetches: sum(|s| s.failover_fetches),
@@ -842,6 +846,7 @@ mod tests {
         assert_eq!(a.local_requests, b.local_requests);
         assert_eq!(a.cache_hits, b.cache_hits);
         assert_eq!(a.replica_hits, b.replica_hits);
+        assert_eq!(a.delayed_hits, b.delayed_hits);
         assert_eq!(a.origin_fetches, b.origin_fetches);
         assert_eq!(a.peer_fetches, b.peer_fetches);
         assert_eq!(a.failover_fetches, b.failover_fetches);
@@ -983,6 +988,7 @@ mod tests {
         // Every measured request lands in exactly one bucket.
         assert_eq!(
             report.local_requests
+                + report.delayed_hits
                 + report.failover_fetches
                 + report.origin_fetches
                 + report.peer_fetches
@@ -1049,6 +1055,7 @@ mod tests {
         // Every per-cause request count equals its SimReport bucket...
         assert_eq!(report.cause.replica_hit.requests, report.replica_hits);
         assert_eq!(report.cause.cache_hit.requests, report.cache_hits);
+        assert_eq!(report.cause.delayed_hit.requests, report.delayed_hits);
         assert_eq!(report.cause.remote_replica.requests, report.peer_fetches);
         assert_eq!(report.cause.origin_fetch.requests, report.origin_fetches);
         assert_eq!(report.cause.failover.requests, report.failover_fetches);
@@ -1202,6 +1209,68 @@ mod tests {
                 assert!(p99 <= w.max_ms() * (1.0 + cdn_telemetry::RELATIVE_ERROR));
             }
         }
+    }
+
+    #[test]
+    fn fetch_latency_zero_is_bit_identical_to_instant_fetch() {
+        // Delayed-hit differential oracle: `fetch_latency` of `None` and
+        // `Some(0)` must both run the instant-fetch path bit for bit.
+        let (problem, catalog, trace) = scenario(0.1, LambdaMode::Expired);
+        let pl = cdn_placement::greedy_global(&problem).placement;
+        let run = |fetch_latency, shards| {
+            let cfg = SimConfig {
+                fetch_latency,
+                sample_every: Some(7),
+                window: Some(128),
+                shards,
+                ..Default::default()
+            };
+            simulate_system(&problem, &pl, &catalog, &trace, &cfg, None)
+        };
+        let off = run(None, None);
+        let zero = run(Some(0), None);
+        assert_eq!(off.delayed_hits, 0);
+        assert_reports_identical(&off, &zero);
+
+        // Positive latency: requests coalesce, yet every identity holds.
+        let delayed = run(Some(64), None);
+        assert!(delayed.delayed_hits > 0, "no request ever coalesced");
+        assert_eq!(delayed.cause.delayed_hit.requests, delayed.delayed_hits);
+        assert_eq!(delayed.cause.total_requests(), delayed.measured_requests);
+        assert_eq!(
+            delayed.local_requests
+                + delayed.delayed_hits
+                + delayed.origin_fetches
+                + delayed.peer_fetches
+                + delayed.failover_fetches
+                + delayed.failed_requests,
+            delayed.measured_requests
+        );
+        assert_eq!(
+            delayed.local_requests,
+            delayed.cache_hits + delayed.replica_hits,
+            "delayed hits must stay out of the local buckets"
+        );
+        // Coalesced fetches travel no hops of their own.
+        assert!(delayed.cost_hops_identity() < off.cost_hops_identity());
+        // Windowed twins mirror the run level with the feature on.
+        let tl = delayed.timeline.as_ref().unwrap();
+        let win_delayed: u64 = tl.windows.iter().map(|(_, w)| w.delayed_hits).sum();
+        assert_eq!(win_delayed, delayed.delayed_hits);
+        // Byte-identical at any shard count and thread count, feature on.
+        for shards in [1, 2, 4, 8] {
+            assert_reports_identical(&delayed, &run(Some(64), Some(shards)));
+        }
+        let pool = |n: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .unwrap()
+        };
+        let one = pool(1).install(|| run(Some(64), Some(2)));
+        let four = pool(4).install(|| run(Some(64), Some(2)));
+        assert_reports_identical(&one, &four);
+        assert_reports_identical(&delayed, &one);
     }
 
     #[test]

@@ -31,6 +31,8 @@ pub struct WindowStats {
     pub local_requests: u64,
     pub cache_hits: u64,
     pub replica_hits: u64,
+    /// Requests coalesced onto an in-flight fetch (delayed hits).
+    pub delayed_hits: u64,
     pub origin_fetches: u64,
     pub peer_fetches: u64,
     pub failover_fetches: u64,
@@ -85,6 +87,7 @@ impl WindowStats {
         self.local_requests += other.local_requests;
         self.cache_hits += other.cache_hits;
         self.replica_hits += other.replica_hits;
+        self.delayed_hits += other.delayed_hits;
         self.origin_fetches += other.origin_fetches;
         self.peer_fetches += other.peer_fetches;
         self.failover_fetches += other.failover_fetches;
@@ -256,6 +259,7 @@ fn push_counter_cols(out: &mut String, windows: &[(u64, WindowStats)]) {
         ("local_requests", |w| w.local_requests),
         ("cache_hits", |w| w.cache_hits),
         ("replica_hits", |w| w.replica_hits),
+        ("delayed_hits", |w| w.delayed_hits),
         ("origin_fetches", |w| w.origin_fetches),
         ("peer_fetches", |w| w.peer_fetches),
         ("failover_fetches", |w| w.failover_fetches),
@@ -329,9 +333,9 @@ pub fn render_timeline_json(runs: &[(String, Timeline)]) -> String {
 /// `(run, window)`.
 pub fn render_timeline_csv(runs: &[(String, Timeline)]) -> String {
     let mut out = String::from(
-        "run,window,requests,local_requests,cache_hits,replica_hits,origin_fetches,\
-         peer_fetches,failover_fetches,failed_requests,cost_hops,total_bytes,origin_bytes,\
-         mean_ms,p50_ms,p90_ms,p99_ms,max_ms,cache_used_bytes,evictions,top_site,\
+        "run,window,requests,local_requests,cache_hits,replica_hits,delayed_hits,\
+         origin_fetches,peer_fetches,failover_fetches,failed_requests,cost_hops,total_bytes,\
+         origin_bytes,mean_ms,p50_ms,p90_ms,p99_ms,max_ms,cache_used_bytes,evictions,top_site,\
          top_site_requests\n",
     );
     for (run, tl) in runs {
@@ -342,11 +346,12 @@ pub fn render_timeline_csv(runs: &[(String, Timeline)]) -> String {
             };
             let _ = writeln!(
                 out,
-                "{run},{id},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{top_site},{top_n}",
+                "{run},{id},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{top_site},{top_n}",
                 w.requests,
                 w.local_requests,
                 w.cache_hits,
                 w.replica_hits,
+                w.delayed_hits,
                 w.origin_fetches,
                 w.peer_fetches,
                 w.failover_fetches,

@@ -19,6 +19,8 @@
 //!   demand row, object via the site-internal Zipf, λ-flagged requests).
 //! * [`stream`] — the chunked streaming adapter that bounds how many
 //!   requests are resident in memory at once (large-tier runs).
+//! * [`trace_file`] — the binary `.events` trace format (real-trace
+//!   ingestion and replay).
 //!
 //! Everything is seeded and deterministic.
 
@@ -30,6 +32,7 @@ pub mod site;
 pub mod stream;
 pub mod temporal;
 pub mod trace;
+pub mod trace_file;
 pub mod zipf;
 
 pub use analysis::TraceStats;
@@ -39,4 +42,8 @@ pub use site::{PopularityClass, Site, SiteCatalog};
 pub use stream::ChunkedStream;
 pub use temporal::{DriftConfig, Drifted};
 pub use trace::{Flavor, LambdaMode, Request, ServerStream, TraceSpec};
+pub use trace_file::{
+    decode_events, encode_events, open_events_file, pack_key, read_events_file, unpack_key,
+    write_events_file, EventsReader, TraceEvent, TraceFileError,
+};
 pub use zipf::ZipfLike;
